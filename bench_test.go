@@ -1,0 +1,316 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see EXPERIMENTS.md for the mapping), plus engine
+// micro-benchmarks. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Sec7 benchmarks print the experiment's headline numbers once per
+// run via b.Log; -v shows them.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/area"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/phit"
+	"repro/internal/route"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/slots"
+	"repro/internal/spec"
+	"repro/internal/topology"
+)
+
+// --- E1: Fig. 5 — frequency/area trade-off ------------------------------
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig5()
+		if len(rows) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+	b.ReportMetric(area.RouterArea(5, 32, 650), "µm²@650MHz")
+	b.ReportMetric(area.RouterMaxArea(5, 32), "µm²@fmax")
+}
+
+// --- E2/E3: Fig. 6 — arity and width scaling ----------------------------
+
+func BenchmarkFig6a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Fig6a(); len(rows) != 6 {
+			b.Fatal("bad sweep")
+		}
+	}
+	b.ReportMetric(area.RouterFmaxMHz(2, 32), "fmaxMHz-arity2")
+	b.ReportMetric(area.RouterFmaxMHz(7, 32), "fmaxMHz-arity7")
+}
+
+func BenchmarkFig6b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Fig6b(); len(rows) != 8 {
+			b.Fatal("bad sweep")
+		}
+	}
+	b.ReportMetric(area.RouterMaxArea(6, 256), "µm²-256bit")
+	b.ReportMetric(area.RouterFmaxMHz(6, 256), "fmaxMHz-256bit")
+}
+
+// --- E4: Section V link/area comparison ---------------------------------
+
+func BenchmarkLinkArea(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.LinkTable(); len(rows) < 8 {
+			b.Fatal("bad table")
+		}
+	}
+	b.ReportMetric(area.MesochronousRouterArea(5, 32, 600, false), "µm²-complete")
+	b.ReportMetric(area.FIFOArea(4, 32, true), "µm²-customFIFO")
+}
+
+// --- E6: throughput headline --------------------------------------------
+
+func BenchmarkThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Throughput(); len(rows) == 0 {
+			b.Fatal("bad table")
+		}
+	}
+	f := area.RouterFmaxMHz(6, 64)
+	b.ReportMetric(area.RawThroughputGBps(6, 64, f), "GB/s-oneway")
+}
+
+// --- E5: Section VII — the 200-connection simulation --------------------
+
+// sec7MeasureNs keeps the benchmark windows moderate; the full-length run
+// is cmd/aelite-exp sec7.
+const sec7MeasureNs = 30000
+
+func BenchmarkSec7Aelite(b *testing.B) {
+	var rep *core.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.Sec7Aelite(experiments.Sec7Seed, 500, core.Synchronous, false, sec7MeasureNs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.AllMet() {
+			b.Fatal("aelite missed a requirement at 500 MHz")
+		}
+	}
+	b.ReportMetric(float64(len(rep.Conns)), "connections")
+	b.ReportMetric(float64(rep.TotalEdges)/b.Elapsed().Seconds()/float64(b.N), "edges/s")
+}
+
+func BenchmarkSec7AeliteMesochronous(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Sec7Aelite(experiments.Sec7Seed, 500, core.Mesochronous, false, sec7MeasureNs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.AllMet() {
+			b.Fatal("mesochronous aelite missed a requirement")
+		}
+	}
+}
+
+func BenchmarkSec7AetherealBE(b *testing.B) {
+	var viol int
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Sec7BEFactor(experiments.Sec7Seed, 500, sec7MeasureNs, experiments.Sec7BEOpportunism)
+		if err != nil {
+			b.Fatal(err)
+		}
+		viol = len(rep.Violations())
+		if viol == 0 {
+			b.Fatal("BE met everything at 500 MHz; no contrast")
+		}
+	}
+	b.ReportMetric(float64(viol), "violations@500MHz")
+}
+
+func BenchmarkSec7FrequencyScan(b *testing.B) {
+	var crossover float64
+	for i := 0; i < b.N; i++ {
+		_, c, err := experiments.FrequencyScan(experiments.Sec7Seed, []float64{500, 900, 1000}, sec7MeasureNs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		crossover = c
+	}
+	b.ReportMetric(crossover, "crossoverMHz")
+}
+
+// --- ablations ----------------------------------------------------------
+
+// BenchmarkAblationTableSize sweeps the TDM table size for a mid-size
+// workload: smaller tables give coarser bandwidth granularity (more
+// over-allocation), larger tables longer worst-case waits for few-slot
+// connections.
+func BenchmarkAblationTableSize(b *testing.B) {
+	for _, size := range []int{16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("S%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := topology.NewMesh(3, 2, 2)
+				uc := spec.Random(spec.RandomConfig{
+					Name: "abl", Seed: 5, IPs: 12, Apps: 2, Conns: 16,
+					MinRateMBps: 15, MaxRateMBps: 120,
+					MinLatencyNs: 300, MaxLatencyNs: 900,
+				})
+				spec.MapIPsByTraffic(uc, m)
+				cfg := core.Config{TableSize: size}
+				core.PrepareTopology(m, cfg)
+				n, err := core.Build(m, uc, cfg)
+				if err != nil {
+					b.Skipf("table %d infeasible: %v", size, err)
+				}
+				rep := n.Run(4000, 15000)
+				if !rep.AllMet() {
+					b.Fatalf("requirements missed at table size %d", size)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFIFODelay compares the two FIFO forwarding delays the
+// paper admits (1-2 cycles) on the mesochronous network.
+func BenchmarkAblationFIFODelay(b *testing.B) {
+	for _, d := range []int{1, 2} {
+		b.Run(fmt.Sprintf("%dcycle", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := topology.NewMesh(3, 2, 2)
+				uc := spec.Random(spec.RandomConfig{
+					Name: "fifo", Seed: 5, IPs: 12, Apps: 2, Conns: 12,
+					MinRateMBps: 15, MaxRateMBps: 100,
+					MinLatencyNs: 300, MaxLatencyNs: 900,
+				})
+				spec.MapIPsByTraffic(uc, m)
+				cfg := core.Config{Mode: core.Mesochronous, FIFOForwardCycles: d, PhaseSeed: 3}
+				core.PrepareTopology(m, cfg)
+				n, err := core.Build(m, uc, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep := n.Run(4000, 15000)
+				if !rep.AllMet() {
+					b.Fatalf("requirements missed with %d-cycle FIFO delay", d)
+				}
+			}
+		})
+	}
+}
+
+// --- micro-benchmarks ----------------------------------------------------
+
+func BenchmarkRouterStep(b *testing.B) {
+	layout := phit.DefaultLayout
+	c := router.NewCore("r", 6, layout)
+	in := make([]phit.Phit, 6)
+	hdr, _ := layout.Encode([]int{3}, 0, 0)
+	in[0] = phit.Phit{Valid: true, Kind: phit.Header, Data: hdr}
+	var out []phit.Phit
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%3 == 0 {
+			in[0] = phit.Phit{Valid: true, Kind: phit.Header, Data: hdr}
+		} else {
+			in[0] = phit.Phit{Valid: true, Kind: phit.Payload, EoP: i%3 == 2}
+		}
+		out = c.Step(in, out)
+	}
+}
+
+func BenchmarkEngineSynchronous(b *testing.B) {
+	// A full Section VII network, cost per simulated cycle.
+	m := experiments.Sec7Mesh()
+	cfg := core.Config{Transactional: true}
+	core.PrepareTopology(m, cfg)
+	uc, err := experiments.Sec7UseCase(m, experiments.Sec7Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := core.Build(m, uc, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := n.Engine()
+	period := n.BaseClock().Period
+	eng.Run(1000 * period) // prime
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Run(eng.Now() + period)
+	}
+	b.ReportMetric(float64(eng.Edges())/b.Elapsed().Seconds(), "edges/s")
+}
+
+func BenchmarkAllocator(b *testing.B) {
+	m := experiments.Sec7Mesh()
+	core.PrepareTopology(m, core.Config{Transactional: true})
+	uc, err := experiments.Sec7UseCase(m, experiments.Sec7Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(m, uc, core.Config{Transactional: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeaderCodec(b *testing.B) {
+	layout := phit.DefaultLayout
+	path := []int{1, 2, 3, 0, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := layout.Encode(path, 7, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for h := 0; h < len(path); h++ {
+			_, w = layout.NextPort(w)
+		}
+	}
+}
+
+func BenchmarkSlotAllocation(b *testing.B) {
+	m := topology.NewMesh(4, 3, 4)
+	nis := m.AllNIs()
+	var reqs []slots.Request
+	for i := 0; i < 60; i++ {
+		a := nis[(i*7)%len(nis)]
+		c := nis[(i*13+5)%len(nis)]
+		if m.Node(a).Router == m.Node(c).Router {
+			continue
+		}
+		paths, err := route.Candidates(m, a, c, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs = append(reqs, slots.Request{Conn: phit.ConnID(i + 1), Paths: paths, Count: 1 + i%4})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := slots.Allocate(64, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBisyncFIFO(b *testing.B) {
+	f := sim.NewBisync[phit.Phit]("b", 4, 1000)
+	now := clock.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 2000
+		f.Push(now, phit.Phit{Valid: true})
+		if f.Valid(now + 1000) {
+			f.Pop(now + 1000)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Command aelite-alloc runs the design flow up to slot allocation for a
+// use case: route every connection, size its TDM reservation from its
+// requirements, allocate contention-free slots, and print the resulting
+// tables, guarantees and link utilisation.
+//
+// Usage:
+//
+//	aelite-alloc -spec usecase.json [-cols 4 -rows 3 -nis 4] [flags]
+//	aelite-alloc -random N [flags]        (N random connections instead)
+//
+// Flags:
+//
+//	-freq MHZ    network frequency (default 500)
+//	-table N     slot-table size (default: search)
+//	-mode M      synchronous | mesochronous | asynchronous
+//	-tables      print every NI's slot table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/topology"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "use-case JSON (see internal/spec)")
+	random := flag.Int("random", 0, "generate this many random connections instead of loading a spec")
+	seed := flag.Int64("seed", 1, "seed for -random")
+	cols := flag.Int("cols", 4, "mesh columns")
+	rows := flag.Int("rows", 3, "mesh rows")
+	nis := flag.Int("nis", 4, "NIs per router")
+	freq := flag.Float64("freq", 500, "frequency in MHz")
+	table := flag.Int("table", 0, "TDM table size (0 = search)")
+	mode := flag.String("mode", "synchronous", "clocking: synchronous|mesochronous|asynchronous")
+	printTables := flag.Bool("tables", false, "print per-NI slot tables")
+	flag.Parse()
+
+	m := topology.NewMesh(*cols, *rows, *nis)
+	var uc *spec.UseCase
+	var err error
+	switch {
+	case *specPath != "":
+		uc, err = spec.Load(*specPath)
+		fatal(err)
+	case *random > 0:
+		uc = spec.Random(spec.RandomConfig{
+			Name: "random", Seed: *seed,
+			IPs: 2 * *cols * *rows * *nis / 2, Apps: 4, Conns: *random,
+			MinRateMBps: 10, MaxRateMBps: 300, HeavyFraction: 0.1, HeavyMinRateMBps: 40,
+			MinLatencyNs: 150, MaxLatencyNs: 900,
+		})
+	default:
+		fmt.Fprintln(os.Stderr, "aelite-alloc: need -spec or -random")
+		os.Exit(2)
+	}
+	needMap := false
+	for _, ip := range uc.IPs {
+		if ip.NI == topology.Invalid {
+			needMap = true
+		}
+	}
+	if needMap {
+		spec.MapIPsByTraffic(uc, m)
+	}
+
+	cfg := core.Config{FreqMHz: *freq, TableSize: *table}
+	switch *mode {
+	case "synchronous":
+	case "mesochronous":
+		cfg.Mode = core.Mesochronous
+	case "asynchronous":
+		cfg.Mode = core.Asynchronous
+	default:
+		fmt.Fprintf(os.Stderr, "aelite-alloc: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	core.PrepareTopology(m, cfg)
+	n, err := core.Build(m, uc, cfg)
+	fatal(err)
+
+	fmt.Printf("use case %q: %d IPs, %d connections on a %dx%d mesh (%d NIs/router)\n",
+		uc.Name, len(uc.IPs), len(uc.Connections), *cols, *rows, *nis)
+	fmt.Printf("mode %s, %.0f MHz, slot table %d\n\n", cfg.Mode, *freq, n.Cfg.TableSize)
+
+	fmt.Printf("%6s %9s %9s %9s %6s %5s %8s\n", "conn", "reqMB/s", "gntMB/s", "boundNs", "slots", "hops", "recvCap")
+	for _, c := range uc.Connections {
+		info, err := n.Info(c.ID)
+		fatal(err)
+		fmt.Printf("%6d %9.1f %9.1f %9.1f %6d %5d %8d\n",
+			c.ID, c.BandwidthMBps, info.GuaranteedMBps, info.BoundNs,
+			len(info.Slots), info.PathHops, info.RecvCapacity)
+	}
+
+	// Link utilisation summary.
+	type lu struct {
+		id   topology.LinkID
+		util float64
+	}
+	var lus []lu
+	for _, l := range m.Links() {
+		lus = append(lus, lu{l.ID, n.Alloc.LinkUtilisation(l.ID)})
+	}
+	sort.Slice(lus, func(i, j int) bool { return lus[i].util > lus[j].util })
+	fmt.Println("\nbusiest links:")
+	for i := 0; i < 10 && i < len(lus); i++ {
+		l := m.Link(lus[i].id)
+		fmt.Printf("  %-24s %5.1f%%\n",
+			m.Node(l.From).Name+" > "+m.Node(l.To).Name, lus[i].util*100)
+	}
+
+	if *printTables {
+		fmt.Println("\nNI slot tables:")
+		for _, id := range m.AllNIs() {
+			t := n.Alloc.NITable(id)
+			fmt.Printf("  %-10s %v\n", m.Node(id).Name, t.Slots)
+		}
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aelite-alloc:", err)
+		os.Exit(1)
+	}
+}

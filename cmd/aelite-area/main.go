@@ -1,0 +1,53 @@
+// Command aelite-area queries the calibrated 90 nm area/frequency model
+// (see internal/area): router cell area and maximum frequency for a given
+// arity, data width and target frequency, plus the mesochronous-link and
+// GS+BE baseline numbers.
+//
+// Usage:
+//
+//	aelite-area [-arity N] [-width BITS] [-target MHZ] [-custom-fifo]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/area"
+)
+
+func main() {
+	arity := flag.Int("arity", 5, "router arity (input and output ports)")
+	width := flag.Int("width", 32, "data width in bits")
+	target := flag.Float64("target", 600, "synthesis target frequency in MHz")
+	custom := flag.Bool("custom-fifo", false, "use the custom FIFO cells of [18] instead of standard cells")
+	flag.Parse()
+
+	fmax := area.RouterFmaxMHz(*arity, *width)
+	fmt.Printf("aelite router, arity %d, %d-bit data width (90 nm low-power, worst case):\n", *arity, *width)
+	fmt.Printf("  maximum frequency        %8.0f MHz\n", fmax)
+	fmt.Printf("  area at %4.0f MHz         %8.0f µm²  (%.4f mm²)\n",
+		*target, area.RouterArea(*arity, *width, *target), area.RouterArea(*arity, *width, *target)/1e6)
+	fmt.Printf("  area at fmax             %8.0f µm²  (%.4f mm²)\n",
+		area.RouterMaxArea(*arity, *width), area.RouterMaxArea(*arity, *width)/1e6)
+	fmt.Printf("  raw throughput at fmax   %8.1f Gbyte/s one-way (%.1f full duplex)\n",
+		area.RawThroughputGBps(*arity, *width, fmax), 2*area.RawThroughputGBps(*arity, *width, fmax))
+
+	fifo := area.FIFOArea(area.LinkFIFOWords, *width, *custom)
+	kind := "standard-cell"
+	if *custom {
+		kind = "custom"
+	}
+	fmt.Printf("mesochronous link pipeline stage (%s FIFO):\n", kind)
+	fmt.Printf("  4-word bi-sync FIFO      %8.0f µm²\n", fifo)
+	fmt.Printf("  stage (FIFO + FSM)       %8.0f µm²\n", area.LinkStageArea(*width, *custom))
+	fmt.Printf("  complete router + links  %8.0f µm²  (%.4f mm²)\n",
+		area.MesochronousRouterArea(*arity, *width, *target, *custom),
+		area.MesochronousRouterArea(*arity, *width, *target, *custom)/1e6)
+
+	fmt.Printf("Æthereal GS+BE baseline (same arity/width):\n")
+	fmt.Printf("  area                     %8.0f µm²  (%.1fx aelite)\n",
+		area.GSBERouterArea(*arity, *width),
+		area.GSBERouterArea(*arity, *width)/area.RouterNominalArea(*arity, *width))
+	fmt.Printf("  maximum frequency        %8.0f MHz  (aelite is %.1fx faster)\n",
+		area.GSBERouterFmaxMHz(*arity, *width), area.GSBESpeedRatio)
+}

@@ -1,0 +1,119 @@
+// Command aelite-exp regenerates the tables and figures of the paper's
+// evaluation (Section VII, Figs. 5 and 6). Each subcommand prints one
+// artefact; "all" prints everything, as recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	aelite-exp fig5        frequency/area trade-off (Fig. 5)
+//	aelite-exp fig6a       area & fmax vs arity (Fig. 6a)
+//	aelite-exp fig6b       area & fmax vs data width (Fig. 6b)
+//	aelite-exp links       mesochronous link & router area table (Sec. V)
+//	aelite-exp throughput  raw throughput table (Sec. VII)
+//	aelite-exp sec7        200-connection aelite vs BE comparison
+//	aelite-exp scan        best-effort frequency scan (>900 MHz crossover)
+//	aelite-exp power       schedule-driven router sleep study (extension)
+//	aelite-exp hetero      HSDF model of the wrapped NoC (extension)
+//	aelite-exp all         everything above
+//
+// Flags:
+//
+//	-seed N       workload seed for sec7/scan (default the documented one)
+//	-measure NS   measurement window in ns (default 60000)
+//	-freq MHZ     frequency for sec7 (default 500)
+//	-verbose      print the full 200-connection report tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", experiments.Sec7Seed, "workload seed for the Section VII experiment")
+	measure := flag.Float64("measure", experiments.Sec7MeasureNs, "measurement window in ns")
+	freq := flag.Float64("freq", 500, "frequency in MHz for the sec7 comparison")
+	verbose := flag.Bool("verbose", false, "print full per-connection reports")
+	flag.Parse()
+
+	cmd := "all"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	out := os.Stdout
+	run := func(name string, f func() error) {
+		if cmd != "all" && cmd != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "aelite-exp %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out)
+	}
+
+	known := map[string]bool{"all": true, "fig5": true, "fig6a": true, "fig6b": true,
+		"links": true, "throughput": true, "sec7": true, "scan": true,
+		"power": true, "hetero": true}
+	if !known[cmd] {
+		fmt.Fprintf(os.Stderr, "aelite-exp: unknown experiment %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run("fig5", func() error { experiments.WriteFig5(out); return nil })
+	run("fig6a", func() error { experiments.WriteFig6a(out); return nil })
+	run("fig6b", func() error { experiments.WriteFig6b(out); return nil })
+	run("links", func() error { experiments.WriteLinkTable(out); return nil })
+	run("throughput", func() error { experiments.WriteThroughput(out); return nil })
+	run("sec7", func() error {
+		cmp, gs, be, err := experiments.Compare(*seed, *freq, *measure)
+		if err != nil {
+			return err
+		}
+		experiments.WriteComparison(out, cmp)
+		if *verbose {
+			fmt.Fprintln(out, "\n--- aelite (guaranteed services) ---")
+			gs.Write(out)
+			fmt.Fprintln(out, "\n--- Æthereal best effort ---")
+			be.Write(out)
+		}
+		return nil
+	})
+	run("power", func() error {
+		rep, err := experiments.PowerStudy(*seed, *freq)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "-- all four applications running --")
+		experiments.WritePower(out, rep)
+		one, err := experiments.PowerStudyApp(*seed, *freq, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "\n-- only application 1 running (standby-style operating point) --")
+		experiments.WritePower(out, one)
+		return nil
+	})
+	run("hetero", func() error { return experiments.WriteHeterochronous(out) })
+	run("scan", func() error {
+		points, crossover, err := experiments.FrequencyScan(*seed, nil, *measure)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Best-effort frequency scan (offered rate %.0fx the GS rates):\n",
+			float64(experiments.Sec7BEOpportunism))
+		fmt.Fprintf(out, "%10s %12s %14s\n", "MHz", "violations", "worst excess")
+		for _, p := range points {
+			fmt.Fprintf(out, "%10.0f %12d %11.0f ns\n", p.FreqMHz, p.Violations, p.WorstExcessNs)
+		}
+		if crossover > 0 {
+			fmt.Fprintf(out, "all requirements met from %.0f MHz (aelite needs 500 MHz; paper reports >900 MHz for BE)\n", crossover)
+		} else {
+			fmt.Fprintln(out, "requirements not met at any scanned frequency")
+		}
+		return nil
+	})
+}

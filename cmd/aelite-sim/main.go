@@ -1,0 +1,112 @@
+// Command aelite-sim runs a use case through the cycle-accurate simulator
+// — either the aelite guaranteed-service network (synchronous,
+// mesochronous or asynchronous) or the Æthereal best-effort baseline —
+// and prints the per-connection report.
+//
+// Usage:
+//
+//	aelite-sim -spec usecase.json [flags]
+//	aelite-sim -random N [flags]
+//
+// Flags:
+//
+//	-backend B    aelite | be
+//	-mode M       synchronous | mesochronous | asynchronous (aelite only)
+//	-freq MHZ     network frequency (default 500)
+//	-warmup NS    warm-up before measurement (default 10000)
+//	-measure NS   measurement window (default 50000)
+//	-tx           transactional traffic (line-rate bursts) instead of CBR
+//	-probes       enable dynamic TDM verification probes (aelite only)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/topology"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "use-case JSON")
+	random := flag.Int("random", 0, "generate this many random connections")
+	seed := flag.Int64("seed", 1, "seed for -random")
+	cols := flag.Int("cols", 4, "mesh columns")
+	rows := flag.Int("rows", 3, "mesh rows")
+	nis := flag.Int("nis", 4, "NIs per router")
+	backend := flag.String("backend", "aelite", "aelite | be")
+	mode := flag.String("mode", "synchronous", "synchronous|mesochronous|asynchronous")
+	freq := flag.Float64("freq", 500, "frequency in MHz")
+	warmup := flag.Float64("warmup", 10000, "warm-up in ns")
+	measure := flag.Float64("measure", 50000, "measurement window in ns")
+	tx := flag.Bool("tx", false, "transactional traffic")
+	probes := flag.Bool("probes", false, "TDM verification probes")
+	flag.Parse()
+
+	m := topology.NewMesh(*cols, *rows, *nis)
+	var uc *spec.UseCase
+	var err error
+	switch {
+	case *specPath != "":
+		uc, err = spec.Load(*specPath)
+		fatal(err)
+	case *random > 0:
+		uc = spec.Random(spec.RandomConfig{
+			Name: "random", Seed: *seed,
+			IPs: *cols * *rows * *nis, Apps: 4, Conns: *random,
+			MinRateMBps: 10, MaxRateMBps: 300, HeavyFraction: 0.1, HeavyMinRateMBps: 40,
+			MinLatencyNs: 150, MaxLatencyNs: 900,
+		})
+	default:
+		fmt.Fprintln(os.Stderr, "aelite-sim: need -spec or -random")
+		os.Exit(2)
+	}
+	unmapped := false
+	for _, ip := range uc.IPs {
+		if ip.NI == topology.Invalid {
+			unmapped = true
+		}
+	}
+	if unmapped {
+		spec.MapIPsByTraffic(uc, m)
+	}
+
+	var rep *core.Report
+	if *backend == "be" {
+		n, err := core.BuildBE(m, uc, core.BEConfig{FreqMHz: *freq, Transactional: *tx})
+		fatal(err)
+		rep = n.Run(*warmup, *measure)
+	} else {
+		cfg := core.Config{FreqMHz: *freq, Probes: *probes, Transactional: *tx}
+		switch *mode {
+		case "synchronous":
+		case "mesochronous":
+			cfg.Mode = core.Mesochronous
+		case "asynchronous":
+			cfg.Mode = core.Asynchronous
+		default:
+			fmt.Fprintf(os.Stderr, "aelite-sim: unknown mode %q\n", *mode)
+			os.Exit(2)
+		}
+		core.PrepareTopology(m, cfg)
+		n, err := core.Build(m, uc, cfg)
+		fatal(err)
+		rep = n.Run(*warmup, *measure)
+	}
+	rep.Write(os.Stdout)
+	if rep.AllMet() {
+		fmt.Println("\nall requirements met")
+	} else {
+		fmt.Printf("\n%d requirements MISSED\n", len(rep.Violations()))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aelite-sim:", err)
+		os.Exit(1)
+	}
+}

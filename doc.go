@@ -1,0 +1,30 @@
+// Package repro reproduces "aelite: A Flit-Synchronous Network on Chip
+// with Composable and Predictable Services" (Hansson, Subburaman,
+// Goossens — DATE 2009) as a Go library.
+//
+// The repository contains, from the bottom up:
+//
+//   - a deterministic multi-clock-domain cycle-accurate simulation engine
+//     (internal/sim, internal/clock);
+//   - the aelite network: TDM slot tables and contention-free allocation
+//     (internal/slots), the three-stage arbiter-less router
+//     (internal/router), mesochronous link pipeline stages (internal/link),
+//     asynchronous wrappers for plesiochronous operation (internal/wrapper)
+//     and network interfaces with end-to-end credit flow control
+//     (internal/ni);
+//   - the Æthereal combined GS+BE baseline in best-effort mode
+//     (internal/aethereal);
+//   - the analytical service model (internal/analysis), the calibrated
+//     90 nm area/frequency model (internal/area) and the experiment
+//     harness regenerating every table and figure of the paper's
+//     evaluation (internal/experiments);
+//   - a public façade assembling all of it from a use-case spec
+//     (internal/core, internal/spec, internal/topology, internal/route,
+//     internal/traffic).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in
+// bench_test.go regenerate each experiment:
+//
+//	go test -bench=. -benchmem
+package repro

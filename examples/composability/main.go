@@ -1,0 +1,152 @@
+// Composability: the paper's central property, demonstrated word by word.
+//
+// An application's temporal behaviour on aelite is *bit-identical*
+// whether it runs alone or next to other applications — even when those
+// applications oversubscribe their allocation by 8x and are throttled by
+// back-pressure. The same experiment on the Æthereal best-effort baseline
+// shows the timing shifting the moment another application appears.
+//
+// Run with:
+//
+//	go run ./examples/composability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/phit"
+	"repro/internal/spec"
+	"repro/internal/topology"
+)
+
+func buildSpec() (*topology.Mesh, *spec.UseCase) {
+	m := topology.NewMesh(3, 2, 2)
+	uc := spec.Random(spec.RandomConfig{
+		Name: "composability", Seed: 42, IPs: 12, Apps: 2, Conns: 10,
+		MinRateMBps: 20, MaxRateMBps: 150,
+		MinLatencyNs: 250, MaxLatencyNs: 900,
+	})
+	spec.MapIPsByTraffic(uc, m)
+	return m, uc
+}
+
+// aeliteArrivals runs the aelite network and returns app 0's exact
+// arrival instants, with the other application enabled or not (and
+// optionally hostile: oversubscribing 8x).
+func aeliteArrivals(withOthers, hostile bool) map[phit.ConnID][]clock.Time {
+	m, uc := buildSpec()
+	cfg := core.Config{Probes: true}
+	core.PrepareTopology(m, cfg)
+	net, err := core.Build(m, uc, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range uc.Connections {
+		if c.App != 0 {
+			if !withOthers {
+				net.Generator(c.ID).SetEnabled(false)
+			} else if hostile {
+				net.Generator(c.ID).SetRateMBps(c.BandwidthMBps*8, 4)
+			}
+		} else {
+			ip, _ := uc.IP(c.Dst)
+			net.NIOf(ip.NI).RecordArrivals(c.ID, true)
+		}
+	}
+	net.Run(0, 40000)
+	out := map[phit.ConnID][]clock.Time{}
+	for _, c := range uc.Connections {
+		if c.App == 0 {
+			ip, _ := uc.IP(c.Dst)
+			out[c.ID] = net.NIOf(ip.NI).Arrivals(c.ID)
+		}
+	}
+	return out
+}
+
+// beArrivals is the same experiment on the best-effort baseline.
+func beArrivals(withOthers bool) map[phit.ConnID][]clock.Time {
+	m, uc := buildSpec()
+	net, err := core.BuildBE(m, uc, core.BEConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range uc.Connections {
+		if c.App != 0 && !withOthers {
+			net.Generator(c.ID).SetEnabled(false)
+		}
+		if c.App == 0 {
+			ip, _ := uc.IP(c.Dst)
+			net.NIOf(ip.NI).RecordArrivals(c.ID, true)
+		}
+	}
+	net.Run(0, 40000)
+	out := map[phit.ConnID][]clock.Time{}
+	for _, c := range uc.Connections {
+		if c.App == 0 {
+			ip, _ := uc.IP(c.Dst)
+			out[c.ID] = net.NIOf(ip.NI).Arrivals(c.ID)
+		}
+	}
+	return out
+}
+
+func compare(alone, shared map[phit.ConnID][]clock.Time) (words int, identical bool, firstDiff string) {
+	identical = true
+	for conn, a := range alone {
+		b := shared[conn]
+		if len(a) != len(b) {
+			identical = false
+			firstDiff = fmt.Sprintf("connection %d delivered %d vs %d words", conn, len(a), len(b))
+			continue
+		}
+		words += len(a)
+		for i := range a {
+			if a[i] != b[i] {
+				if identical {
+					firstDiff = fmt.Sprintf("connection %d word %d: %d ps vs %d ps (Δ %d ps)",
+						conn, i, a[i], b[i], b[i]-a[i])
+				}
+				identical = false
+				break
+			}
+		}
+	}
+	return
+}
+
+func main() {
+	fmt.Println("== aelite: application 0 alone vs alongside application 1 ==")
+	alone := aeliteArrivals(false, false)
+	shared := aeliteArrivals(true, false)
+	words, same, diff := compare(alone, shared)
+	fmt.Printf("compared %d delivered words: identical timing = %v\n", words, same)
+	if !same {
+		log.Fatalf("aelite interference detected: %s", diff)
+	}
+
+	fmt.Println("\n== aelite: application 1 oversubscribes its allocation 8x ==")
+	hostile := aeliteArrivals(true, true)
+	words, same, diff = compare(alone, hostile)
+	fmt.Printf("compared %d delivered words: identical timing = %v\n", words, same)
+	if !same {
+		log.Fatalf("aelite interference under hostile load: %s", diff)
+	}
+	fmt.Println("the hostile application only slowed itself down (back-pressure);")
+	fmt.Println("application 0 did not move by a single picosecond")
+
+	fmt.Println("\n== Æthereal best effort: the same experiment ==")
+	beAlone := beArrivals(false)
+	beShared := beArrivals(true)
+	words, same, diff = compare(beAlone, beShared)
+	fmt.Printf("compared %d delivered words: identical timing = %v\n", words, same)
+	if same {
+		fmt.Println("(surprising — BE interference usually shows immediately)")
+	} else {
+		fmt.Printf("first difference: %s\n", diff)
+		fmt.Println("composability is lost: application 0's timing depends on application 1")
+	}
+}

@@ -1,0 +1,86 @@
+// Mesochronous: physical scalability without global synchronicity.
+//
+// Every router tile gets an arbitrary clock phase (within the paper's
+// half-cycle skew bound) and inter-router links carry mesochronous link
+// pipeline stages — a 4-word bi-synchronous FIFO plus an alignment FSM
+// that re-times flits to the reader's flit cycle. This example sweeps the
+// phase assignment and shows that the guarantees are phase-independent:
+// the same allocation meets the same requirements for every assignment,
+// the link FIFOs never exceed their 4-word depth, and the asynchronous
+// (plesiochronous, Section VI) configuration works too.
+//
+// Run with:
+//
+//	go run ./examples/mesochronous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/topology"
+)
+
+func buildSpec() *spec.UseCase {
+	return spec.Random(spec.RandomConfig{
+		Name: "meso", Seed: 99, IPs: 10, Apps: 2, Conns: 12,
+		MinRateMBps: 20, MaxRateMBps: 120,
+		MinLatencyNs: 300, MaxLatencyNs: 900,
+	})
+}
+
+func main() {
+	fmt.Println("phase sweep: one workload, ten random mesochronous phase assignments")
+	fmt.Printf("%10s %8s %12s %14s\n", "phaseSeed", "met", "maxFIFO", "worstLatNs")
+	for seed := int64(0); seed < 10; seed++ {
+		m := topology.NewMesh(3, 2, 2)
+		uc := buildSpec()
+		spec.MapIPsByTraffic(uc, m)
+		cfg := core.Config{Mode: core.Mesochronous, PhaseSeed: seed, Probes: true}
+		core.PrepareTopology(m, cfg)
+		net, err := core.Build(m, uc, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := net.Run(5000, 30000)
+		maxFIFO := 0
+		for _, st := range net.Stages() {
+			if st.MaxFIFOOccupancy() > maxFIFO {
+				maxFIFO = st.MaxFIFOOccupancy()
+			}
+		}
+		worst := 0.0
+		for _, c := range rep.Conns {
+			if c.LatMaxNs > worst {
+				worst = c.LatMaxNs
+			}
+		}
+		fmt.Printf("%10d %8v %9d/4 %14.1f\n", seed, rep.AllMet(), maxFIFO, worst)
+		if !rep.AllMet() {
+			log.Fatal("guarantees broke under a phase assignment — mesochronous operation is not skew-insensitive")
+		}
+		if maxFIFO > 4 {
+			log.Fatal("bi-synchronous FIFO exceeded the 4-word bound of paper Section V")
+		}
+	}
+
+	fmt.Println("\nasynchronous wrappers (plesiochronous clocks, ±200 ppm):")
+	m := topology.NewMesh(3, 2, 2)
+	uc := buildSpec()
+	spec.MapIPsByTraffic(uc, m)
+	cfg := core.Config{Mode: core.Asynchronous, PhaseSeed: 7, PPM: 200}
+	core.PrepareTopology(m, cfg)
+	net, err := core.Build(m, uc, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := net.Run(6000, 30000)
+	fmt.Printf("all requirements met: %v (every element on its own clock)\n", rep.AllMet())
+	if !rep.AllMet() {
+		log.Fatal("asynchronous-wrapper configuration missed a requirement")
+	}
+	fmt.Println("\nthe system designer can treat the NoC as globally flit-synchronous —")
+	fmt.Println("skew and even frequency offsets are absorbed by links and wrappers")
+}

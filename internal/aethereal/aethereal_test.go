@@ -1,0 +1,193 @@
+package aethereal
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/phit"
+	"repro/internal/sim"
+)
+
+var layout = phit.DefaultLayout
+
+// beHarness: NI A -> router (port 0 in, port 1 out) -> NI B.
+type beHarness struct {
+	eng  *sim.Engine
+	clk  *clock.Clock
+	a, b *NI
+	r    *Router
+}
+
+func newBEHarness(t *testing.T, bufWords, maxPacket int) *beHarness {
+	t.Helper()
+	eng := sim.New()
+	clk := clock.NewMHz("clk", 500, 0)
+	mk := func(name string) (*sim.Wire[phit.Phit], *sim.Wire[int]) {
+		d := sim.NewWire[phit.Phit](name + ".d")
+		c := sim.NewWire[int](name + ".c")
+		eng.AddWire(d)
+		eng.AddWire(c)
+		return d, c
+	}
+	aToR, aToRc := mk("a>r")
+	rToB, rToBc := mk("r>b")
+	bToR, bToRc := mk("b>r")
+	rToA, rToAc := mk("r>a")
+
+	r := NewRouter("R", 2, layout, clk, bufWords)
+	r.ConnectIn(0, aToR, aToRc)
+	r.ConnectIn(1, bToR, bToRc)
+	r.ConnectOut(0, rToA, rToAc, bufWords)
+	r.ConnectOut(1, rToB, rToBc, bufWords)
+
+	a := NewNI("A", clk, layout, rToA, aToR, aToRc, rToAc, bufWords, maxPacket)
+	b := NewNI("B", clk, layout, rToB, bToR, bToRc, rToBc, bufWords, maxPacket)
+
+	hdrAB, _ := layout.Encode([]int{1}, 0, 0)
+	a.AddOutConn(OutConnConfig{ID: 1, Header: hdrAB})
+	b.AddInConn(InConnConfig{ID: 1, QID: 0})
+
+	eng.Add(r)
+	eng.Add(a)
+	eng.Add(b)
+	return &beHarness{eng: eng, clk: clk, a: a, b: b, r: r}
+}
+
+func (h *beHarness) cycles(n int64) { h.eng.Run(h.eng.Now() + clock.Time(n)*h.clk.Period) }
+
+func TestBEDelivery(t *testing.T) {
+	h := newBEHarness(t, 8, 16)
+	for i := 0; i < 20; i++ {
+		if !h.a.Offer(h.eng.Now(), 1, phit.Meta{Seq: int64(i), Injected: h.eng.Now()}) {
+			t.Fatalf("Offer %d rejected", i)
+		}
+	}
+	h.cycles(100)
+	if got := h.b.Delivered(1); got != 20 {
+		t.Fatalf("delivered %d of 20", got)
+	}
+	lat := h.b.Latency(1)
+	if lat.Min() <= 0 || lat.Max() < lat.Min() {
+		t.Errorf("latency stats: min %v max %v", lat.Min(), lat.Max())
+	}
+	if h.r.Forwarded() < 20 {
+		t.Errorf("router forwarded %d", h.r.Forwarded())
+	}
+	first, last := h.b.Span(1)
+	if first <= 0 || last <= first {
+		t.Errorf("span %v..%v", first, last)
+	}
+}
+
+func TestBEPacketisationMaxLength(t *testing.T) {
+	h := newBEHarness(t, 8, 4)
+	for i := 0; i < 10; i++ {
+		h.a.Offer(h.eng.Now(), 1, phit.Meta{Seq: int64(i), Injected: h.eng.Now()})
+	}
+	// Count headers on the A->R wire: 10 words at max 4 payload per
+	// packet = at least 3 headers.
+	headers := 0
+	for i := 0; i < 80; i++ {
+		h.cycles(1)
+		w := h.a.out.Read()
+		if w.Valid && (w.Kind == phit.Header || w.Kind == phit.CreditOnly) {
+			headers++
+		}
+	}
+	if headers < 3 {
+		t.Errorf("saw %d headers; max-packet 4 should force at least 3", headers)
+	}
+	if got := h.b.Delivered(1); got != 10 {
+		t.Errorf("delivered %d", got)
+	}
+}
+
+func TestBELinkLevelFlowControl(t *testing.T) {
+	// Tiny buffers: words must still all arrive, never overflowing
+	// (overflow panics).
+	h := newBEHarness(t, 2, 16)
+	for i := 0; i < 30; i++ {
+		h.a.Offer(h.eng.Now(), 1, phit.Meta{Seq: int64(i), Injected: h.eng.Now()})
+	}
+	h.cycles(300)
+	if got := h.b.Delivered(1); got != 30 {
+		t.Fatalf("delivered %d of 30 with 2-word buffers", got)
+	}
+}
+
+func TestBEArbitrationShares(t *testing.T) {
+	// Two NIs (A and B) both sending to each other through one router:
+	// round-robin must serve both.
+	h := newBEHarness(t, 8, 8)
+	hdrBA, _ := layout.Encode([]int{0}, 0, 0)
+	h.b.AddOutConn(OutConnConfig{ID: 2, Header: hdrBA})
+	h.a.AddInConn(InConnConfig{ID: 2, QID: 0})
+	for i := 0; i < 15; i++ {
+		h.a.Offer(h.eng.Now(), 1, phit.Meta{Seq: int64(i), Injected: h.eng.Now()})
+		h.b.Offer(h.eng.Now(), 2, phit.Meta{Seq: int64(i), Injected: h.eng.Now()})
+	}
+	h.cycles(200)
+	if got := h.b.Delivered(1); got != 15 {
+		t.Errorf("A->B delivered %d", got)
+	}
+	if got := h.a.Delivered(2); got != 15 {
+		t.Errorf("B->A delivered %d", got)
+	}
+}
+
+func TestBEResetStatsAndArrivals(t *testing.T) {
+	h := newBEHarness(t, 8, 16)
+	h.b.RecordArrivals(1, true)
+	for i := 0; i < 5; i++ {
+		h.a.Offer(h.eng.Now(), 1, phit.Meta{Seq: int64(i), Injected: h.eng.Now()})
+	}
+	h.cycles(60)
+	if got := len(h.b.Arrivals(1)); got != 5 {
+		t.Errorf("recorded %d arrivals", got)
+	}
+	h.b.ResetStats()
+	if h.b.Delivered(1) != 0 || len(h.b.Arrivals(1)) != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestBERouterPanics(t *testing.T) {
+	clk := clock.NewMHz("clk", 500, 0)
+	for name, f := range map[string]func(){
+		"arity":  func() { NewRouter("r", 1, layout, clk, 8) },
+		"layout": func() { NewRouter("r", 2, phit.HeaderLayout{}, clk, 8) },
+		"buffer": func() { NewRouter("r", 2, layout, clk, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBENIPanics(t *testing.T) {
+	clk := clock.NewMHz("clk", 500, 0)
+	n := NewNI("n", clk, layout, nil, nil, nil, nil, 8, 16)
+	for name, f := range map[string]func(){
+		"zero packet": func() { NewNI("n", clk, layout, nil, nil, nil, nil, 8, -1) },
+		"dup out": func() {
+			n.AddOutConn(OutConnConfig{ID: 1})
+			n.AddOutConn(OutConnConfig{ID: 1})
+		},
+		"unknown offer": func() { n.Offer(0, 99, phit.Meta{}) },
+		"unknown in":    func() { n.Delivered(42) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

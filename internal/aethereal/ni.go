@@ -1,0 +1,311 @@
+package aethereal
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/phit"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// DefaultMaxPacketWords caps BE packet payload length; long packets
+// amortise the header but worsen head-of-line blocking.
+const DefaultMaxPacketWords = 16
+
+// SendCapacity is the IP-side FIFO depth per connection, matching the
+// aelite NI default so the two networks face identical IP behaviour.
+const SendCapacity = 32
+
+// OutConnConfig configures a connection sourced at a BE NI.
+type OutConnConfig struct {
+	ID     phit.ConnID
+	Header phit.Word // path + destination queue id, zero credits
+}
+
+// InConnConfig configures a connection terminating at a BE NI.
+type InConnConfig struct {
+	ID  phit.ConnID
+	QID int
+}
+
+type beOut struct {
+	cfg   OutConnConfig
+	queue *sim.Bisync[phit.Meta]
+	sent  int64
+}
+
+type beIn struct {
+	cfg       InConnConfig
+	delivered int64
+	latency   stats.Histogram
+	firstNs   float64
+	lastNs    float64
+	record    bool
+	arrivals  []clock.Time
+}
+
+// An NI is the best-effort network interface: no TDM, no end-to-end
+// credit accounting (receive queues are drained at line rate by the
+// modelled IPs, a simplification that favours the BE baseline — see
+// DESIGN.md). Packets are injected as fast as link-level credits allow,
+// connections served round-robin.
+type NI struct {
+	name   string
+	clk    *clock.Clock
+	layout phit.HeaderLayout
+
+	in        *sim.Wire[phit.Phit]
+	out       *sim.Wire[phit.Phit]
+	creditIn  *sim.Wire[int]
+	creditOut *sim.Wire[int]
+
+	outConns  map[phit.ConnID]*beOut
+	order     []phit.ConnID // deterministic round-robin order
+	inByQID   map[int]*beIn
+	inByID    map[phit.ConnID]*beIn
+	maxPacket int
+
+	// Sender state.
+	linkCredit int
+	rr         int
+	openConn   *beOut
+	openWords  int
+
+	// Receiver state.
+	curIn    *beIn
+	inPacket bool
+
+	sampledIn     phit.Phit
+	sampledCredit int
+}
+
+// NewNI builds a BE NI. downstreamBuf is the attached router's input
+// buffer depth (initial link credits); maxPacket of 0 selects
+// DefaultMaxPacketWords.
+func NewNI(name string, clk *clock.Clock, layout phit.HeaderLayout,
+	in, out *sim.Wire[phit.Phit], creditIn, creditOut *sim.Wire[int],
+	downstreamBuf, maxPacket int) *NI {
+	if maxPacket == 0 {
+		maxPacket = DefaultMaxPacketWords
+	}
+	if maxPacket < 1 {
+		panic(fmt.Sprintf("aethereal %s: max packet %d", name, maxPacket))
+	}
+	return &NI{
+		name: name, clk: clk, layout: layout,
+		in: in, out: out, creditIn: creditIn, creditOut: creditOut,
+		outConns:   make(map[phit.ConnID]*beOut),
+		inByQID:    make(map[int]*beIn),
+		inByID:     make(map[phit.ConnID]*beIn),
+		maxPacket:  maxPacket,
+		linkCredit: downstreamBuf,
+	}
+}
+
+// AddOutConn registers a sourced connection.
+func (n *NI) AddOutConn(cfg OutConnConfig) {
+	if _, dup := n.outConns[cfg.ID]; dup {
+		panic(fmt.Sprintf("aethereal %s: duplicate out connection %d", n.name, cfg.ID))
+	}
+	n.outConns[cfg.ID] = &beOut{
+		cfg:   cfg,
+		queue: sim.NewBisync[phit.Meta](fmt.Sprintf("%s.c%d.send", n.name, cfg.ID), SendCapacity, n.clk.Period),
+	}
+	n.order = append(n.order, cfg.ID)
+	sort.Slice(n.order, func(i, j int) bool { return n.order[i] < n.order[j] })
+}
+
+// AddInConn registers a terminating connection.
+func (n *NI) AddInConn(cfg InConnConfig) {
+	if _, dup := n.inByQID[cfg.QID]; dup {
+		panic(fmt.Sprintf("aethereal %s: duplicate queue id %d", n.name, cfg.QID))
+	}
+	ic := &beIn{cfg: cfg}
+	n.inByQID[cfg.QID] = ic
+	n.inByID[cfg.ID] = ic
+}
+
+// Offer enqueues a payload word from the IP (blocking-write semantics).
+func (n *NI) Offer(now clock.Time, conn phit.ConnID, meta phit.Meta) bool {
+	oc := n.outConns[conn]
+	if oc == nil {
+		panic(fmt.Sprintf("aethereal %s: unknown out connection %d", n.name, conn))
+	}
+	if !oc.queue.CanPush() {
+		return false
+	}
+	meta.Conn = conn
+	oc.queue.Push(now, meta)
+	return true
+}
+
+// Name implements sim.Component.
+func (n *NI) Name() string { return n.name }
+
+// Clock implements sim.Component.
+func (n *NI) Clock() *clock.Clock { return n.clk }
+
+// Sample implements sim.Component.
+func (n *NI) Sample(now clock.Time) {
+	if n.in != nil {
+		n.sampledIn = n.in.Read()
+	} else {
+		n.sampledIn = phit.IdlePhit
+	}
+	if n.creditIn != nil {
+		n.sampledCredit = n.creditIn.Read()
+	} else {
+		n.sampledCredit = 0
+	}
+}
+
+// Update implements sim.Component.
+func (n *NI) Update(now clock.Time) {
+	n.receive(now)
+	n.linkCredit += n.sampledCredit
+	n.send(now)
+	// The modelled IP drains the receive path at line rate, so one
+	// credit is returned per received word immediately.
+	if n.creditOut != nil {
+		if n.sampledIn.Valid {
+			n.creditOut.Drive(1)
+		} else {
+			n.creditOut.Drive(0)
+		}
+	}
+}
+
+func (n *NI) receive(now clock.Time) {
+	p := n.sampledIn
+	if !p.Valid {
+		return
+	}
+	if !n.inPacket {
+		if p.Kind != phit.Header && p.Kind != phit.CreditOnly {
+			panic(fmt.Sprintf("aethereal %s: expected header, got %v", n.name, p.Kind))
+		}
+		qid := n.layout.QID(p.Data)
+		ic := n.inByQID[qid]
+		if ic == nil {
+			panic(fmt.Sprintf("aethereal %s: header for unknown queue %d", n.name, qid))
+		}
+		n.curIn = ic
+		n.inPacket = true
+	} else if p.Kind == phit.Payload {
+		ic := n.curIn
+		ic.delivered++
+		ic.latency.Add(float64(now-p.Meta.Injected) / float64(clock.Nanosecond))
+		ic.lastNs = float64(now) / float64(clock.Nanosecond)
+		if ic.delivered == 1 {
+			ic.firstNs = ic.lastNs
+		}
+		if ic.record {
+			ic.arrivals = append(ic.arrivals, now)
+		}
+	}
+	if p.EoP {
+		n.inPacket = false
+	}
+}
+
+func (n *NI) send(now clock.Time) {
+	if n.out == nil {
+		return
+	}
+	if n.linkCredit == 0 {
+		n.out.Drive(phit.IdlePhit)
+		return
+	}
+	if n.openConn == nil {
+		// Pick the next connection with data, round-robin.
+		for k := 0; k < len(n.order); k++ {
+			id := n.order[(n.rr+k)%len(n.order)]
+			oc := n.outConns[id]
+			if oc.queue.Valid(now) {
+				n.rr = (n.rr + k + 1) % len(n.order)
+				n.openConn = oc
+				n.openWords = 0
+				n.linkCredit--
+				n.out.Drive(phit.Phit{Valid: true, Kind: phit.Header, Data: oc.cfg.Header,
+					Meta: phit.Meta{Conn: id}})
+				return
+			}
+		}
+		n.out.Drive(phit.IdlePhit)
+		return
+	}
+	oc := n.openConn
+	if !oc.queue.Valid(now) {
+		// Nothing buffered mid-packet: terminate with a zero-payload
+		// filler? BE wormhole cannot hold a packet open without data
+		// indefinitely — close it. The EoP must ride a word; send a
+		// padding word.
+		n.linkCredit--
+		n.out.Drive(phit.Phit{Valid: true, Kind: phit.Padding, EoP: true, Meta: phit.Meta{Conn: oc.cfg.ID}})
+		n.openConn = nil
+		return
+	}
+	meta := oc.queue.Pop(now)
+	meta.Sent = now
+	oc.sent++
+	n.openWords++
+	n.linkCredit--
+	eop := n.openWords >= n.maxPacket || !oc.queue.Valid(now)
+	n.out.Drive(phit.Phit{Valid: true, Kind: phit.Payload, EoP: eop, Data: phit.Word(meta.Seq), Meta: meta})
+	if eop {
+		n.openConn = nil
+	}
+}
+
+// Stats mirrors the aelite NI accessors so experiments can treat both
+// backends uniformly.
+
+// Delivered returns the payload word count of an in-connection.
+func (n *NI) Delivered(conn phit.ConnID) int64 { return n.mustIn(conn).delivered }
+
+// Latency returns the latency histogram of an in-connection.
+func (n *NI) Latency(conn phit.ConnID) *stats.Histogram { return &n.mustIn(conn).latency }
+
+// Span returns the first/last arrival times in ns of an in-connection.
+func (n *NI) Span(conn phit.ConnID) (firstNs, lastNs float64) {
+	ic := n.mustIn(conn)
+	return ic.firstNs, ic.lastNs
+}
+
+// RecordArrivals toggles arrival logging for an in-connection.
+func (n *NI) RecordArrivals(conn phit.ConnID, on bool) {
+	ic := n.mustIn(conn)
+	ic.record = on
+	if !on {
+		ic.arrivals = nil
+	}
+}
+
+// Arrivals returns logged arrival instants.
+func (n *NI) Arrivals(conn phit.ConnID) []clock.Time {
+	return append([]clock.Time(nil), n.mustIn(conn).arrivals...)
+}
+
+// ResetStats clears measurements without touching protocol state.
+func (n *NI) ResetStats() {
+	for _, ic := range n.inByID {
+		ic.delivered = 0
+		ic.latency = stats.Histogram{}
+		ic.firstNs = 0
+		ic.lastNs = 0
+		ic.arrivals = nil
+	}
+	for _, oc := range n.outConns {
+		oc.sent = 0
+	}
+}
+
+func (n *NI) mustIn(conn phit.ConnID) *beIn {
+	ic := n.inByID[conn]
+	if ic == nil {
+		panic(fmt.Sprintf("aethereal %s: unknown in connection %d", n.name, conn))
+	}
+	return ic
+}

@@ -1,0 +1,204 @@
+// Package analysis provides the analytical model of aelite's guaranteed
+// services: the throughput and worst-case latency of a connection follow
+// directly from its TDM slot reservation and path (paper Section VII,
+// problem 3).
+//
+// Conventions: the clock period is T = 1/f; a slot is one flit cycle
+// (3 cycles); a slot table of size S revolves every 3·S·T. A flit carries
+// at most 2 payload words when it opens a packet (header + 2) and 3 when
+// it extends one. All bandwidth math conservatively assumes 2 payload
+// words per slot, so measured throughput with header elision can exceed
+// the guarantee but never fall short.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/phit"
+	"repro/internal/route"
+	"repro/internal/slots"
+)
+
+// PayloadWordsPerSlot is the guaranteed payload capacity of one reserved
+// slot (header + 2 payload words of the 3-word flit).
+const PayloadWordsPerSlot = phit.FlitWords - 1
+
+// SlotBandwidthMBps returns the guaranteed bandwidth, in Mbyte/s, of one
+// reserved slot in a table of tableSize slots at fMHz with wordBytes-wide
+// links: 2 payload words every table revolution.
+func SlotBandwidthMBps(fMHz float64, wordBytes, tableSize int) float64 {
+	revolutionsPerSec := fMHz * 1e6 / float64(phit.FlitWords*tableSize)
+	return revolutionsPerSec * PayloadWordsPerSlot * float64(wordBytes) / 1e6
+}
+
+// SlotsForBandwidth returns the number of slots needed to guarantee
+// rateMBps. It returns an error when the rate exceeds the link capacity.
+func SlotsForBandwidth(rateMBps, fMHz float64, wordBytes, tableSize int) (int, error) {
+	per := SlotBandwidthMBps(fMHz, wordBytes, tableSize)
+	n := int(math.Ceil(rateMBps / per))
+	if n < 1 {
+		n = 1
+	}
+	if n > tableSize {
+		return 0, fmt.Errorf("analysis: %.1f Mbyte/s needs %d slots but the table has %d (link capacity %.1f Mbyte/s)",
+			rateMBps, n, tableSize, per*float64(tableSize))
+	}
+	return n, nil
+}
+
+// Latency model constants, in cycles. See LatencyBoundNs for the
+// decomposition.
+const (
+	// niInjectCycles covers acceptance into the IP-side bi-synchronous
+	// FIFO (1 cycle visibility), the wait for the next flit-cycle
+	// boundary (up to 2 cycles), and serialisation within the flit (the
+	// word may be the second payload word: +2 cycles).
+	niInjectCycles = 5
+	// deliveryCycles covers the destination-side registration of the
+	// payload word after the last link (sample + receive processing).
+	deliveryCycles = 4
+)
+
+// FixedPathCycles returns the load-independent part of the latency: NI
+// injection overhead plus the path traversal. Every router hop and every
+// link pipeline stage adds one flit cycle (3 cycles) — the TotalShift of
+// the route.
+func FixedPathCycles(p *route.Path) int {
+	return niInjectCycles + phit.FlitWords*p.TotalShift + deliveryCycles
+}
+
+// LatencyBoundNs returns the worst-case latency, in nanoseconds, for a
+// word of a connection with the given slot assignment, assuming the
+// connection's offered load does not exceed its allocated bandwidth (the
+// paper's GS contract; an oversubscribing IP only slows itself down).
+//
+// Decomposition: a word that just misses a slot decision waits at most
+// MaxGap slots for the next owned slot (3·MaxGap cycles), plus one slot of
+// decision granularity, plus the fixed path delay.
+func LatencyBoundNs(p *route.Path, slotSet []int, tableSize int, fMHz float64) float64 {
+	gap := slots.MaxGap(slotSet, tableSize)
+	cycles := phit.FlitWords*(gap+1) + FixedPathCycles(p)
+	return float64(cycles) * 1e3 / fMHz
+}
+
+// SlotsForLatency returns the minimum evenly-spread slot count that meets
+// a latency budget (ns), or an error if the fixed path delay alone
+// exceeds the budget (no slot count can help).
+func SlotsForLatency(budgetNs float64, p *route.Path, tableSize int, fMHz float64) (int, error) {
+	cycleNs := 1e3 / fMHz
+	fixed := float64(FixedPathCycles(p)+phit.FlitWords) * cycleNs
+	if fixed >= budgetNs {
+		return 0, fmt.Errorf("analysis: fixed path delay %.1f ns exceeds budget %.1f ns (%d routers, %d total shift)",
+			fixed, budgetNs, p.Hops(), p.TotalShift)
+	}
+	// Need 3*gap cycles <= budget - fixed; evenly spread k slots give
+	// gap <= ceil(S/k).
+	maxGap := (budgetNs - fixed) / (float64(phit.FlitWords) * cycleNs)
+	if maxGap < 1 {
+		maxGap = 1
+	}
+	k := int(math.Ceil(float64(tableSize) / maxGap))
+	if k < 1 {
+		k = 1
+	}
+	if k > tableSize {
+		return 0, fmt.Errorf("analysis: budget %.1f ns needs %d slots but the table has %d", budgetNs, k, tableSize)
+	}
+	return k, nil
+}
+
+// BurstSlotTimes returns the number of owned-slot service times a whole
+// transaction of txWords words needs (header + 2 payload words per slot,
+// conservatively ignoring header elision).
+func BurstSlotTimes(txWords int) int {
+	m := (txWords + PayloadWordsPerSlot - 1) / PayloadWordsPerSlot
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// LatencyBoundBurstNs bounds the latency of *any* word of a transaction
+// of txWords words arriving to an empty queue: serving the whole
+// transaction takes at most the worst window of BurstSlotTimes(txWords)
+// consecutive reservation gaps (slots.MaxGapWindow), plus one slot of
+// decision granularity and the fixed path delay.
+func LatencyBoundBurstNs(p *route.Path, slotSet []int, tableSize int, fMHz float64, txWords int) float64 {
+	w := slots.MaxGapWindow(slotSet, tableSize, BurstSlotTimes(txWords))
+	cycles := phit.FlitWords*(w+1) + FixedPathCycles(p)
+	return float64(cycles) * 1e3 / fMHz
+}
+
+// SlotsForBurstLatency returns the minimum evenly-spread slot count whose
+// worst BurstSlotTimes-gap window meets the budget, or an error when even
+// a full table cannot.
+func SlotsForBurstLatency(budgetNs float64, txWords int, p *route.Path, tableSize int, fMHz float64) (int, error) {
+	w, err := WindowSlotsForBudget(budgetNs, p, fMHz)
+	if err != nil {
+		return 0, err
+	}
+	m := BurstSlotTimes(txWords)
+	// Evenly spread k slots give an m-gap window of ~m*S/k.
+	k := int(math.Ceil(float64(m*tableSize) / float64(w)))
+	if k < 1 {
+		k = 1
+	}
+	if k > tableSize {
+		return 0, fmt.Errorf("analysis: burst budget %.1f ns needs %d slots but the table has %d", budgetNs, k, tableSize)
+	}
+	return k, nil
+}
+
+// WindowSlotsForBudget converts a latency budget into the largest
+// tolerable service window, in slots.
+func WindowSlotsForBudget(budgetNs float64, p *route.Path, fMHz float64) (int, error) {
+	cycleNs := 1e3 / fMHz
+	fixed := float64(FixedPathCycles(p)+phit.FlitWords) * cycleNs
+	if fixed >= budgetNs {
+		return 0, fmt.Errorf("analysis: fixed path delay %.1f ns exceeds budget %.1f ns", fixed, budgetNs)
+	}
+	w := int((budgetNs - fixed) / (float64(phit.FlitWords) * cycleNs))
+	if w < 1 {
+		w = 1
+	}
+	return w, nil
+}
+
+// ThroughputGuaranteeMBps returns the guaranteed bandwidth of a slot
+// assignment.
+func ThroughputGuaranteeMBps(slotCount int, fMHz float64, wordBytes, tableSize int) float64 {
+	return float64(slotCount) * SlotBandwidthMBps(fMHz, wordBytes, tableSize)
+}
+
+// CreditRoundTripSlots bounds, in slots, the time from a payload word
+// being consumed at the destination to the freed credit being usable at
+// the source: wait for the reverse connection's next slot (its MaxGap),
+// the reverse path traversal, plus one slot of decision granularity at
+// each end.
+func CreditRoundTripSlots(revSlotSet []int, revPath *route.Path, tableSize int) int {
+	return slots.MaxGap(revSlotSet, tableSize) + revPath.TotalShift + 2
+}
+
+// RecvCapacityWords sizes a receive queue (and thus the sender's initial
+// credits) so that a connection can sustain its full allocated bandwidth:
+// the words sent while one credit round-trip is in flight, plus two flits
+// of slack (one for decision granularity, one because credits return in
+// flit units and a sub-flit remainder waits at the receiver).
+func RecvCapacityWords(dataSlots int, roundTripSlots, tableSize int) int {
+	perRevolution := dataSlots * phit.FlitWords
+	revolutions := float64(roundTripSlots)/float64(tableSize) + 1
+	return int(math.Ceil(float64(perRevolution)*revolutions)) + 2*phit.FlitWords
+}
+
+// RevSlots returns the reverse (credit) connection's slot requirement.
+// One header returns up to maxCredits flit-granular credits (FlitWords
+// words each); the reverse channel must keep up with the data channel's
+// worst-case consumption of FlitWords*dataSlots words per revolution.
+func RevSlots(dataSlots, maxCredits int) int {
+	n := int(math.Ceil(float64(dataSlots) / float64(maxCredits)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

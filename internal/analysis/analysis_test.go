@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/route"
+	"repro/internal/slots"
+)
+
+func TestSlotBandwidth(t *testing.T) {
+	// 500 MHz, 4-byte words, 32 slots: one slot = 2 words per
+	// revolution of 96 cycles = 500e6/96 * 8 B ≈ 41.7 MB/s.
+	got := SlotBandwidthMBps(500, 4, 32)
+	if math.Abs(got-41.67) > 0.1 {
+		t.Errorf("SlotBandwidthMBps = %v", got)
+	}
+	n, err := SlotsForBandwidth(500, 500, 4, 32)
+	if err != nil || n != 12 {
+		t.Errorf("SlotsForBandwidth(500) = %d, %v", n, err)
+	}
+	n, err = SlotsForBandwidth(1, 500, 4, 32)
+	if err != nil || n != 1 {
+		t.Errorf("SlotsForBandwidth(1) = %d, %v", n, err)
+	}
+	if _, err := SlotsForBandwidth(5000, 500, 4, 32); err == nil {
+		t.Error("accepted a rate above link capacity")
+	}
+	if got := ThroughputGuaranteeMBps(12, 500, 4, 32); got < 500 {
+		t.Errorf("guarantee for 12 slots = %v < 500", got)
+	}
+}
+
+func TestLatencyBound(t *testing.T) {
+	p := &route.Path{TotalShift: 3}
+	// Slots {0, 8} in a 16-table: MaxGap 8.
+	b := LatencyBoundNs(p, []int{0, 8}, 16, 500)
+	// cycles = 3*(8+1) + 5 + 9 + 4 = 27+18 = 45 -> 90 ns.
+	want := float64(3*(8+1)+FixedPathCycles(p)) * 2
+	if b != want {
+		t.Errorf("LatencyBoundNs = %v, want %v", b, want)
+	}
+}
+
+func TestSlotsForLatencyInvertsBound(t *testing.T) {
+	p := &route.Path{TotalShift: 4}
+	for _, budget := range []float64{150, 250, 400} {
+		k, err := SlotsForLatency(budget, p, 32, 500)
+		if err != nil {
+			t.Fatalf("budget %v: %v", budget, err)
+		}
+		// Evenly spread k slots: gap = ceil(32/k); bound must fit.
+		gap := (32 + k - 1) / k
+		slotsEven := make([]int, k)
+		for i := range slotsEven {
+			slotsEven[i] = i * 32 / k
+		}
+		_ = gap
+		if got := LatencyBoundNs(p, slotsEven, 32, 500); got > budget {
+			t.Errorf("budget %v: k=%d gives bound %v", budget, k, got)
+		}
+	}
+	if _, err := SlotsForLatency(10, p, 32, 500); err == nil {
+		t.Error("accepted a budget below the fixed path delay")
+	}
+}
+
+func TestBurstSlotTimes(t *testing.T) {
+	cases := []struct{ tx, want int }{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {16, 8}, {0, 1}}
+	for _, c := range cases {
+		if got := BurstSlotTimes(c.tx); got != c.want {
+			t.Errorf("BurstSlotTimes(%d) = %d, want %d", c.tx, got, c.want)
+		}
+	}
+}
+
+func TestBurstBoundUsesWindow(t *testing.T) {
+	p := &route.Path{TotalShift: 2}
+	// Slots 0,2,5 in table 8: windows. For tx=4 words (m=2), worst
+	// 2-gap window = 6.
+	set := []int{0, 2, 5}
+	b := LatencyBoundBurstNs(p, set, 8, 500, 4)
+	want := float64(3*(6+1)+FixedPathCycles(p)) * 2
+	if b != want {
+		t.Errorf("burst bound = %v, want %v", b, want)
+	}
+	// m=1 matches the plain bound.
+	if got, plain := LatencyBoundBurstNs(p, set, 8, 500, 2), LatencyBoundNs(p, set, 8, 500); got != plain {
+		t.Errorf("m=1 burst bound %v != plain %v", got, plain)
+	}
+}
+
+// TestBurstSizingQuick: the slot count returned by SlotsForBurstLatency,
+// spread evenly, always satisfies the budget it was sized for.
+func TestBurstSizingQuick(t *testing.T) {
+	f := func(rawBudget uint16, rawTx, rawShift uint8) bool {
+		p := &route.Path{TotalShift: 1 + int(rawShift%6)}
+		tx := 1 + int(rawTx%32)
+		budget := 100 + float64(rawBudget%2000)
+		k, err := SlotsForBurstLatency(budget, tx, p, 64, 500)
+		if err != nil {
+			return true // infeasible budgets may error
+		}
+		even := make([]int, k)
+		for i := range even {
+			even[i] = i * 64 / k
+		}
+		return LatencyBoundBurstNs(p, even, 64, 500, tx) <= budget+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowSlotsForBudget(t *testing.T) {
+	p := &route.Path{TotalShift: 2}
+	w, err := WindowSlotsForBudget(200, p, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fixed = (5+6+4+3)*2 = 36 ns; (200-36)/6 = 27.3 -> 27.
+	if w != 27 {
+		t.Errorf("window = %d, want 27", w)
+	}
+	if _, err := WindowSlotsForBudget(30, p, 500); err == nil {
+		t.Error("accepted budget below fixed delay")
+	}
+}
+
+func TestCreditMath(t *testing.T) {
+	rp := &route.Path{TotalShift: 3}
+	rt := CreditRoundTripSlots([]int{0, 16}, rp, 32)
+	if rt != 16+3+2 {
+		t.Errorf("round trip = %d", rt)
+	}
+	cap := RecvCapacityWords(4, rt, 32)
+	// 12 words/rev * (21/32 + 1) + 6 = 12*1.656+6 = 25.9 -> 26.
+	if cap < 24 || cap > 28 {
+		t.Errorf("capacity = %d", cap)
+	}
+	if got := RevSlots(10, 31); got != 1 {
+		t.Errorf("RevSlots(10) = %d", got)
+	}
+	if got := RevSlots(62, 31); got != 2 {
+		t.Errorf("RevSlots(62) = %d", got)
+	}
+	if got := RevSlots(0, 31); got != 1 {
+		t.Errorf("RevSlots(0) = %d", got)
+	}
+}
+
+func TestMaxGapWindowConsistency(t *testing.T) {
+	// MaxGapWindow(m=1) equals MaxGap for any set.
+	sets := [][]int{{0}, {0, 5}, {1, 2, 9}, {0, 4, 8, 12}}
+	for _, s := range sets {
+		if a, b := slots.MaxGapWindow(s, 16, 1), slots.MaxGap(s, 16); a != b {
+			t.Errorf("window(1)=%d maxgap=%d for %v", a, b, s)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package area is the silicon cost model that stands in for the paper's
+// commercial 90 nm low-power CMOS synthesis flow (worst-case corner, cell
+// area before place-and-route).
+//
+// The model is structural — registers, switch mux tree, header parsing
+// unit, control, FIFO cells — with constants calibrated so that every
+// number the paper states is reproduced:
+//
+//   - Fig. 5: an arity-5, 32-bit router occupies <0.015 mm² up to
+//     650 MHz, grows steeply after ~750 MHz and saturates around 875 MHz
+//     near 0.018 mm².
+//   - Fig. 6(a): 32-bit router area grows roughly linearly with arity
+//     (≈5-27 kµm² over arity 2-7) while maximum frequency falls from
+//     ≈1.3 GHz towards ≈900 MHz.
+//   - Fig. 6(b): arity-6 router area grows linearly with word width
+//     (tens of kµm² at 32 bit towards ≈150 kµm² at 256 bit) while
+//     maximum frequency falls from ≈880 to ≈750 MHz.
+//   - Section V: a 4-word bi-synchronous FIFO costs ≈1500 µm² with the
+//     custom cells of [18] or ≈3300 µm² with the standard-cell FIFOs of
+//     [4]; a complete arity-5 router with mesochronous link pipeline
+//     stages is "in the order of 0.032 mm²"; the mesochronous router of
+//     [4] occupies 0.082 mm² and the asynchronous router of [7] 0.12 mm²
+//     (scaled from 130 nm).
+//   - Section VII: the combined GS+BE Æthereal router occupies 0.13 mm²
+//     at 500 MHz in 130 nm [8]; in the same 90 nm technology aelite is
+//     roughly 5x smaller and 1.5x faster.
+//
+// Area-versus-target-frequency uses a logistic gate-upsizing term: flat
+// while slack is plentiful, a knee around three quarters of the maximum
+// frequency, saturation as the synthesiser runs out of upsizing headroom.
+package area
+
+import (
+	"fmt"
+	"math"
+)
+
+// Technology constants (90 nm low power, worst-case, cell area in µm²),
+// calibrated as described in the package comment.
+const (
+	// RegisterBitArea is the area of one pipeline flip-flop. The aelite
+	// router has three register stages (input, HPU output, switch
+	// output) per port-bit.
+	RegisterBitArea = 12.0
+	// PipelineStages is the aelite router depth in register stages.
+	PipelineStages = 3
+	// DatapathBitArea covers per-port-bit buffering and wiring cells.
+	DatapathBitArea = 33.3
+	// MuxBitArea is the switch mux-tree cost per input-output pair per
+	// bit (the p² term; small, which is why Fig. 6(a) looks linear).
+	MuxBitArea = 2.0
+	// HPUArea is the header parsing unit per input port: path-field
+	// shifter, one-hot port encode.
+	HPUArea = 280.0
+	// ControlArea is the arity-independent control overhead.
+	ControlArea = 212.0
+
+	// Critical-path model: delay(p, w) = DelayBase + DelayPerPort*p +
+	// DelayPerBit*w picoseconds, fit to the frequency axes of Fig. 6.
+	DelayBase    = 600.7
+	DelayPerPort = 71.0
+	DelayPerBit  = 1.196
+
+	// Upsizing: area multiplies by 1 + UpsizeGain * logistic((f/fmax -
+	// UpsizeKnee)/UpsizeWidth).
+	UpsizeGain  = 0.262
+	UpsizeKnee  = 0.76
+	UpsizeWidth = 0.045
+
+	// Bi-synchronous FIFO cell area per word-bit: custom cells from
+	// [18] versus standard cells from [4]. A 4-word 32-bit FIFO then
+	// costs ≈1500 µm² and ≈3300 µm² respectively.
+	FIFOCustomBitArea   = 11.72
+	FIFOStandardBitArea = 25.78
+	LinkFSMArea         = 150.0
+	LinkFIFOWords       = 4
+
+	// Baselines. The combined GS+BE Æthereal router is modelled as a
+	// constant factor over the aelite router (its routing tables, BE
+	// buffers, arbitration and link-level flow control dominate), with
+	// 1/1.5 of the frequency — both straight from Section VII.
+	GSBEAreaFactor = 4.7
+	GSBESpeedRatio = 1.5
+
+	// Published competitor routers, scaled to 90 nm (paper Section
+	// VII): the mesochronous router of Miro Panades et al. [4] and the
+	// asynchronous router of Beigne et al. [7].
+	MesochronousRouterRef4 = 82000.0  // µm²
+	AsynchronousRouterRef7 = 120000.0 // µm²
+	// AethercalGSBE130 is the Æthereal GS+BE router in its original
+	// 130 nm technology: 0.13 mm² at 500 MHz [8].
+	AethercalGSBE130Area = 130000.0
+	AethercalGSBE130MHz  = 500.0
+)
+
+// RouterNominalArea returns the aelite router cell area, in µm², at a
+// relaxed target frequency (no upsizing), for the given arity and data
+// width in bits.
+func RouterNominalArea(arity, widthBits int) float64 {
+	check(arity, widthBits)
+	p, w := float64(arity), float64(widthBits)
+	regs := PipelineStages * RegisterBitArea * p * w
+	datapath := DatapathBitArea * p * w
+	mux := MuxBitArea * p * p * w
+	hpu := HPUArea * p
+	return regs + datapath + mux + hpu + ControlArea
+}
+
+// RouterFmaxMHz returns the maximum synthesisable frequency in MHz.
+func RouterFmaxMHz(arity, widthBits int) float64 {
+	check(arity, widthBits)
+	delayPs := DelayBase + DelayPerPort*float64(arity) + DelayPerBit*float64(widthBits)
+	return 1e6 / delayPs
+}
+
+// RouterArea returns the router cell area, in µm², when synthesised for
+// the given target frequency. Targets above fmax saturate at the
+// maximum-effort area (the synthesiser cannot meet them; Fig. 5's area
+// curve flattens there).
+func RouterArea(arity, widthBits int, targetMHz float64) float64 {
+	if targetMHz <= 0 {
+		panic(fmt.Sprintf("area: non-positive target frequency %v", targetMHz))
+	}
+	x := targetMHz / RouterFmaxMHz(arity, widthBits)
+	if x > 1 {
+		x = 1
+	}
+	return RouterNominalArea(arity, widthBits) * upsize(x)
+}
+
+// RouterMaxArea is the area when synthesised for maximum frequency, as in
+// Fig. 6.
+func RouterMaxArea(arity, widthBits int) float64 {
+	return RouterNominalArea(arity, widthBits) * upsize(1)
+}
+
+func upsize(x float64) float64 {
+	return 1 + UpsizeGain/(1+math.Exp(-(x-UpsizeKnee)/UpsizeWidth))
+}
+
+// FIFOArea returns a bi-synchronous FIFO's cell area in µm².
+func FIFOArea(words, widthBits int, custom bool) float64 {
+	if words <= 0 || widthBits <= 0 {
+		panic(fmt.Sprintf("area: invalid FIFO %dx%d", words, widthBits))
+	}
+	per := FIFOStandardBitArea
+	if custom {
+		per = FIFOCustomBitArea
+	}
+	return float64(words*widthBits) * per
+}
+
+// LinkStageArea returns one mesochronous link pipeline stage: the 4-word
+// bi-synchronous FIFO plus the alignment FSM.
+func LinkStageArea(widthBits int, custom bool) float64 {
+	return FIFOArea(LinkFIFOWords, widthBits, custom) + LinkFSMArea
+}
+
+// MesochronousRouterArea returns the complete mesochronous aelite router:
+// the synchronous router at the given target frequency plus one link
+// pipeline stage per port (Section V reports ≈0.032 mm² for arity 5 at
+// 32 bit with standard-cell FIFOs).
+func MesochronousRouterArea(arity, widthBits int, targetMHz float64, custom bool) float64 {
+	return RouterArea(arity, widthBits, targetMHz) + float64(arity)*LinkStageArea(widthBits, custom)
+}
+
+// GSBERouterArea models the combined GS+BE Æthereal router in 90 nm for
+// the same arity/width, at its own (lower) maximum frequency.
+func GSBERouterArea(arity, widthBits int) float64 {
+	return GSBEAreaFactor * RouterNominalArea(arity, widthBits)
+}
+
+// GSBERouterFmaxMHz returns the GS+BE router's maximum frequency.
+func GSBERouterFmaxMHz(arity, widthBits int) float64 {
+	return RouterFmaxMHz(arity, widthBits) / GSBESpeedRatio
+}
+
+// ScaleArea converts a cell area between technology nodes by the square
+// of the feature-size ratio (the scaling the paper applies to the 130 nm
+// numbers of [7] and [8]).
+func ScaleArea(area float64, fromNm, toNm float64) float64 {
+	r := toNm / fromNm
+	return area * r * r
+}
+
+// RawThroughputGBps returns the aggregate raw throughput of a router in
+// Gbyte/s: every port forwarding one word per cycle at the given
+// frequency. (One-directional port count; a full-duplex reading doubles
+// it. Section VII quotes 64 Gbyte/s for an arity-6, 64-bit router.)
+func RawThroughputGBps(arity, widthBits int, fMHz float64) float64 {
+	return float64(arity) * float64(widthBits) / 8 * fMHz * 1e6 / 1e9
+}
+
+func check(arity, widthBits int) {
+	if arity < 2 || arity > 64 {
+		panic(fmt.Sprintf("area: arity %d outside model range", arity))
+	}
+	if widthBits < 8 || widthBits > 1024 {
+		panic(fmt.Sprintf("area: width %d outside model range", widthBits))
+	}
+}

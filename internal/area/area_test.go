@@ -1,0 +1,162 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+// within asserts got is within frac of want.
+func within(t *testing.T, name string, got, want, frac float64) {
+	t.Helper()
+	if math.Abs(got-want) > frac*want {
+		t.Errorf("%s = %.1f, want %.1f ± %.0f%%", name, got, want, frac*100)
+	}
+}
+
+// TestFig5Anchors checks the paper's stated arity-5 32-bit numbers: less
+// than 0.015 mm² up to 650 MHz, steep growth after ~750 MHz, saturation
+// around 0.018 mm².
+func TestFig5Anchors(t *testing.T) {
+	a500 := RouterArea(5, 32, 500)
+	a650 := RouterArea(5, 32, 650)
+	if a650 >= 15000 {
+		t.Errorf("area at 650 MHz = %.0f µm², paper says below 0.015 mm²", a650)
+	}
+	within(t, "area(5,32,500)", a500, 14300, 0.03)
+	// Flat region: 500 -> 650 MHz changes area by under 3%.
+	if (a650-a500)/a500 > 0.03 {
+		t.Errorf("area grew %.1f%% between 500 and 650 MHz; Fig. 5 is flat there", (a650-a500)/a500*100)
+	}
+	// Steep region: 700 -> 800 MHz adds much more than the flat region.
+	grow := RouterArea(5, 32, 800) - RouterArea(5, 32, 700)
+	if grow < 1000 {
+		t.Errorf("area grew only %.0f µm² between 700 and 800 MHz; Fig. 5 shows the steep region there", grow)
+	}
+	// Saturation near 0.018 mm².
+	sat := RouterMaxArea(5, 32)
+	within(t, "saturated area(5,32)", sat, 18000, 0.03)
+	// Monotone non-decreasing in target frequency.
+	prev := 0.0
+	for f := 400.0; f <= 1100; f += 25 {
+		a := RouterArea(5, 32, f)
+		if a < prev {
+			t.Errorf("area not monotone at %.0f MHz: %.1f < %.1f", f, a, prev)
+		}
+		prev = a
+	}
+}
+
+// TestFig6aAnchors: 32-bit routers, arity 2..7 — area roughly linear in
+// arity, fmax falling from ≈1.28 GHz to ≈900 MHz.
+func TestFig6aAnchors(t *testing.T) {
+	within(t, "fmax(2,32)", RouterFmaxMHz(2, 32), 1283, 0.03)
+	within(t, "fmax(7,32)", RouterFmaxMHz(7, 32), 880, 0.05)
+	within(t, "maxArea(2,32)", RouterMaxArea(2, 32), 6500, 0.15)
+	within(t, "maxArea(7,32)", RouterMaxArea(7, 32), 26500, 0.10)
+	// Roughly linear: second differences small compared to first.
+	var areas []float64
+	for p := 2; p <= 7; p++ {
+		areas = append(areas, RouterMaxArea(p, 32))
+	}
+	for i := 2; i < len(areas); i++ {
+		d1 := areas[i-1] - areas[i-2]
+		d2 := areas[i] - areas[i-1]
+		if math.Abs(d2-d1) > 0.25*d1 {
+			t.Errorf("area vs arity not roughly linear at arity %d: steps %.0f then %.0f", i+2, d1, d2)
+		}
+	}
+	// fmax strictly decreasing in arity.
+	for p := 3; p <= 7; p++ {
+		if RouterFmaxMHz(p, 32) >= RouterFmaxMHz(p-1, 32) {
+			t.Errorf("fmax not decreasing at arity %d", p)
+		}
+	}
+}
+
+// TestFig6bAnchors: arity-6 routers, width 32..256 — area linear in
+// width, fmax falling towards ≈750 MHz.
+func TestFig6bAnchors(t *testing.T) {
+	within(t, "fmax(6,256)", RouterFmaxMHz(6, 256), 750, 0.03)
+	if f := RouterFmaxMHz(6, 32); f < 860 || f > 1000 {
+		t.Errorf("fmax(6,32) = %.0f MHz, expected high-800s to ~1 GHz", f)
+	}
+	// Linear in width: area(256)/area(128) ≈ slightly under 2.
+	r := RouterMaxArea(6, 256) / RouterMaxArea(6, 128)
+	if r < 1.7 || r > 2.05 {
+		t.Errorf("area(256)/area(128) = %.2f, expected near-proportional scaling", r)
+	}
+	// fmax strictly decreasing in width.
+	for w := 64; w <= 256; w += 32 {
+		if RouterFmaxMHz(6, w) >= RouterFmaxMHz(6, w-32) {
+			t.Errorf("fmax not decreasing at width %d", w)
+		}
+	}
+}
+
+// TestSectionVAnchors: FIFO and complete-router numbers.
+func TestSectionVAnchors(t *testing.T) {
+	within(t, "custom 4x32 FIFO", FIFOArea(4, 32, true), 1500, 0.01)
+	within(t, "standard 4x32 FIFO", FIFOArea(4, 32, false), 3300, 0.01)
+	// Complete arity-5 router with mesochronous links ≈ 0.032 mm².
+	complete := MesochronousRouterArea(5, 32, 600, false)
+	within(t, "arity-5 mesochronous router", complete, 32000, 0.04)
+	// The competitors it is compared against.
+	if MesochronousRouterRef4 <= complete {
+		t.Errorf("model says [4] (%.0f) is not larger than aelite (%.0f); the paper's comparison inverts", MesochronousRouterRef4, complete)
+	}
+	if AsynchronousRouterRef7 <= MesochronousRouterRef4 {
+		t.Error("[7] should be larger than [4]")
+	}
+}
+
+// TestSectionVIIAnchors: Æthereal GS+BE comparison — roughly 5x the area
+// and 1/1.5 the frequency of aelite in the same technology.
+func TestSectionVIIAnchors(t *testing.T) {
+	ratio := GSBERouterArea(5, 32) / RouterNominalArea(5, 32)
+	within(t, "GS+BE/aelite area ratio", ratio, 4.7, 0.01)
+	if ratio < 4 || ratio > 6 {
+		t.Errorf("area ratio %.1f outside the paper's 'roughly 5x'", ratio)
+	}
+	fr := RouterFmaxMHz(5, 32) / GSBERouterFmaxMHz(5, 32)
+	within(t, "aelite/GS+BE frequency ratio", fr, 1.5, 0.01)
+	// The 130 nm Æthereal number scaled to 90 nm is in the same ballpark
+	// as the direct 90 nm model (the paper uses both views).
+	scaled := ScaleArea(AethercalGSBE130Area, 130, 90)
+	model := GSBERouterArea(5, 32)
+	if scaled < 0.5*model || scaled > 1.5*model {
+		t.Errorf("scaled 130 nm GS+BE area %.0f vs 90 nm model %.0f disagree badly", scaled, model)
+	}
+}
+
+// TestThroughputClaim: an arity-6, 64-bit router offers tens of Gbyte/s
+// at ≈0.03 mm² (Section VII quotes 64 Gbyte/s at 0.03 mm²; one-way raw
+// throughput at fmax lands in the tens, doubling for full duplex).
+func TestThroughputClaim(t *testing.T) {
+	f := RouterFmaxMHz(6, 64)
+	tp := RawThroughputGBps(6, 64, f)
+	if tp < 35 || tp > 100 {
+		t.Errorf("raw throughput %.1f GB/s out of the expected range", tp)
+	}
+	// The 0.03 mm² quote is the practical-frequency (nominal) area.
+	a := RouterArea(6, 64, 600)
+	within(t, "area(6,64,600MHz)", a, 30000, 0.15)
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { RouterNominalArea(1, 32) },
+		func() { RouterNominalArea(5, 4) },
+		func() { RouterArea(5, 32, 0) },
+		func() { FIFOArea(0, 32, true) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/aethereal"
+	"repro/internal/clock"
+	"repro/internal/ni"
+	"repro/internal/phit"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// BEConfig parameterises the Æthereal best-effort baseline network
+// (paper Section VII: same mapping and paths, all connections changed
+// from GS to BE, globally synchronous).
+type BEConfig struct {
+	Layout    phit.HeaderLayout
+	WordBytes int
+	FreqMHz   float64
+	// BufferWords is the per-input router buffer depth.
+	BufferWords int
+	// MaxPacketWords caps BE packet payload length.
+	MaxPacketWords int
+	// TrafficBurstFactor > 1 selects bursty generators, as in Config.
+	TrafficBurstFactor float64
+	// Transactional selects line-rate transaction generators sized by
+	// TxWordsForRate, as in Config.
+	Transactional bool
+}
+
+// ApplyDefaults fills zero fields.
+func (c *BEConfig) ApplyDefaults() {
+	if c.Layout.WordBits == 0 {
+		c.Layout = phit.DefaultLayout
+	}
+	if c.WordBytes == 0 {
+		c.WordBytes = 4
+	}
+	if c.FreqMHz == 0 {
+		c.FreqMHz = 500
+	}
+	if c.BufferWords == 0 {
+		c.BufferWords = aethereal.DefaultBufferWords
+	}
+	if c.MaxPacketWords == 0 {
+		c.MaxPacketWords = aethereal.DefaultMaxPacketWords
+	}
+}
+
+type beConnInfo struct {
+	spec  spec.Connection
+	srcNI topology.NodeID
+	dstNI topology.NodeID
+	path  *route.Path
+}
+
+// A BENetwork is a built best-effort baseline instance.
+type BENetwork struct {
+	Cfg  BEConfig
+	Mesh *topology.Mesh
+	Spec *spec.UseCase
+
+	eng     *sim.Engine
+	base    *clock.Clock
+	nis     map[topology.NodeID]*aethereal.NI
+	routers map[topology.NodeID]*aethereal.Router
+	gens    map[phit.ConnID]*traffic.Generator
+	conns   map[phit.ConnID]*beConnInfo
+}
+
+// Engine exposes the simulation engine.
+func (n *BENetwork) Engine() *sim.Engine { return n.eng }
+
+// NIOf returns the BE NI at a node.
+func (n *BENetwork) NIOf(id topology.NodeID) *aethereal.NI { return n.nis[id] }
+
+// Generator returns a connection's traffic generator.
+func (n *BENetwork) Generator(c phit.ConnID) *traffic.Generator { return n.gens[c] }
+
+// BuildBE assembles the best-effort baseline: same mesh, same IP mapping,
+// same XY paths as the aelite network, but wormhole BE routers and NIs.
+// The mesh must have zero pipeline stages (the Æthereal baseline is
+// globally synchronous).
+func BuildBE(m *topology.Mesh, uc *spec.UseCase, cfg BEConfig) (*BENetwork, error) {
+	cfg.ApplyDefaults()
+	if err := uc.Validate(); err != nil {
+		return nil, err
+	}
+	for _, ip := range uc.IPs {
+		if ip.NI == topology.Invalid {
+			return nil, fmt.Errorf("core: IP %s is not mapped to an NI", ip.Name)
+		}
+	}
+	for _, l := range m.Links() {
+		if l.PipelineStages != 0 {
+			return nil, fmt.Errorf("core: BE baseline requires unpipelined links; link %d has %d stages", l.ID, l.PipelineStages)
+		}
+	}
+	n := &BENetwork{
+		Cfg:     cfg,
+		Mesh:    m,
+		Spec:    uc,
+		eng:     sim.New(),
+		nis:     make(map[topology.NodeID]*aethereal.NI),
+		routers: make(map[topology.NodeID]*aethereal.Router),
+		gens:    make(map[phit.ConnID]*traffic.Generator),
+		conns:   make(map[phit.ConnID]*beConnInfo),
+	}
+	n.base = clock.NewMHz("clk", cfg.FreqMHz, 0)
+
+	for _, c := range uc.Connections {
+		srcIP, err := uc.IP(c.Src)
+		if err != nil {
+			return nil, err
+		}
+		dstIP, err := uc.IP(c.Dst)
+		if err != nil {
+			return nil, err
+		}
+		if srcIP.NI == dstIP.NI {
+			return nil, fmt.Errorf("core: connection %d endpoints share NI %d", c.ID, srcIP.NI)
+		}
+		p, err := route.XY(m, srcIP.NI, dstIP.NI)
+		if err != nil {
+			return nil, err
+		}
+		n.conns[c.ID] = &beConnInfo{spec: c, srcNI: srcIP.NI, dstNI: dstIP.NI, path: p}
+	}
+
+	// Wires: per link a data wire and a reverse credit wire.
+	data := make(map[topology.LinkID]*sim.Wire[phit.Phit])
+	credit := make(map[topology.LinkID]*sim.Wire[int])
+	for _, l := range m.Links() {
+		dn := fmt.Sprintf("l%d.data", l.ID)
+		cn := fmt.Sprintf("l%d.credit", l.ID)
+		data[l.ID] = sim.NewWire[phit.Phit](dn)
+		credit[l.ID] = sim.NewWire[int](cn)
+		n.eng.AddWire(data[l.ID])
+		n.eng.AddWire(credit[l.ID])
+	}
+
+	// Routers.
+	for _, r := range m.Routers() {
+		node := m.Node(r)
+		rc := aethereal.NewRouter(node.Name, node.Ports, cfg.Layout, n.base, cfg.BufferWords)
+		for p := 0; p < node.Ports; p++ {
+			if l := m.InLink(r, p); l != topology.Invalid {
+				rc.ConnectIn(p, data[l], credit[l])
+			}
+			if l := m.OutLink(r, p); l != topology.Invalid {
+				// Downstream buffer depth: routers buffer
+				// BufferWords; NIs drain at line rate and are
+				// given the same credit window.
+				rc.ConnectOut(p, data[l], credit[l], cfg.BufferWords)
+			}
+		}
+		n.routers[r] = rc
+		n.eng.Add(rc)
+	}
+
+	// NIs.
+	for _, id := range m.AllNIs() {
+		node := m.Node(id)
+		inL := m.InLink(id, 0)
+		outL := m.OutLink(id, 0)
+		c := aethereal.NewNI(node.Name, n.base, cfg.Layout,
+			data[inL], data[outL], credit[outL], credit[inL],
+			cfg.BufferWords, cfg.MaxPacketWords)
+		n.nis[id] = c
+		n.eng.Add(c)
+	}
+
+	// Connections and generators, in deterministic order.
+	ids := make([]phit.ConnID, 0, len(n.conns))
+	for id := range n.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	qidNext := make(map[topology.NodeID]int)
+	for _, id := range ids {
+		info := n.conns[id]
+		qid := qidNext[info.dstNI]
+		qidNext[info.dstNI]++
+		if qid > cfg.Layout.MaxQID() {
+			return nil, fmt.Errorf("core: BE NI queue ids exhausted at NI %d", info.dstNI)
+		}
+		hdr, err := cfg.Layout.Encode(info.path.Ports, qid, 0)
+		if err != nil {
+			return nil, fmt.Errorf("core: connection %d header: %w", id, err)
+		}
+		n.nis[info.srcNI].AddOutConn(aethereal.OutConnConfig{ID: id, Header: hdr})
+		n.nis[info.dstNI].AddInConn(aethereal.InConnConfig{ID: id, QID: qid})
+
+		name := fmt.Sprintf("gen.c%d", id)
+		start := clock.Time(len(n.gens)%16) * 3 * n.base.Period
+		var g *traffic.Generator
+		switch {
+		case cfg.Transactional:
+			g = traffic.NewTransactional(name, n.base, n.nis[info.srcNI], id, info.spec.BandwidthMBps,
+				cfg.WordBytes, int64(TxWordsForRate(info.spec.BandwidthMBps)), start)
+		case cfg.TrafficBurstFactor > 1:
+			g = traffic.NewBursty(name, n.base, n.nis[info.srcNI], id, info.spec.BandwidthMBps,
+				cfg.WordBytes, 64, cfg.TrafficBurstFactor, start)
+		default:
+			g = traffic.NewCBR(name, n.base, n.nis[info.srcNI], id, info.spec.BandwidthMBps,
+				cfg.WordBytes, start)
+		}
+		n.gens[id] = g
+		n.eng.Add(g)
+	}
+	return n, nil
+}
+
+// Run simulates warm-up, clears statistics, measures, and reports.
+// Guarantee fields are zero: best effort has none — that is the point.
+func (n *BENetwork) Run(warmupNs, measureNs float64) *Report {
+	warm := clock.Time(warmupNs * float64(clock.Nanosecond))
+	meas := clock.Time(measureNs * float64(clock.Nanosecond))
+	n.eng.Run(n.eng.Now() + warm)
+	for _, c := range n.nis {
+		c.ResetStats()
+	}
+	n.eng.Run(n.eng.Now() + meas)
+
+	r := &Report{
+		Name:       n.Spec.Name,
+		FreqMHz:    n.Cfg.FreqMHz,
+		Mode:       "best-effort",
+		MeasureNs:  measureNs,
+		TotalEdges: n.eng.Edges(),
+	}
+	ids := make([]phit.ConnID, 0, len(n.conns))
+	for id := range n.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		info := n.conns[id]
+		dst := n.nis[info.dstNI]
+		delivered := dst.Delivered(id)
+		lat := dst.Latency(id)
+		first, last := dst.Span(id)
+		cr := ConnReport{
+			Conn:              id,
+			App:               info.spec.App,
+			RequiredMBps:      info.spec.BandwidthMBps,
+			RequiredLatencyNs: info.spec.MaxLatencyNs,
+			PathHops:          info.path.Hops(),
+			Delivered:         delivered,
+		}
+		if delivered > 0 {
+			st := ni.ConnStats{Delivered: delivered, FirstNs: first, LastNs: last}
+			cr.MeasuredMBps = st.ThroughputMBps(n.Cfg.WordBytes)
+			cr.LatMinNs = lat.Min()
+			cr.LatMeanNs = lat.Mean()
+			cr.LatMaxNs = lat.Max()
+			cr.LatP99Ns = lat.Percentile(99)
+			cr.LatStdDevNs = lat.StdDev()
+		}
+		cr.MetThroughput = cr.MeasuredMBps >= cr.RequiredMBps*ThroughputTolerance
+		cr.MetLatency = delivered > 0 && cr.LatMaxNs <= cr.RequiredLatencyNs
+		cr.WithinBound = true // no analytical bound exists for BE
+		r.Conns = append(r.Conns, cr)
+	}
+	return r
+}

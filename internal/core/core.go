@@ -1,0 +1,594 @@
+// Package core is the public façade of the aelite reproduction: it turns a
+// use-case spec plus a topology into a fully allocated, runnable,
+// cycle-accurate network, and reports per-connection guarantees and
+// measurements.
+//
+// The design flow mirrors the Æthereal tooling the paper builds on
+// (reference [16]): map IPs to NIs, route each connection (XY with YX
+// fallback), size its TDM slot reservation from its throughput and latency
+// requirements, allocate contention-free slots, derive buffer sizes and
+// credits, then instantiate routers, link pipeline stages, NIs and traffic
+// and simulate.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/clock"
+	"repro/internal/link"
+	"repro/internal/ni"
+	"repro/internal/phit"
+	"repro/internal/route"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/slots"
+	"repro/internal/spec"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/wrapper"
+)
+
+// Mode selects the clocking discipline of the network.
+type Mode int
+
+const (
+	// Synchronous: one global clock, direct links (the baseline aelite
+	// of paper Section IV, with its global clock-tree burden).
+	Synchronous Mode = iota
+	// Mesochronous: every router tile (router + its NIs) has a random
+	// phase offset within half a period, and inter-router links carry
+	// mesochronous link pipeline stages (paper Section V).
+	Mesochronous
+	// Asynchronous: every router and every NI runs on its own
+	// plesiochronous clock inside an asynchronous wrapper; all links are
+	// token channels (paper Section VI).
+	Asynchronous
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Synchronous:
+		return "synchronous"
+	case Mesochronous:
+		return "mesochronous"
+	case Asynchronous:
+		return "asynchronous"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterises network construction. ApplyDefaults fills zero
+// fields.
+type Config struct {
+	Layout    phit.HeaderLayout
+	WordBytes int
+	// TableSize is the TDM slot table size; 0 lets Build search
+	// candidate sizes until allocation succeeds.
+	TableSize int
+	FreqMHz   float64
+	Mode      Mode
+	// StagesPerLink is the number of link pipeline stages on each
+	// router-router link in Mesochronous mode (>= 1).
+	StagesPerLink int
+	// FIFOForwardCycles is the bi-synchronous FIFO forwarding delay in
+	// cycles (the paper assumes 1-2; with maximum skew, 1 keeps the
+	// alignment at exactly one flit cycle).
+	FIFOForwardCycles int
+	// PhaseSeed randomises tile clock phases in Mesochronous mode.
+	PhaseSeed int64
+	// Probes enables dynamic TDM-ownership verification on every link
+	// entry (panics on any violation of the allocated schedule).
+	Probes bool
+	// TrafficBurstFactor > 1 makes generators bursty (on/off) at the
+	// same average rate; 0 or 1 selects CBR.
+	TrafficBurstFactor float64
+	// Transactional makes every IP emit whole transactions at line rate
+	// (words sized by TxWordsForRate) instead of smooth CBR, and sizes
+	// slot reservations and latency bounds for transaction drains.
+	Transactional bool
+	// PPM is the maximum plesiochronous frequency deviation, in parts
+	// per million, of each element's clock in Asynchronous mode.
+	PPM float64
+}
+
+// ApplyDefaults fills zero-valued fields with the paper's defaults: 32-bit
+// words, 500 MHz, synchronous, one stage per link in mesochronous mode.
+func (c *Config) ApplyDefaults() {
+	if c.Layout.WordBits == 0 {
+		c.Layout = phit.DefaultLayout
+	}
+	if c.WordBytes == 0 {
+		c.WordBytes = 4
+	}
+	if c.FreqMHz == 0 {
+		c.FreqMHz = 500
+	}
+	if c.StagesPerLink == 0 {
+		c.StagesPerLink = 1
+	}
+	if c.FIFOForwardCycles == 0 {
+		c.FIFOForwardCycles = 1
+	}
+}
+
+// connInfo is everything the builder derived for one data connection.
+type connInfo struct {
+	spec     spec.Connection
+	srcNI    topology.NodeID
+	dstNI    topology.NodeID
+	path     *route.Path
+	slotSet  []int
+	rev      phit.ConnID
+	revPath  *route.Path
+	revSlots []int
+
+	guaranteeMBps float64
+	boundNs       float64
+	recvCap       int
+}
+
+// A Network is a built, runnable aelite instance.
+type Network struct {
+	Cfg   Config
+	Mesh  *topology.Mesh
+	Spec  *spec.UseCase
+	Alloc *slots.Allocation
+
+	eng      *sim.Engine
+	base     *clock.Clock
+	nis      map[topology.NodeID]*ni.NI
+	routers  map[topology.NodeID]*router.Component
+	gens     map[phit.ConnID]*traffic.Generator
+	conns    map[phit.ConnID]*connInfo
+	stages   []*link.Stage
+	niTables map[topology.NodeID]*slots.Table
+	qidNext  map[topology.NodeID]int
+	domains  map[topology.NodeID]*clock.Clock
+}
+
+// Engine exposes the simulation engine (for custom drivers and tests).
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// BaseClock returns the nominal network clock.
+func (n *Network) BaseClock() *clock.Clock { return n.base }
+
+// NIOf returns the NI component at a node.
+func (n *Network) NIOf(id topology.NodeID) *ni.NI { return n.nis[id] }
+
+// Stages returns the mesochronous link pipeline stages (empty in
+// synchronous mode).
+func (n *Network) Stages() []*link.Stage { return n.stages }
+
+// Generator returns the traffic generator of a data connection.
+func (n *Network) Generator(c phit.ConnID) *traffic.Generator { return n.gens[c] }
+
+// candidateTableSizes are tried in order when Config.TableSize is zero.
+var candidateTableSizes = []int{8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256}
+
+// Build assembles a network for the use case on the mesh. The use case
+// must be validated and its IPs mapped (spec.MapIPsRoundRobin or manual).
+// Call PrepareTopology on the mesh first so routing knows the link
+// pipeline depths this config instantiates.
+func Build(m *topology.Mesh, uc *spec.UseCase, cfg Config) (*Network, error) {
+	cfg.ApplyDefaults()
+	if err := uc.Validate(); err != nil {
+		return nil, err
+	}
+	for _, ip := range uc.IPs {
+		if ip.NI == topology.Invalid {
+			return nil, fmt.Errorf("core: IP %s is not mapped to an NI", ip.Name)
+		}
+	}
+	sizes := candidateTableSizes
+	if cfg.TableSize != 0 {
+		sizes = []int{cfg.TableSize}
+	}
+	var (
+		alloc *slots.Allocation
+		infos map[phit.ConnID]*connInfo
+		err   error
+	)
+	for _, s := range sizes {
+		alloc, infos, err = allocate(m, uc, cfg, s)
+		if err == nil {
+			cfg.TableSize = s
+			break
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: allocation failed for all table sizes: %w", err)
+	}
+	if err := alloc.Verify(); err != nil {
+		return nil, fmt.Errorf("core: allocator produced a contended schedule: %w", err)
+	}
+	n := &Network{
+		Cfg:      cfg,
+		Mesh:     m,
+		Spec:     uc,
+		Alloc:    alloc,
+		eng:      sim.New(),
+		nis:      make(map[topology.NodeID]*ni.NI),
+		routers:  make(map[topology.NodeID]*router.Component),
+		gens:     make(map[phit.ConnID]*traffic.Generator),
+		conns:    infos,
+		niTables: make(map[topology.NodeID]*slots.Table),
+		qidNext:  make(map[topology.NodeID]int),
+		domains:  make(map[topology.NodeID]*clock.Clock),
+	}
+	if cfg.Mode == Asynchronous {
+		// Wrapped operation relaxes the latency bound: every hop
+		// re-aligns to a local flit cycle (up to one extra flit
+		// cycle per hop) and the slowest clock may run PPM slow.
+		for _, info := range n.conns {
+			extra := float64(phit.FlitWords*len(info.path.Links)) * 1e3 / cfg.FreqMHz
+			info.boundNs = (info.boundNs + extra) * (1 + cfg.PPM/1e6)
+		}
+		if err := n.instantiateAsync(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	if err := n.instantiate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// allocate routes and slot-allocates every connection (and its reverse
+// credit channel) for one candidate table size.
+func allocate(m *topology.Mesh, uc *spec.UseCase, cfg Config, tableSize int) (*slots.Allocation, map[phit.ConnID]*connInfo, error) {
+	infos := make(map[phit.ConnID]*connInfo, len(uc.Connections))
+	var requests []slots.Request
+	// Reverse connections get ids above the data range.
+	maxID := phit.ConnID(0)
+	for _, c := range uc.Connections {
+		if c.ID > maxID {
+			maxID = c.ID
+		}
+	}
+	revBase := maxID + 1
+	for i, c := range uc.Connections {
+		srcIP, err := uc.IP(c.Src)
+		if err != nil {
+			return nil, nil, err
+		}
+		dstIP, err := uc.IP(c.Dst)
+		if err != nil {
+			return nil, nil, err
+		}
+		if srcIP.NI == dstIP.NI {
+			return nil, nil, fmt.Errorf("core: connection %d endpoints share NI %d; local traffic bypasses the NoC", c.ID, srcIP.NI)
+		}
+		// Several minimal-route candidates (plus detours) defeat
+		// slot-alignment fragmentation on loaded meshes (TDM never
+		// blocks in-network, so any route is safe). Candidates whose
+		// hop count exceeds the header path field are unusable.
+		fwdPaths, err := route.Candidates(m, srcIP.NI, dstIP.NI, 6)
+		if err != nil {
+			return nil, nil, err
+		}
+		revPaths, err := route.Candidates(m, dstIP.NI, srcIP.NI, 6)
+		if err != nil {
+			return nil, nil, err
+		}
+		fwdPaths = fitHeader(fwdPaths, cfg.Layout)
+		revPaths = fitHeader(revPaths, cfg.Layout)
+		if len(fwdPaths) == 0 || len(revPaths) == 0 {
+			return nil, nil, fmt.Errorf("core: connection %d has no route that fits the %d-hop header path field",
+				c.ID, cfg.Layout.MaxHops())
+		}
+
+		// Size for the worst (largest shift) candidate path so the
+		// bound holds whichever is picked (minimal routes on a
+		// uniform mesh all share it, but stay general).
+		worst := fwdPaths[0]
+		for _, p := range fwdPaths[1:] {
+			if p.TotalShift > worst.TotalShift {
+				worst = p
+			}
+		}
+		count, windowTarget, m, err := sizeConnection(cfg, c, worst, tableSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		rev := revBase + phit.ConnID(i)
+		info := &connInfo{spec: c, srcNI: srcIP.NI, dstNI: dstIP.NI, rev: rev}
+		infos[c.ID] = info
+
+		requests = append(requests,
+			slots.Request{Conn: c.ID, Paths: fwdPaths, Count: count, GapTarget: windowTarget, WindowSlots: m},
+			slots.Request{Conn: rev, Paths: revPaths, Count: analysis.RevSlots(count, cfg.Layout.MaxCredits())},
+		)
+	}
+	alloc, err := slots.Allocate(tableSize, requests)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, info := range infos {
+		as := alloc.ByConn[info.spec.ID]
+		ras := alloc.ByConn[info.rev]
+		info.path = usedWorstPath(as)
+		info.slotSet = as.Slots
+		info.revPath = usedWorstPath(ras)
+		info.revSlots = ras.Slots
+		info.guaranteeMBps = analysis.ThroughputGuaranteeMBps(len(as.Slots), cfg.FreqMHz, cfg.WordBytes, tableSize)
+		if cfg.Transactional {
+			info.boundNs = analysis.LatencyBoundBurstNs(info.path, as.Slots, tableSize, cfg.FreqMHz,
+				TxWordsForRate(info.spec.BandwidthMBps))
+		} else {
+			info.boundNs = analysis.LatencyBoundNs(info.path, as.Slots, tableSize, cfg.FreqMHz)
+		}
+		rt := analysis.CreditRoundTripSlots(ras.Slots, info.revPath, tableSize)
+		info.recvCap = analysis.RecvCapacityWords(len(as.Slots), rt, tableSize)
+	}
+	return alloc, infos, nil
+}
+
+// instantiate builds clocks, wires, routers, link stages, NIs, probes and
+// traffic generators.
+func (n *Network) instantiate() error {
+	period := clock.PeriodFromMHz(n.Cfg.FreqMHz)
+	n.base = clock.New("clk", period, 0)
+	rng := rand.New(rand.NewSource(n.Cfg.PhaseSeed))
+	fwdDelay := clock.Duration(n.Cfg.FIFOForwardCycles) * period
+
+	// Tile phases are drawn within the window that keeps every link's
+	// alignment at exactly one flit cycle: pairwise skew at most half a
+	// period (the paper's bound) and, for slower FIFOs, at most
+	// 2 cycles minus the forwarding delay (see link.NewStage).
+	phaseWindow := period / 2
+	if w := 2*period - fwdDelay; w < phaseWindow {
+		phaseWindow = w
+	}
+	drawPhase := func() clock.Duration {
+		if phaseWindow <= 0 {
+			return 0
+		}
+		return clock.Duration(rng.Int63n(int64(phaseWindow) + 1))
+	}
+
+	// Per-router-tile clocks: the router and its NIs share one domain.
+	tileClk := make(map[topology.NodeID]*clock.Clock)
+	for _, r := range n.Mesh.Routers() {
+		ck := n.base
+		if n.Cfg.Mode == Mesochronous {
+			ck = clock.Mesochronous(n.base, fmt.Sprintf("clk.%s", n.Mesh.Node(r).Name), drawPhase())
+		}
+		tileClk[r] = ck
+	}
+	domainOf := func(id topology.NodeID) *clock.Clock {
+		node := n.Mesh.Node(id)
+		if node.Kind == topology.Router {
+			return tileClk[id]
+		}
+		return tileClk[node.Router]
+	}
+	for _, node := range n.Mesh.Nodes() {
+		n.domains[node.ID] = domainOf(node.ID)
+	}
+
+	// Wires per link: entry (driven by From) and exit (read by To).
+	entry := make(map[topology.LinkID]*sim.Wire[phit.Phit])
+	exit := make(map[topology.LinkID]*sim.Wire[phit.Phit])
+	for _, l := range n.Mesh.Links() {
+		// The allocator's per-stage slot shift must match what this
+		// mode instantiates; PrepareTopology sets it before routing.
+		wantStages := 0
+		if n.Cfg.Mode == Mesochronous && n.Mesh.Node(l.From).Kind == topology.Router &&
+			n.Mesh.Node(l.To).Kind == topology.Router {
+			wantStages = n.Cfg.StagesPerLink
+		}
+		if l.PipelineStages != wantStages {
+			return fmt.Errorf("core: link %d has %d pipeline stages in the topology but mode %s instantiates %d; call PrepareTopology before Build",
+				l.ID, l.PipelineStages, n.Cfg.Mode, wantStages)
+		}
+		name := fmt.Sprintf("l%d.%s>%s", l.ID, n.Mesh.Node(l.From).Name, n.Mesh.Node(l.To).Name)
+		w := sim.NewWire[phit.Phit](name)
+		n.eng.AddWire(w)
+		entry[l.ID] = w
+		wClk, rClk := domainOf(l.From), domainOf(l.To)
+		if wantStages == 0 {
+			if wClk != rClk {
+				return fmt.Errorf("core: link %s crosses clock domains without pipeline stages", name)
+			}
+			exit[l.ID] = w
+			continue
+		}
+		out := sim.NewWire[phit.Phit](name + ".out")
+		n.eng.AddWire(out)
+		stageClks := make([]*clock.Clock, wantStages)
+		for i := range stageClks {
+			if i == wantStages-1 {
+				stageClks[i] = rClk
+			} else {
+				stageClks[i] = clock.Mesochronous(n.base, fmt.Sprintf("%s.st%d", name, i), drawPhase())
+			}
+		}
+		sts := link.Pipeline(name, n.eng, w, out, wClk, stageClks, fwdDelay)
+		n.stages = append(n.stages, sts...)
+		exit[l.ID] = out
+	}
+
+	// Routers.
+	for _, r := range n.Mesh.Routers() {
+		node := n.Mesh.Node(r)
+		rc := router.NewComponent(node.Name, node.Ports, n.Cfg.Layout, tileClk[r])
+		for p := 0; p < node.Ports; p++ {
+			if l := n.Mesh.InLink(r, p); l != topology.Invalid {
+				rc.ConnectIn(p, exit[l])
+			}
+			if l := n.Mesh.OutLink(r, p); l != topology.Invalid {
+				rc.ConnectOut(p, entry[l])
+			}
+		}
+		n.routers[r] = rc
+		n.eng.Add(rc)
+	}
+
+	// NIs: slot tables, connections, queue ids. The table objects are
+	// retained: run-time reconfiguration reprograms them in place.
+	qidNext := n.qidNext
+	for _, id := range n.Mesh.AllNIs() {
+		node := n.Mesh.Node(id)
+		table := n.Alloc.NITable(id)
+		n.niTables[id] = table
+		inW := exit[n.Mesh.InLink(id, 0)]
+		outW := entry[n.Mesh.OutLink(id, 0)]
+		c := ni.New(node.Name, domainOf(id), n.Cfg.Layout, table, inW, outW)
+		n.nis[id] = c
+		n.eng.Add(c)
+	}
+	// Deterministic connection order.
+	ids := make([]phit.ConnID, 0, len(n.conns))
+	for id := range n.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		info := n.conns[id]
+		// Queue ids at the destination (data) and source (credits).
+		dataQID := qidNext[info.dstNI]
+		qidNext[info.dstNI]++
+		revQID := qidNext[info.srcNI]
+		qidNext[info.srcNI]++
+		if dataQID > n.Cfg.Layout.MaxQID() || revQID > n.Cfg.Layout.MaxQID() {
+			return fmt.Errorf("core: NI queue ids exhausted (layout allows %d queues per NI)", n.Cfg.Layout.MaxQID()+1)
+		}
+		dataHdrs, err := slotHeaders(n.Cfg.Layout, n.Alloc.ByConn[id], dataQID)
+		if err != nil {
+			return fmt.Errorf("core: connection %d header: %w", id, err)
+		}
+		revHdrs, err := slotHeaders(n.Cfg.Layout, n.Alloc.ByConn[info.rev], revQID)
+		if err != nil {
+			return fmt.Errorf("core: connection %d reverse header: %w", id, err)
+		}
+		src, dst := n.nis[info.srcNI], n.nis[info.dstNI]
+		// Data direction: out at src, in at dst.
+		src.AddOutConn(ni.OutConnConfig{
+			ID: id, Headers: dataHdrs, InitialCredits: info.recvCap, PairedIn: info.rev,
+		})
+		dst.AddInConn(ni.InConnConfig{
+			ID: id, QID: dataQID, RecvCapacity: info.recvCap, CreditFor: info.rev, AutoDrain: true,
+		})
+		// Credit direction: out at dst, in at src.
+		dst.AddOutConn(ni.OutConnConfig{
+			ID: info.rev, Headers: revHdrs, InitialCredits: 0, PairedIn: id,
+		})
+		src.AddInConn(ni.InConnConfig{
+			ID: info.rev, QID: revQID, RecvCapacity: 0, CreditFor: id, AutoDrain: true,
+		})
+		// Traffic.
+		g := buildGenerator(n.Cfg, info, domainOf(info.srcNI), src, len(n.gens))
+		n.gens[id] = g
+		n.eng.Add(g)
+	}
+
+	// Probes.
+	if n.Cfg.Probes {
+		for _, l := range n.Mesh.Links() {
+			p := &probe{
+				name:  fmt.Sprintf("probe.l%d", l.ID),
+				clk:   domainOf(l.From),
+				wire:  entry[l.ID],
+				alloc: n.Alloc,
+				link:  l.ID,
+			}
+			n.eng.Add(p)
+		}
+	}
+	return nil
+}
+
+func buildGenerator(cfg Config, info *connInfo, clk *clock.Clock, src *ni.NI, idx int) *traffic.Generator {
+	name := fmt.Sprintf("gen.c%d", info.spec.ID)
+	start := clock.Time(idx%16) * 3 * clk.Period // stagger packet phases
+	switch {
+	case cfg.Transactional:
+		return traffic.NewTransactional(name, clk, src, info.spec.ID, info.spec.BandwidthMBps,
+			cfg.WordBytes, int64(TxWordsForRate(info.spec.BandwidthMBps)), start)
+	case cfg.TrafficBurstFactor > 1:
+		return traffic.NewBursty(name, clk, src, info.spec.ID, info.spec.BandwidthMBps,
+			cfg.WordBytes, 64, cfg.TrafficBurstFactor, start)
+	default:
+		return traffic.NewCBR(name, clk, src, info.spec.ID, info.spec.BandwidthMBps, cfg.WordBytes, start)
+	}
+}
+
+// TxWordsForRate maps a connection's rate class to its transaction size:
+// low-rate control channels move small messages, heavy streams move
+// DMA-sized bursts.
+func TxWordsForRate(rateMBps float64) int {
+	switch {
+	case rateMBps < 40:
+		return 4
+	case rateMBps < 150:
+		return 8
+	default:
+		return 16
+	}
+}
+
+// fitHeader drops candidate paths that exceed the header layout's
+// maximum encodable hop count.
+func fitHeader(paths []*route.Path, layout phit.HeaderLayout) []*route.Path {
+	out := paths[:0]
+	for _, p := range paths {
+		if p.Hops() <= layout.MaxHops() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// usedWorstPath returns, among the paths an assignment actually uses, the
+// one with the largest TotalShift — the path latency bounds must cover.
+func usedWorstPath(asg *slots.Assignment) *route.Path {
+	worst := asg.Path
+	for _, p := range asg.PathOf {
+		if p.TotalShift > worst.TotalShift {
+			worst = p
+		}
+	}
+	return worst
+}
+
+// slotHeaders encodes, per reserved slot, the header word for the path
+// that slot was allocated on.
+func slotHeaders(layout phit.HeaderLayout, asg *slots.Assignment, qid int) (map[int]phit.Word, error) {
+	out := make(map[int]phit.Word, len(asg.Slots))
+	for _, s := range asg.Slots {
+		p := asg.PathOf[s]
+		if p == nil {
+			p = asg.Path
+		}
+		h, err := layout.Encode(p.Ports, qid, 0)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = h
+	}
+	return out, nil
+}
+
+// PrepareTopology sets the pipeline-stage counts the given config will
+// instantiate onto the mesh so that routing computes the correct TDM
+// shifts. Call it before Build.
+func PrepareTopology(m *topology.Mesh, cfg Config) {
+	cfg.ApplyDefaults()
+	switch cfg.Mode {
+	case Mesochronous:
+		m.SetAllPipelineStages(0)
+		m.SetMeshPipelineStages(cfg.StagesPerLink)
+	case Asynchronous:
+		// Every hop advances a flit by InitialTokens dataflow
+		// iterations, i.e. InitialTokens slots: the paper's "adapting
+		// the slot allocation" for clock-domain crossings.
+		m.SetAllPipelineStages(wrapper.InitialTokens - 1)
+	default:
+		m.SetAllPipelineStages(0)
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ni"
+	"repro/internal/phit"
+	"repro/internal/spec"
+	"repro/internal/topology"
+)
+
+func TestBuildRejectsStaleTopology(t *testing.T) {
+	m, uc := smallUseCase(t, 4)
+	// Prepare for mesochronous (stages on mesh links) but build
+	// synchronous: the TDM shifts baked into the routes would be wrong.
+	PrepareTopology(m, Config{Mode: Mesochronous})
+	if _, err := Build(m, uc, Config{Mode: Synchronous}); err == nil {
+		t.Fatal("Build accepted a topology prepared for a different mode")
+	}
+}
+
+func TestBuildRejectsSameNIEndpoints(t *testing.T) {
+	m := topology.NewMesh(2, 2, 1)
+	uc := &spec.UseCase{
+		Name: "local", Apps: 1,
+		IPs: []spec.IP{
+			{ID: 0, Name: "a", NI: m.NIAt(0, 0, 0)},
+			{ID: 1, Name: "b", NI: m.NIAt(0, 0, 0)},
+		},
+		Connections: []spec.Connection{
+			{ID: 1, App: 0, Src: 0, Dst: 1, BandwidthMBps: 10, MaxLatencyNs: 500},
+		},
+	}
+	cfg := Config{}
+	PrepareTopology(m, cfg)
+	if _, err := Build(m, uc, cfg); err == nil || !strings.Contains(err.Error(), "share NI") {
+		t.Fatalf("Build accepted NI-local traffic: %v", err)
+	}
+}
+
+func TestBuildRejectsInvalidSpec(t *testing.T) {
+	m := topology.NewMesh(2, 2, 1)
+	uc := &spec.UseCase{Name: "bad", Apps: 1,
+		IPs:         []spec.IP{{ID: 0, NI: m.NIAt(0, 0, 0)}},
+		Connections: []spec.Connection{{ID: 1, App: 0, Src: 0, Dst: 0, BandwidthMBps: 1, MaxLatencyNs: 1}}}
+	cfg := Config{}
+	PrepareTopology(m, cfg)
+	if _, err := Build(m, uc, cfg); err == nil {
+		t.Fatal("Build accepted a self-loop spec")
+	}
+}
+
+func TestBuildRejectsImpossibleBandwidth(t *testing.T) {
+	m := topology.NewMesh(2, 2, 1)
+	uc := &spec.UseCase{
+		Name: "heavy", Apps: 1,
+		IPs: []spec.IP{
+			{ID: 0, Name: "a", NI: m.NIAt(0, 0, 0)},
+			{ID: 1, Name: "b", NI: m.NIAt(1, 1, 0)},
+		},
+		Connections: []spec.Connection{
+			// 3 GB/s exceeds a 500 MHz 32-bit link's payload capacity.
+			{ID: 1, App: 0, Src: 0, Dst: 1, BandwidthMBps: 3000, MaxLatencyNs: 500},
+		},
+	}
+	cfg := Config{}
+	PrepareTopology(m, cfg)
+	if _, err := Build(m, uc, cfg); err == nil {
+		t.Fatal("Build accepted an impossible bandwidth requirement")
+	}
+}
+
+func TestBuildRejectsImpossibleLatency(t *testing.T) {
+	m := topology.NewMesh(4, 3, 1)
+	uc := &spec.UseCase{
+		Name: "tight", Apps: 1,
+		IPs: []spec.IP{
+			{ID: 0, Name: "a", NI: m.NIAt(0, 0, 0)},
+			{ID: 1, Name: "b", NI: m.NIAt(3, 2, 0)},
+		},
+		Connections: []spec.Connection{
+			// 10 ns across the whole mesh is below the bare path delay.
+			{ID: 1, App: 0, Src: 0, Dst: 1, BandwidthMBps: 10, MaxLatencyNs: 10},
+		},
+	}
+	cfg := Config{}
+	PrepareTopology(m, cfg)
+	if _, err := Build(m, uc, cfg); err == nil {
+		t.Fatal("Build accepted a latency below the path's fixed delay")
+	}
+}
+
+func TestBuildBERejectsPipelinedMesh(t *testing.T) {
+	m, uc := smallUseCase(t, 4)
+	m.SetMeshPipelineStages(1)
+	if _, err := BuildBE(m, uc, BEConfig{}); err == nil {
+		t.Fatal("BuildBE accepted a pipelined mesh")
+	}
+}
+
+func TestBuildBERejectsUnmapped(t *testing.T) {
+	m := topology.NewMesh(2, 2, 1)
+	uc := spec.Random(spec.RandomConfig{
+		Name: "x", Seed: 1, IPs: 4, Apps: 1, Conns: 2,
+		MinRateMBps: 10, MaxRateMBps: 20, MinLatencyNs: 300, MaxLatencyNs: 500,
+	})
+	if _, err := BuildBE(m, uc, BEConfig{}); err == nil {
+		t.Fatal("BuildBE accepted unmapped IPs")
+	}
+}
+
+func TestProbeDetectsCorruptedSchedule(t *testing.T) {
+	// Build a working network, then corrupt one NI's slot table so a
+	// flit is injected in a slot the allocation did not grant. The
+	// probes (or the router contention check) must halt the run.
+	m, uc := smallUseCase(t, 3)
+	cfg := Config{Probes: true}
+	PrepareTopology(m, cfg)
+	n, err := Build(m, uc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a source NI and move one of its reservations to a slot that
+	// the allocation believes is free on its link.
+	var victim *ni.NI
+	var tableOwner phit.ConnID
+	for _, id := range m.AllNIs() {
+		tb := n.Alloc.NITable(id)
+		for s := 0; s < tb.Size(); s++ {
+			if tb.Owner(s) != phit.None {
+				victim = n.NIOf(id)
+				tableOwner = tb.Owner(s)
+				break
+			}
+		}
+		if victim != nil {
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no allocated NI found")
+	}
+	victim.CorruptSlotForTest(tableOwner)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("corrupted schedule went undetected")
+		}
+	}()
+	n.Run(0, 20000)
+}
+
+func TestReportWriterAndAccessors(t *testing.T) {
+	m, uc := smallUseCase(t, 4)
+	cfg := Config{}
+	PrepareTopology(m, cfg)
+	n, err := Build(m, uc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := n.Run(2000, 10000)
+	var b strings.Builder
+	rep.Write(&b)
+	out := b.String()
+	for _, want := range []string{"use case", "conn", "reqMB/s", "yes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q", want)
+		}
+	}
+	if n.BaseClock() == nil || n.Engine() == nil {
+		t.Error("accessors returned nil")
+	}
+	if len(rep.Violations()) != 0 && rep.AllMet() {
+		t.Error("Violations/AllMet inconsistent")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Synchronous.String() != "synchronous" ||
+		Mesochronous.String() != "mesochronous" ||
+		Asynchronous.String() != "asynchronous" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("unknown mode string")
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/phit"
+	"repro/internal/sim"
+	"repro/internal/slots"
+	"repro/internal/topology"
+)
+
+// A probe dynamically verifies contention-free routing: every valid phit
+// observed at a link's entry must belong to the connection that the
+// allocation assigned to that link in that slot. Any mismatch is a
+// violated TDM schedule — the property underpinning both composability and
+// predictability — so the probe halts the simulation rather than counting.
+type probe struct {
+	name  string
+	clk   *clock.Clock
+	wire  *sim.Wire[phit.Phit]
+	alloc *slots.Allocation
+	link  topology.LinkID
+
+	sampled  phit.Phit
+	observed int64
+}
+
+func (p *probe) Name() string          { return p.name }
+func (p *probe) Clock() *clock.Clock   { return p.clk }
+func (p *probe) Sample(now clock.Time) { p.sampled = p.wire.Read() }
+
+func (p *probe) Update(now clock.Time) {
+	if !p.sampled.Valid {
+		return
+	}
+	edge, ok := p.clk.EdgeIndex(now)
+	if !ok {
+		panic(fmt.Sprintf("%s: update off-edge at %d ps", p.name, now))
+	}
+	// The sampled value was driven in the previous cycle; attribute it
+	// to that cycle's slot.
+	drive := edge - 1
+	if drive < 0 {
+		return
+	}
+	slot := int((drive / phit.FlitWords) % int64(p.alloc.TableSize))
+	owner := p.alloc.LinkOwner(p.link, slot)
+	got := p.sampled.Meta.Conn
+	if got != owner {
+		panic(fmt.Sprintf("%s: slot %d carries connection %d but is allocated to %d — TDM schedule violated at %d ps",
+			p.name, slot, got, owner, now))
+	}
+	p.observed++
+}

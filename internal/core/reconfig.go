@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/clock"
+	"repro/internal/ni"
+	"repro/internal/phit"
+	"repro/internal/route"
+	"repro/internal/slots"
+	"repro/internal/spec"
+	"repro/internal/topology"
+)
+
+// Use-case reconfiguration (the Æthereal capability of reference [16],
+// "undisrupted quality-of-service during reconfiguration of multiple
+// applications"): applications can be stopped and new ones admitted at
+// run time. Because the only state shared between connections is slot
+// ownership, and a newly admitted connection claims only currently free
+// slots, running applications are — by construction — not disturbed: the
+// composability tests assert their timing stays bit-identical across a
+// reconfiguration.
+
+// CloseConnection stops a data connection and releases its (and its
+// credit channel's) slot reservations. It first disables the traffic
+// generator, then simulates until the connection's pipeline has drained
+// (send queue empty plus in-flight flits delivered), and only then frees
+// the slots — freeing earlier would let a new owner collide with
+// in-flight flits, which the probes and routers would (correctly) flag
+// as schedule violations.
+//
+// The NI-side queue configuration and queue ids remain registered (idle);
+// hardware reconfiguration reprograms tables, not queue RAM.
+func (n *Network) CloseConnection(id phit.ConnID) error {
+	info, ok := n.conns[id]
+	if !ok {
+		return fmt.Errorf("core: unknown connection %d", id)
+	}
+	g := n.gens[id]
+	g.SetEnabled(false)
+
+	// Drain: wait for the source queue to empty, then two table
+	// revolutions for in-flight flits and credit returns.
+	src := n.nis[info.srcNI]
+	revolution := clock.Duration(3*n.Cfg.TableSize) * n.base.Period
+	for i := 0; i < 64; i++ {
+		if src.SendQueueSpace(id) == ni.DefaultSendCapacity {
+			break
+		}
+		n.eng.Run(n.eng.Now() + revolution)
+	}
+	if src.SendQueueSpace(id) != ni.DefaultSendCapacity {
+		return fmt.Errorf("core: connection %d did not drain (credit starvation?)", id)
+	}
+	n.eng.Run(n.eng.Now() + 4*revolution)
+
+	// Clear the injection tables, then release the allocation.
+	clearTable := n.niTables[info.srcNI]
+	for s := range clearTable.Slots {
+		if clearTable.Slots[s] == id {
+			clearTable.Slots[s] = phit.None
+		}
+	}
+	revTable := n.niTables[info.dstNI]
+	for s := range revTable.Slots {
+		if revTable.Slots[s] == info.rev {
+			revTable.Slots[s] = phit.None
+		}
+	}
+	// One more revolution so in-flight credit-only flits of the reverse
+	// channel are out of the network before its slots are reused.
+	n.eng.Run(n.eng.Now() + 2*revolution)
+	n.Alloc.Release(id)
+	n.Alloc.Release(info.rev)
+	delete(n.conns, id)
+	delete(n.gens, id)
+	return nil
+}
+
+// OpenConnection admits a new guaranteed-service connection at run time:
+// it is routed, sized from its requirements, allocated into the *free*
+// slots of the live allocation, and its traffic generator started. The
+// returned error leaves the network untouched (admission control: a
+// connection that does not fit is simply rejected, exactly as in [16]).
+func (n *Network) OpenConnection(c spec.Connection) error {
+	if n.Cfg.Mode == Asynchronous {
+		return fmt.Errorf("core: run-time reconfiguration of the wrapped network is not supported (slot counters are token-indexed)")
+	}
+	if _, dup := n.conns[c.ID]; dup {
+		return fmt.Errorf("core: connection %d already open", c.ID)
+	}
+	srcIP, err := n.Spec.IP(c.Src)
+	if err != nil {
+		return err
+	}
+	dstIP, err := n.Spec.IP(c.Dst)
+	if err != nil {
+		return err
+	}
+	if srcIP.NI == dstIP.NI {
+		return fmt.Errorf("core: connection %d endpoints share NI %d", c.ID, srcIP.NI)
+	}
+	cfg := n.Cfg
+	m := n.Mesh
+	tableSize := cfg.TableSize
+
+	fwdPaths, err := route.Candidates(m, srcIP.NI, dstIP.NI, 6)
+	if err != nil {
+		return err
+	}
+	revPaths, err := route.Candidates(m, dstIP.NI, srcIP.NI, 6)
+	if err != nil {
+		return err
+	}
+	fwdPaths = fitHeader(fwdPaths, cfg.Layout)
+	revPaths = fitHeader(revPaths, cfg.Layout)
+	if len(fwdPaths) == 0 || len(revPaths) == 0 {
+		return fmt.Errorf("core: connection %d has no route that fits the header path field", c.ID)
+	}
+	worst := fwdPaths[0]
+	for _, p := range fwdPaths[1:] {
+		if p.TotalShift > worst.TotalShift {
+			worst = p
+		}
+	}
+	count, windowTarget, m_, err := sizeConnection(cfg, c, worst, tableSize)
+	if err != nil {
+		return err
+	}
+
+	// New ids for the reverse channel: above everything in use.
+	rev := phit.ConnID(1)
+	for id, info := range n.conns {
+		if id >= rev {
+			rev = id + 1
+		}
+		if info.rev >= rev {
+			rev = info.rev + 1
+		}
+	}
+	if c.ID >= rev {
+		rev = c.ID + 1
+	}
+
+	reqs := []slots.Request{
+		{Conn: c.ID, Paths: fwdPaths, Count: count, GapTarget: windowTarget, WindowSlots: m_},
+		{Conn: rev, Paths: revPaths, Count: analysis.RevSlots(count, cfg.Layout.MaxCredits())},
+	}
+	if err := slots.AllocateInto(n.Alloc, reqs); err != nil {
+		return fmt.Errorf("core: admission of connection %d failed: %w", c.ID, err)
+	}
+
+	info := &connInfo{spec: c, srcNI: srcIP.NI, dstNI: dstIP.NI, rev: rev}
+	as := n.Alloc.ByConn[c.ID]
+	ras := n.Alloc.ByConn[rev]
+	info.path = usedWorstPath(as)
+	info.slotSet = as.Slots
+	info.revPath = usedWorstPath(ras)
+	info.revSlots = ras.Slots
+	info.guaranteeMBps = analysis.ThroughputGuaranteeMBps(len(as.Slots), cfg.FreqMHz, cfg.WordBytes, tableSize)
+	if cfg.Transactional {
+		info.boundNs = analysis.LatencyBoundBurstNs(info.path, as.Slots, tableSize, cfg.FreqMHz, TxWordsForRate(c.BandwidthMBps))
+	} else {
+		info.boundNs = analysis.LatencyBoundNs(info.path, as.Slots, tableSize, cfg.FreqMHz)
+	}
+	rt := analysis.CreditRoundTripSlots(ras.Slots, info.revPath, tableSize)
+	info.recvCap = analysis.RecvCapacityWords(len(as.Slots), rt, tableSize)
+
+	// Queue ids and NI registration.
+	dataQID := n.qidNext[info.dstNI]
+	n.qidNext[info.dstNI]++
+	revQID := n.qidNext[info.srcNI]
+	n.qidNext[info.srcNI]++
+	if dataQID > cfg.Layout.MaxQID() || revQID > cfg.Layout.MaxQID() {
+		n.Alloc.Release(c.ID)
+		n.Alloc.Release(rev)
+		return fmt.Errorf("core: NI queue ids exhausted")
+	}
+	dataHdrs, err := slotHeaders(cfg.Layout, as, dataQID)
+	if err != nil {
+		return err
+	}
+	revHdrs, err := slotHeaders(cfg.Layout, ras, revQID)
+	if err != nil {
+		return err
+	}
+	src, dst := n.nis[info.srcNI], n.nis[info.dstNI]
+	src.AddOutConn(ni.OutConnConfig{ID: c.ID, Headers: dataHdrs, InitialCredits: info.recvCap, PairedIn: rev})
+	dst.AddInConn(ni.InConnConfig{ID: c.ID, QID: dataQID, RecvCapacity: info.recvCap, CreditFor: rev, AutoDrain: true})
+	dst.AddOutConn(ni.OutConnConfig{ID: rev, Headers: revHdrs, InitialCredits: 0, PairedIn: c.ID})
+	src.AddInConn(ni.InConnConfig{ID: rev, QID: revQID, RecvCapacity: 0, CreditFor: c.ID, AutoDrain: true})
+
+	// Program the injection tables (the live objects the NIs read).
+	srcTable := n.niTables[info.srcNI]
+	for _, s := range as.Slots {
+		if srcTable.Slots[s] != phit.None {
+			panic(fmt.Sprintf("core: admitted slot %d already programmed", s))
+		}
+		srcTable.Slots[s] = c.ID
+	}
+	dstTable := n.niTables[info.dstNI]
+	for _, s := range ras.Slots {
+		if dstTable.Slots[s] != phit.None {
+			panic(fmt.Sprintf("core: admitted reverse slot %d already programmed", s))
+		}
+		dstTable.Slots[s] = rev
+	}
+
+	n.conns[c.ID] = info
+	g := buildGenerator(cfg, info, n.domainOf(info.srcNI), src, len(n.gens))
+	n.gens[c.ID] = g
+	n.eng.Add(g)
+	return nil
+}
+
+// sizeConnection converts one connection's requirements into a slot
+// count, service-window target and window size (shared by Build and
+// OpenConnection).
+func sizeConnection(cfg Config, c spec.Connection, worst *route.Path, tableSize int) (count, windowTarget, m int, err error) {
+	bwSlots, err := analysis.SlotsForBandwidth(c.BandwidthMBps, cfg.FreqMHz, cfg.WordBytes, tableSize)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("core: connection %d: %w", c.ID, err)
+	}
+	var latSlots int
+	if cfg.Transactional {
+		latSlots, err = analysis.SlotsForBurstLatency(c.MaxLatencyNs, TxWordsForRate(c.BandwidthMBps), worst, tableSize, cfg.FreqMHz)
+	} else {
+		latSlots, err = analysis.SlotsForLatency(c.MaxLatencyNs, worst, tableSize, cfg.FreqMHz)
+	}
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("core: connection %d: %w", c.ID, err)
+	}
+	windowPeriod := 0
+	m = 1
+	if cfg.Transactional {
+		tx := TxWordsForRate(c.BandwidthMBps)
+		m = analysis.BurstSlotTimes(tx)
+		wordsPerCycle := c.BandwidthMBps * 1e6 / float64(cfg.WordBytes) / (cfg.FreqMHz * 1e6)
+		periodCycles := float64(tx) / wordsPerCycle
+		windowPeriod = int(periodCycles / float64(phit.FlitWords))
+		if windowPeriod < 1 {
+			windowPeriod = 1
+		}
+		if ps := (m*tableSize + windowPeriod - 1) / windowPeriod; ps > latSlots {
+			latSlots = ps
+		}
+	}
+	count = bwSlots
+	if latSlots > count {
+		count = latSlots
+	}
+	windowTarget, werr := analysis.WindowSlotsForBudget(c.MaxLatencyNs, worst, cfg.FreqMHz)
+	if werr != nil {
+		return 0, 0, 0, fmt.Errorf("core: connection %d: %w", c.ID, werr)
+	}
+	if windowPeriod > 0 && windowPeriod < windowTarget {
+		windowTarget = windowPeriod
+	}
+	return count, windowTarget, m, nil
+}
+
+// domainOf returns the clock domain of a node (tile clock in mesochronous
+// mode, base otherwise). Valid after instantiate.
+func (n *Network) domainOf(id topology.NodeID) *clock.Clock {
+	if ck, ok := n.domains[id]; ok {
+		return ck
+	}
+	return n.base
+}

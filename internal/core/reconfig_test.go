@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/phit"
+	"repro/internal/spec"
+)
+
+// reconfigSpec: app 0 is the undisturbed observer; app 1 is the one that
+// gets stopped; new connections are admitted afterwards.
+func reconfigSpec(t *testing.T) (*Network, *spec.UseCase) {
+	t.Helper()
+	n, uc := buildComposability(t, Synchronous)
+	return n, uc
+}
+
+// TestReconfigurationUndisrupted is reference [16]'s claim, on this
+// implementation: stopping one application, draining it, releasing its
+// slots, and admitting a brand-new connection into the freed capacity
+// does not move a single word of the surviving application by a single
+// picosecond — compared against a run with no reconfiguration at all.
+func TestReconfigurationUndisrupted(t *testing.T) {
+	record := func(reconfigure bool) (map[phit.ConnID][]clock.Time, *Network, error) {
+		n, uc := reconfigSpec(t)
+		for _, c := range uc.Connections {
+			if c.App == 0 {
+				ip, _ := uc.IP(c.Dst)
+				n.NIOf(ip.NI).RecordArrivals(c.ID, true)
+			}
+		}
+		n.Run(0, 20000)
+		if reconfigure {
+			// Stop every app-1 connection.
+			for _, c := range uc.Connections {
+				if c.App == 1 {
+					if err := n.CloseConnection(c.ID); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+			// Admit a new connection between two previously used
+			// endpoints, into the freed slots.
+			newConn := spec.Connection{
+				ID: 900, App: 2, Src: uc.Connections[0].Src, Dst: uc.Connections[1].Dst,
+				BandwidthMBps: 60, MaxLatencyNs: 600,
+			}
+			if sIP, _ := uc.IP(newConn.Src); func() bool {
+				d, _ := uc.IP(newConn.Dst)
+				return sIP.NI == d.NI
+			}() {
+				// Pick another destination on a different NI.
+				for _, ip := range uc.IPs {
+					if s, _ := uc.IP(newConn.Src); ip.NI != s.NI {
+						newConn.Dst = ip.ID
+						break
+					}
+				}
+			}
+			if err := n.OpenConnection(newConn); err != nil {
+				return nil, nil, err
+			}
+		}
+		// Continue to the same absolute horizon in both runs.
+		n.eng.Run(90000 * clock.Nanosecond)
+		out := map[phit.ConnID][]clock.Time{}
+		for _, c := range uc.Connections {
+			if c.App == 0 {
+				ip, _ := uc.IP(c.Dst)
+				out[c.ID] = n.NIOf(ip.NI).Arrivals(c.ID)
+			}
+		}
+		return out, n, nil
+	}
+
+	baseline, _, err := record(false)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	reconfigured, n, err := record(true)
+	if err != nil {
+		t.Fatalf("reconfigured: %v", err)
+	}
+	checkIdenticalTiming(t, baseline, reconfigured)
+
+	// The new connection must actually be running and delivering.
+	info, err := n.Info(900)
+	if err != nil {
+		t.Fatalf("Info(new): %v", err)
+	}
+	if len(info.Slots) == 0 {
+		t.Fatal("admitted connection has no slots")
+	}
+	n.eng.Run(n.eng.Now() + 30000*clock.Nanosecond)
+	st := n.NIOf(n.conns[900].dstNI).InStats(900)
+	if st.Delivered == 0 {
+		t.Error("admitted connection delivered nothing")
+	}
+	if st.Latency.Max() > info.BoundNs {
+		t.Errorf("admitted connection max latency %.1f exceeds bound %.1f", st.Latency.Max(), info.BoundNs)
+	}
+}
+
+// TestCloseReleasesCapacity: slots freed by a closed connection are
+// reusable — the same connection can be re-admitted.
+func TestCloseReleasesCapacity(t *testing.T) {
+	n, uc := reconfigSpec(t)
+	n.Run(0, 10000)
+	victim := uc.Connections[0]
+	before, err := n.Info(victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CloseConnection(victim.ID); err != nil {
+		t.Fatalf("CloseConnection: %v", err)
+	}
+	if _, err := n.Info(victim.ID); err == nil {
+		t.Error("closed connection still reported")
+	}
+	// Re-admit with a fresh id.
+	readmit := victim
+	readmit.ID = 901
+	if err := n.OpenConnection(readmit); err != nil {
+		t.Fatalf("re-admission failed: %v", err)
+	}
+	after, err := n.Info(901)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Slots) < len(before.Slots) {
+		t.Errorf("re-admitted with %d slots, originally %d", len(after.Slots), len(before.Slots))
+	}
+	// The network still runs cleanly (probes active).
+	n.eng.Run(n.eng.Now() + 30000*clock.Nanosecond)
+}
+
+// TestOpenConnectionAdmissionControl: a connection that cannot fit is
+// rejected and the network state is unchanged.
+func TestOpenConnectionAdmissionControl(t *testing.T) {
+	n, uc := reconfigSpec(t)
+	n.Run(0, 5000)
+	huge := spec.Connection{
+		ID: 902, App: 0, Src: uc.Connections[0].Src, Dst: uc.Connections[0].Dst,
+		BandwidthMBps: 2500, MaxLatencyNs: 500, // above link capacity
+	}
+	if err := n.OpenConnection(huge); err == nil {
+		t.Fatal("admission control accepted an impossible connection")
+	}
+	dup := uc.Connections[1]
+	if err := n.OpenConnection(dup); err == nil {
+		t.Fatal("accepted a duplicate connection id")
+	}
+	// Still healthy.
+	n.eng.Run(n.eng.Now() + 10000*clock.Nanosecond)
+}

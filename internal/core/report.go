@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/phit"
+	"repro/internal/spec"
+)
+
+// A ConnReport pairs one connection's requirements and analytical
+// guarantees with its simulated behaviour.
+type ConnReport struct {
+	Conn phit.ConnID
+	App  spec.AppID
+
+	// Requirements from the spec.
+	RequiredMBps      float64
+	RequiredLatencyNs float64
+
+	// Analytical guarantees from the allocation.
+	Slots          int
+	GuaranteedMBps float64
+	BoundNs        float64
+	PathHops       int
+
+	// Simulated measurements.
+	Delivered    int64
+	MeasuredMBps float64
+	LatMinNs     float64
+	LatMeanNs    float64
+	LatMaxNs     float64
+	LatP99Ns     float64
+	LatStdDevNs  float64
+
+	// Verdicts.
+	MetThroughput bool // measured >= required (within tolerance)
+	MetLatency    bool // measured max <= required budget
+	WithinBound   bool // measured max <= analytical bound
+}
+
+// A Report covers one simulation run.
+type Report struct {
+	Name       string
+	FreqMHz    float64
+	TableSize  int
+	Mode       string
+	MeasureNs  float64
+	Conns      []ConnReport
+	TotalEdges int64
+}
+
+// AllMet reports whether every connection met both requirements.
+func (r *Report) AllMet() bool {
+	for _, c := range r.Conns {
+		if !c.MetThroughput || !c.MetLatency {
+			return false
+		}
+	}
+	return true
+}
+
+// AllWithinBound reports whether every measured maximum latency respected
+// its analytical bound (the predictability check).
+func (r *Report) AllWithinBound() bool {
+	for _, c := range r.Conns {
+		if !c.WithinBound {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations returns the connections that missed a requirement.
+func (r *Report) Violations() []ConnReport {
+	var out []ConnReport
+	for _, c := range r.Conns {
+		if !c.MetThroughput || !c.MetLatency {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Write renders the report as a table.
+func (r *Report) Write(w io.Writer) {
+	fmt.Fprintf(w, "use case %q: %s, %.0f MHz, table %d, measured %.0f ns\n",
+		r.Name, r.Mode, r.FreqMHz, r.TableSize, r.MeasureNs)
+	fmt.Fprintf(w, "%6s %4s %9s %9s %9s %9s %8s %8s %8s %8s %5s\n",
+		"conn", "app", "reqMB/s", "gotMB/s", "reqLatNs", "boundNs", "latMin", "latAvg", "latMax", "latP99", "ok")
+	for _, c := range r.Conns {
+		ok := "yes"
+		if !c.MetThroughput || !c.MetLatency {
+			ok = "NO"
+		}
+		fmt.Fprintf(w, "%6d %4d %9.1f %9.1f %9.1f %9.1f %8.1f %8.1f %8.1f %8.1f %5s\n",
+			c.Conn, c.App, c.RequiredMBps, c.MeasuredMBps, c.RequiredLatencyNs, c.BoundNs,
+			c.LatMinNs, c.LatMeanNs, c.LatMaxNs, c.LatP99Ns, ok)
+	}
+}
+
+// ThroughputTolerance absorbs measurement-window edge effects when
+// comparing delivered throughput to the requirement.
+const ThroughputTolerance = 0.98
+
+// Run simulates warmupNs of warm-up, clears statistics, simulates
+// measureNs more, and returns the report.
+func (n *Network) Run(warmupNs, measureNs float64) *Report {
+	warm := clock.Time(warmupNs * float64(clock.Nanosecond))
+	meas := clock.Time(measureNs * float64(clock.Nanosecond))
+	n.eng.Run(n.eng.Now() + warm)
+	for _, c := range n.nis {
+		c.ResetStats()
+	}
+	n.eng.Run(n.eng.Now() + meas)
+	return n.report(measureNs)
+}
+
+func (n *Network) report(measureNs float64) *Report {
+	r := &Report{
+		Name:       n.Spec.Name,
+		FreqMHz:    n.Cfg.FreqMHz,
+		TableSize:  n.Cfg.TableSize,
+		Mode:       n.Cfg.Mode.String(),
+		MeasureNs:  measureNs,
+		TotalEdges: n.eng.Edges(),
+	}
+	ids := make([]phit.ConnID, 0, len(n.conns))
+	for id := range n.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		info := n.conns[id]
+		st := n.nis[info.dstNI].InStats(id)
+		cr := ConnReport{
+			Conn:              id,
+			App:               info.spec.App,
+			RequiredMBps:      info.spec.BandwidthMBps,
+			RequiredLatencyNs: info.spec.MaxLatencyNs,
+			Slots:             len(info.slotSet),
+			GuaranteedMBps:    info.guaranteeMBps,
+			BoundNs:           info.boundNs,
+			PathHops:          info.path.Hops(),
+			Delivered:         st.Delivered,
+		}
+		if st.Delivered > 0 {
+			cr.MeasuredMBps = st.ThroughputMBps(n.Cfg.WordBytes)
+			cr.LatMinNs = st.Latency.Min()
+			cr.LatMeanNs = st.Latency.Mean()
+			cr.LatMaxNs = st.Latency.Max()
+			cr.LatP99Ns = st.Latency.Percentile(99)
+			cr.LatStdDevNs = st.Latency.StdDev()
+		}
+		cr.MetThroughput = cr.MeasuredMBps >= cr.RequiredMBps*ThroughputTolerance
+		cr.MetLatency = st.Delivered > 0 && cr.LatMaxNs <= cr.RequiredLatencyNs
+		cr.WithinBound = st.Delivered > 0 && cr.LatMaxNs <= cr.BoundNs
+		r.Conns = append(r.Conns, cr)
+	}
+	return r
+}
+
+// ConnectionInfo is the externally visible allocation result for one
+// connection.
+type ConnectionInfo struct {
+	Conn           phit.ConnID
+	Slots          []int
+	PathHops       int
+	TotalShift     int
+	GuaranteedMBps float64
+	BoundNs        float64
+	RecvCapacity   int
+}
+
+// Info returns the allocation-derived facts of a data connection.
+func (n *Network) Info(c phit.ConnID) (ConnectionInfo, error) {
+	info, ok := n.conns[c]
+	if !ok {
+		return ConnectionInfo{}, fmt.Errorf("core: unknown connection %d", c)
+	}
+	return ConnectionInfo{
+		Conn:           c,
+		Slots:          append([]int(nil), info.slotSet...),
+		PathHops:       info.path.Hops(),
+		TotalShift:     info.path.TotalShift,
+		GuaranteedMBps: info.guaranteeMBps,
+		BoundNs:        info.boundNs,
+		RecvCapacity:   info.recvCap,
+	}, nil
+}

@@ -1,0 +1,66 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/phit"
+	"repro/internal/topology"
+	"repro/internal/wrapper"
+)
+
+// AeliteModel builds the HSDF model of a wrapped (asynchronous-mode)
+// aelite network: one actor per router and NI with a firing duration of
+// one local flit cycle (3 local clock periods, in picoseconds), and one
+// bounded channel per link with the wrapper's initial marking, capacity
+// and transfer latency. clocks gives each node's local clock; nodes
+// missing from the map run at base.
+//
+// The model answers, in closed form, the question the paper's Section VI-A
+// states informally: at what rate does a plesiochronous (or fully
+// heterochronous) aelite network iterate? MCR() of the returned graph is
+// the steady-state flit-cycle period in picoseconds.
+func AeliteModel(g *topology.Graph, clocks map[topology.NodeID]*clock.Clock, base *clock.Clock) (*Graph, map[topology.NodeID]ActorID, error) {
+	if base == nil {
+		return nil, nil, fmt.Errorf("dataflow: nil base clock")
+	}
+	df := New()
+	actorOf := make(map[topology.NodeID]ActorID, g.NumNodes())
+	for _, n := range g.Nodes() {
+		ck := clocks[n.ID]
+		if ck == nil {
+			ck = base
+		}
+		dur := float64(phit.FlitWords) * float64(ck.Period)
+		id := df.AddActor(n.Name, dur)
+		actorOf[n.ID] = id
+		// A wrapper cannot overlap its own flit cycles: the standard
+		// HSDF one-token self-loop makes firings sequential.
+		df.AddEdge(id, id, 1, 0)
+	}
+	// The wrapper pushes a token with a transfer delay of two nominal
+	// cycles (the registered fire); channel capacity and initial
+	// marking come from the wrapper package so model and simulator
+	// cannot drift apart.
+	latency := 2 * float64(base.Period)
+	for _, l := range g.Links() {
+		df.AddChannel(actorOf[l.From], actorOf[l.To], wrapper.InitialTokens, wrapper.ChannelCapacity, latency)
+	}
+	return df, actorOf, nil
+}
+
+// SlowestElementPeriod returns the naive lower bound on the iteration
+// period — the slowest element's flit cycle — against which MCR shows
+// whether channel markings, capacities or latencies throttle the network
+// below the paper's "only runs as fast as the slowest router or NI".
+func SlowestElementPeriod(g *topology.Graph, clocks map[topology.NodeID]*clock.Clock, base *clock.Clock) float64 {
+	worst := float64(phit.FlitWords) * float64(base.Period)
+	for _, n := range g.Nodes() {
+		if ck := clocks[n.ID]; ck != nil {
+			if d := float64(phit.FlitWords) * float64(ck.Period); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

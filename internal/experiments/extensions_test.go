@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPowerStudy(t *testing.T) {
+	rep, err := PowerStudy(Sec7Seed, 500)
+	if err != nil {
+		t.Fatalf("PowerStudy: %v", err)
+	}
+	if len(rep.Routers) != 12 {
+		t.Fatalf("routers = %d", len(rep.Routers))
+	}
+	if rep.IdleUW <= 0 || rep.DynamicUW <= 0 {
+		t.Errorf("degenerate totals: %+v", rep)
+	}
+	// The full 200-connection workload keeps the fabric essentially
+	// always awake; the single-app point must sleep strictly more.
+	single, err := PowerStudyApp(Sec7Seed, 500, 1)
+	if err != nil {
+		t.Fatalf("PowerStudyApp: %v", err)
+	}
+	if single.SleepUW >= rep.SleepUW {
+		t.Errorf("single-app clock power %v not below full workload %v", single.SleepUW, rep.SleepUW)
+	}
+	if single.DynamicUW >= rep.DynamicUW {
+		t.Errorf("single-app dynamic power %v not below full workload %v", single.DynamicUW, rep.DynamicUW)
+	}
+	var b strings.Builder
+	WritePower(&b, single)
+	if !strings.Contains(b.String(), "sleep") {
+		t.Error("WritePower output incomplete")
+	}
+}
+
+func TestHeterochronous(t *testing.T) {
+	for _, ppm := range []float64{0, 50000} {
+		r, err := Heterochronous(ppm)
+		if err != nil {
+			t.Fatalf("Heterochronous(%v): %v", ppm, err)
+		}
+		// The MCR must equal the slowest element's flit cycle: the
+		// wrapped network is rate-transparent.
+		if d := r.MCRPs - r.SlowestPeriodPs; d > 1 || d < -1 {
+			t.Errorf("ppm %v: MCR %v vs slowest %v", ppm, r.MCRPs, r.SlowestPeriodPs)
+		}
+		if ppm > 0 && r.MCRPs <= r.BasePeriodPs {
+			t.Errorf("ppm %v: slowdown did not propagate", ppm)
+		}
+	}
+	var b strings.Builder
+	if err := WriteHeterochronous(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "MCR") {
+		t.Error("WriteHeterochronous output incomplete")
+	}
+}

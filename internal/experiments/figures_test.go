@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig5Shape(t *testing.T) {
+	rows := Fig5()
+	if len(rows) < 10 {
+		t.Fatalf("Fig5 has %d rows", len(rows))
+	}
+	if rows[0].TargetMHz != 500 {
+		t.Errorf("sweep starts at %.0f MHz", rows[0].TargetMHz)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AreaUm2 < rows[i-1].AreaUm2 {
+			t.Errorf("area decreased at %.0f MHz", rows[i].TargetMHz)
+		}
+	}
+	// Flat start, saturated end.
+	first, last := rows[0].AreaUm2, rows[len(rows)-1].AreaUm2
+	if last/first < 1.2 || last/first > 1.35 {
+		t.Errorf("total growth %.2fx, expected ~1.26x saturation", last/first)
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	a := Fig6a()
+	if len(a) != 6 || a[0].Arity != 2 || a[5].Arity != 7 {
+		t.Fatalf("Fig6a sweep malformed: %+v", a)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].AreaUm2 <= a[i-1].AreaUm2 {
+			t.Error("Fig6a area not increasing with arity")
+		}
+		if a[i].FmaxMHz >= a[i-1].FmaxMHz {
+			t.Error("Fig6a fmax not decreasing with arity")
+		}
+	}
+	b := Fig6b()
+	if len(b) != 8 || b[0].WidthBits != 32 || b[7].WidthBits != 256 {
+		t.Fatalf("Fig6b sweep malformed: %+v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i].AreaUm2 <= b[i-1].AreaUm2 {
+			t.Error("Fig6b area not increasing with width")
+		}
+		if b[i].FmaxMHz >= b[i-1].FmaxMHz {
+			t.Error("Fig6b fmax not decreasing with width")
+		}
+	}
+}
+
+func TestLinkTableAndWriters(t *testing.T) {
+	rows := LinkTable()
+	if len(rows) < 8 {
+		t.Fatalf("LinkTable has %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.AreaUm2 <= 0 {
+			t.Errorf("%s has non-positive area", r.Item)
+		}
+	}
+	var b strings.Builder
+	WriteFig5(&b)
+	WriteFig6a(&b)
+	WriteFig6b(&b)
+	WriteLinkTable(&b)
+	WriteThroughput(&b)
+	out := b.String()
+	for _, want := range []string{"Fig. 5", "Fig. 6(a)", "Fig. 6(b)", "bi-sync FIFO", "64 Gbyte/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+func TestThroughputRows(t *testing.T) {
+	rows := Throughput()
+	found := false
+	for _, r := range rows {
+		if r.Arity == 6 && r.WidthBits == 64 {
+			found = true
+			if r.OneWayGBps < 35 || r.FullDuplexGBps < 70 {
+				t.Errorf("arity-6 64-bit throughput too low: %+v", r)
+			}
+			if r.AreaUm2 > 36000 {
+				t.Errorf("arity-6 64-bit area %.0f exceeds ~0.03 mm² ballpark", r.AreaUm2)
+			}
+		}
+	}
+	if !found {
+		t.Error("no arity-6 64-bit row")
+	}
+}

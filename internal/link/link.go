@@ -1,0 +1,211 @@
+// Package link models aelite's links: plain synchronous wires and the
+// mesochronous link pipeline stage of paper Section V.
+//
+// A mesochronous stage decouples the phase (not the frequency) of writer
+// and reader. It consists of:
+//
+//   - a bi-synchronous FIFO written with the clock that travels with the
+//     data (source-synchronous), 4 words deep — deep enough, under the
+//     paper's assumptions, to never fill, so it needs no full/accept
+//     handshake back to the writer;
+//   - an FSM in the reader clock domain tracking the position within the
+//     current flit (states 0, 1, 2). When a new flit cycle begins (state
+//     0) and the FIFO holds at least one word, the FSM asserts valid
+//     toward the router and accept toward the FIFO for the succeeding
+//     three cycles, forwarding exactly one flit.
+//
+// The re-alignment makes a link traversal take exactly one flit cycle in
+// the reader's clock, so TDM reservations shift by one slot per stage —
+// the same shift a router adds — and the whole NoC can be reasoned about
+// as globally flit-synchronous.
+//
+// The paper's operating assumptions are checked, not assumed: skew at most
+// half a clock cycle, FIFO forwarding delay of 1-2 cycles with skew+delay
+// small enough to make the alignment land one flit cycle downstream, and a
+// nominal rate of one word per cycle (used slots carry whole 3-word
+// flits). Violations panic, because silently mis-aligned hardware would
+// corrupt the TDM schedule.
+package link
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/phit"
+	"repro/internal/sim"
+)
+
+// FIFODepth is the bi-synchronous FIFO depth in words; the paper sizes it
+// at 4 so that it can never fill under the skew bound.
+const FIFODepth = 4
+
+// A Stage is one mesochronous link pipeline stage. Construct with
+// NewStage, then register both returned components with the engine.
+type Stage struct {
+	name string
+	fifo *sim.Bisync[phit.Phit]
+
+	tap *writerTap
+	fsm *readerFSM
+}
+
+// NewStage builds a stage between a writer-domain wire and a reader-domain
+// wire.
+//
+//	in:  driven by the upstream element (router or NI) in writerClk's
+//	     domain; writerClk is the source-synchronous clock that travels
+//	     with the data.
+//	out: read by the downstream element in readerClk's domain.
+//
+// forwardDelay is the FIFO's synchroniser forwarding delay (the paper
+// assumes one to two cycles; pass e.g. readerClk.Period for one cycle).
+// The writer/reader skew is |writerClk.Phase - readerClk.Phase| and must
+// be at most half a period.
+func NewStage(name string, in *sim.Wire[phit.Phit], out *sim.Wire[phit.Phit],
+	writerClk, readerClk *clock.Clock, forwardDelay clock.Duration) *Stage {
+	if writerClk.Period != readerClk.Period {
+		panic(fmt.Sprintf("link %s: mesochronous stage requires equal periods (writer %d ps, reader %d ps); use the asynchronous wrapper for plesiochronous operation",
+			name, writerClk.Period, readerClk.Period))
+	}
+	skew := writerClk.Phase - readerClk.Phase
+	if skew < 0 {
+		skew = -skew
+	}
+	if 2*skew > writerClk.Period {
+		panic(fmt.Sprintf("link %s: skew %d ps exceeds half a period (%d ps) — outside the paper's mesochronous operating assumption",
+			name, skew, writerClk.Period))
+	}
+	if forwardDelay <= 0 {
+		panic(fmt.Sprintf("link %s: non-positive FIFO forwarding delay", name))
+	}
+	// Alignment feasibility: a flit's first word is pushed one writer
+	// cycle after the driving edge and becomes visible forwardDelay
+	// later; the FSM must catch it at the *next* reader flit boundary,
+	// at most two reader cycles on, for the uniform +1-slot TDM shift to
+	// hold on every link. Hence forwardDelay + (writer phase - reader
+	// phase) <= 2 cycles. A 2-cycle FIFO therefore tolerates no adverse
+	// skew; the paper's full half-cycle skew budget needs a forwarding
+	// delay of at most 1.5 cycles.
+	if forwardDelay+(writerClk.Phase-readerClk.Phase) > 2*writerClk.Period {
+		panic(fmt.Sprintf("link %s: forwarding delay %d ps plus adverse skew %d ps exceeds two cycles — flits would mis-align by a whole slot and break the TDM schedule",
+			name, forwardDelay, writerClk.Phase-readerClk.Phase))
+	}
+	s := &Stage{
+		name: name,
+		fifo: sim.NewBisync[phit.Phit](name+".fifo", FIFODepth, forwardDelay),
+	}
+	s.tap = &writerTap{stage: s, clk: writerClk, in: in}
+	s.fsm = &readerFSM{stage: s, clk: readerClk, out: out}
+	return s
+}
+
+// Components returns the two engine components of the stage (writer tap
+// and reader FSM); register both with Engine.Add.
+func (s *Stage) Components() []sim.Component {
+	return []sim.Component{s.tap, s.fsm}
+}
+
+// MaxFIFOOccupancy reports the FIFO's high-water mark; the Section V
+// invariant is that it never exceeds FIFODepth (enforced by panic) and in
+// fact stays below it under the stated assumptions.
+func (s *Stage) MaxFIFOOccupancy() int { return s.fifo.MaxOccupancy() }
+
+// Forwarded reports how many flits the FSM has forwarded.
+func (s *Stage) Forwarded() int64 { return s.fsm.flits }
+
+// writerTap samples the upstream wire on the source-synchronous clock and
+// pushes valid words into the bi-synchronous FIFO.
+type writerTap struct {
+	stage   *Stage
+	clk     *clock.Clock
+	in      *sim.Wire[phit.Phit]
+	sampled phit.Phit
+}
+
+func (t *writerTap) Name() string          { return t.stage.name + ".tap" }
+func (t *writerTap) Clock() *clock.Clock   { return t.clk }
+func (t *writerTap) Sample(now clock.Time) { t.sampled = t.in.Read() }
+
+func (t *writerTap) Update(now clock.Time) {
+	if t.sampled.Valid {
+		// The FIFO panics on overflow: aelite sizes it to never fill
+		// under the skew assumption, so overflow is a configuration
+		// error.
+		t.stage.fifo.Push(now, t.sampled)
+	}
+}
+
+// readerFSM re-aligns flits to the reader's flit-cycle boundaries.
+type readerFSM struct {
+	stage *Stage
+	clk   *clock.Clock
+	out   *sim.Wire[phit.Phit]
+
+	forwarding bool
+	flits      int64
+}
+
+func (f *readerFSM) Name() string          { return f.stage.name + ".fsm" }
+func (f *readerFSM) Clock() *clock.Clock   { return f.clk }
+func (f *readerFSM) Sample(now clock.Time) {}
+
+func (f *readerFSM) Update(now clock.Time) {
+	n, ok := f.clk.EdgeIndex(now)
+	if !ok {
+		panic(fmt.Sprintf("link %s: update off-edge at %d ps", f.stage.name, now))
+	}
+	state := int(n % phit.FlitWords)
+	if state == 0 {
+		f.forwarding = f.stage.fifo.Valid(now)
+		if f.forwarding {
+			f.flits++
+		}
+	}
+	if !f.forwarding {
+		f.out.Drive(phit.IdlePhit)
+		return
+	}
+	// Accept is high: pop one word this cycle. An empty FIFO mid-flit
+	// violates the nominal one-word-per-cycle rate assumption (a used
+	// slot must carry a whole flit).
+	if !f.stage.fifo.Valid(now) {
+		panic(fmt.Sprintf("link %s: FIFO underflow in flit state %d at %d ps — writer sent a partial flit",
+			f.stage.name, state, now))
+	}
+	f.out.Drive(f.stage.fifo.Pop(now))
+	if state == phit.FlitWords-1 {
+		f.forwarding = false
+	}
+}
+
+// Pipeline builds n mesochronous stages in series between in and out.
+// stageClks lists the local clock of each stage (the first stage's writer
+// clock is writerClk; stage i's writer clock is stage i-1's local clock).
+// It returns the stages; register all their components and the
+// intermediate wires it creates via the provided engine.
+func Pipeline(name string, eng *sim.Engine, in *sim.Wire[phit.Phit], out *sim.Wire[phit.Phit],
+	writerClk *clock.Clock, stageClks []*clock.Clock, forwardDelay clock.Duration) []*Stage {
+	if len(stageClks) == 0 {
+		panic(fmt.Sprintf("link %s: pipeline needs at least one stage", name))
+	}
+	stages := make([]*Stage, len(stageClks))
+	cur := in
+	w := writerClk
+	for i, ck := range stageClks {
+		var next *sim.Wire[phit.Phit]
+		if i == len(stageClks)-1 {
+			next = out
+		} else {
+			next = sim.NewWire[phit.Phit](fmt.Sprintf("%s.w%d", name, i))
+			eng.AddWire(next)
+		}
+		st := NewStage(fmt.Sprintf("%s.s%d", name, i), cur, next, w, ck, forwardDelay)
+		for _, c := range st.Components() {
+			eng.Add(c)
+		}
+		stages[i] = st
+		cur = next
+		w = ck
+	}
+	return stages
+}

@@ -1,0 +1,483 @@
+// Package ni implements the aelite Network Interface (NI).
+//
+// The NI is where all intelligence of the GS-only network lives (the
+// routers have none, by design):
+//
+//   - TDM injection: a slot table of the network-wide size regulates when
+//     each connection may inject a flit (paper Section III). Slots are one
+//     flit cycle (3 cycles) long.
+//   - Packetisation: the first word of a packet is a header carrying the
+//     source route, the destination queue id and piggybacked end-to-end
+//     credits. A packet is extended into the next slot (header elision,
+//     3 payload words instead of 2) only when the same connection owns
+//     that next slot — otherwise the packet is closed with an
+//     End-of-Packet marker so the routers' port-hold logic stays correct.
+//     Used slots always carry whole 3-word flits (padded if necessary) so
+//     mesochronous link FSMs can forward fixed-size flits.
+//   - End-to-end flow control: credit-based. A sender holds credits equal
+//     to the free space (in words) of the remote receive queue and blocks
+//     when they run out, so receive queues can never overflow and an
+//     oversubscribing application only slows itself down (paper Section
+//     IV.A). Credits are returned piggybacked in headers of the paired
+//     reverse connection, or in credit-only packets when that connection
+//     has no data of its own.
+//   - GALS edge: IPs reach the NI through bi-synchronous FIFOs, so IP
+//     clocks are unconstrained.
+//
+// The receive side is self-describing (headers carry the queue id), so
+// only injection needs slot knowledge — routers and receive paths are
+// TDM-oblivious.
+package ni
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/phit"
+	"repro/internal/sim"
+	"repro/internal/slots"
+	"repro/internal/stats"
+)
+
+// DefaultSendCapacity is the default depth, in words, of the IP-to-NI
+// bi-synchronous FIFO of each connection.
+const DefaultSendCapacity = 32
+
+// OutConnConfig configures one connection sourced at this NI.
+type OutConnConfig struct {
+	ID phit.ConnID
+	// Header is the encoded header word (path + destination queue id)
+	// with a zero credit field; per-packet credits are merged in.
+	Header phit.Word
+	// Headers optionally overrides Header per injection slot: the
+	// allocator may reserve different (equal-length) paths for
+	// different slots of one connection, and each packet must follow
+	// the path its slot was reserved on.
+	Headers map[int]phit.Word
+	// InitialCredits is the remote receive queue capacity in words.
+	InitialCredits int
+	// PairedIn names the in-connection at this NI whose owed credits
+	// ride on this connection's headers (phit.None if no pairing).
+	PairedIn phit.ConnID
+	// SendCapacity is the IP-side FIFO depth in words (0 selects
+	// DefaultSendCapacity).
+	SendCapacity int
+}
+
+// InConnConfig configures one connection terminating at this NI.
+type InConnConfig struct {
+	ID phit.ConnID
+	// QID is this connection's receive queue index, as encoded in the
+	// headers the sender builds.
+	QID int
+	// RecvCapacity is the receive queue depth in words; it must match
+	// the sender's InitialCredits.
+	RecvCapacity int
+	// CreditFor names the out-connection at this NI that is credited by
+	// the credit field of this connection's incoming headers (phit.None
+	// if this connection's headers never carry credits for us).
+	CreditFor phit.ConnID
+	// AutoDrain, when true (the common case: the IP consumes at line
+	// rate), pops arriving words immediately and returns credits.
+	AutoDrain bool
+}
+
+type outConn struct {
+	cfg     OutConnConfig
+	credits int
+	queue   *sim.Bisync[phit.Meta] // IP -> NI
+	sent    int64                  // payload words sent
+	blocked int64                  // flit opportunities lost to credit exhaustion
+}
+
+type inConn struct {
+	cfg       InConnConfig
+	recvQ     []phit.Meta
+	owed      int // credits owed to the sender (freed queue space)
+	delivered int64
+	latency   stats.Histogram // ns per payload word, inject->arrival
+	firstNs   float64
+	lastNs    float64
+
+	// record, when set, logs every payload arrival instant — the raw
+	// material of the composability experiments (cycle-exact timing
+	// comparison across runs).
+	record   bool
+	arrivals []clock.Time
+}
+
+// An NI is the network interface simulation component.
+type NI struct {
+	name   string
+	clk    *clock.Clock
+	layout phit.HeaderLayout
+	table  *slots.Table
+
+	in  *sim.Wire[phit.Phit] // from router
+	out *sim.Wire[phit.Phit] // to router
+
+	outByID map[phit.ConnID]*outConn
+	inByID  map[phit.ConnID]*inConn
+	inByQID map[int]*inConn
+
+	// Sender state.
+	flitIndex int64 // count of flit cycles begun
+	openConn  phit.ConnID
+	flitBuf   [phit.FlitWords]phit.Phit
+
+	// Receiver state.
+	curIn      *inConn
+	inPacket   bool
+	sampled    phit.Phit
+	paddingSum int64
+
+	// phase tracks the word index within the current flit cycle in
+	// component mode; in wrapper (flit-granular) mode it is unused.
+	wrapped bool
+}
+
+// New builds an NI clocked by clk with the given header layout and slot
+// table. in/out are the wires to and from the attached router (either may
+// be nil for NIs used only in one direction, e.g. in unit tests).
+func New(name string, clk *clock.Clock, layout phit.HeaderLayout, table *slots.Table,
+	in, out *sim.Wire[phit.Phit]) *NI {
+	if err := layout.Validate(); err != nil {
+		panic(fmt.Sprintf("ni %s: %v", name, err))
+	}
+	return &NI{
+		name:    name,
+		clk:     clk,
+		layout:  layout,
+		table:   table,
+		in:      in,
+		out:     out,
+		outByID: make(map[phit.ConnID]*outConn),
+		inByID:  make(map[phit.ConnID]*inConn),
+		inByQID: make(map[int]*inConn),
+	}
+}
+
+// AddOutConn registers a connection sourced at this NI.
+func (n *NI) AddOutConn(cfg OutConnConfig) {
+	if cfg.ID == phit.None {
+		panic(fmt.Sprintf("ni %s: out connection with reserved id 0", n.name))
+	}
+	if _, dup := n.outByID[cfg.ID]; dup {
+		panic(fmt.Sprintf("ni %s: duplicate out connection %d", n.name, cfg.ID))
+	}
+	if cfg.InitialCredits < 0 {
+		panic(fmt.Sprintf("ni %s: connection %d negative credits", n.name, cfg.ID))
+	}
+	cap := cfg.SendCapacity
+	if cap == 0 {
+		cap = DefaultSendCapacity
+	}
+	n.outByID[cfg.ID] = &outConn{
+		cfg:     cfg,
+		credits: cfg.InitialCredits,
+		queue:   sim.NewBisync[phit.Meta](fmt.Sprintf("%s.c%d.send", n.name, cfg.ID), cap, n.clk.Period),
+	}
+}
+
+// AddInConn registers a connection terminating at this NI.
+func (n *NI) AddInConn(cfg InConnConfig) {
+	if cfg.ID == phit.None {
+		panic(fmt.Sprintf("ni %s: in connection with reserved id 0", n.name))
+	}
+	if _, dup := n.inByID[cfg.ID]; dup {
+		panic(fmt.Sprintf("ni %s: duplicate in connection %d", n.name, cfg.ID))
+	}
+	if _, dup := n.inByQID[cfg.QID]; dup {
+		panic(fmt.Sprintf("ni %s: duplicate queue id %d", n.name, cfg.QID))
+	}
+	if cfg.QID < 0 || cfg.QID > n.layout.MaxQID() {
+		panic(fmt.Sprintf("ni %s: queue id %d outside layout range 0..%d", n.name, cfg.QID, n.layout.MaxQID()))
+	}
+	ic := &inConn{cfg: cfg}
+	n.inByID[cfg.ID] = ic
+	n.inByQID[cfg.QID] = ic
+}
+
+// Offer enqueues one word of payload for the connection from the IP side,
+// returning false when the IP-side FIFO is full (the blocking write of the
+// paper: the IP retries next cycle). now must be the caller's current
+// time.
+func (n *NI) Offer(now clock.Time, conn phit.ConnID, meta phit.Meta) bool {
+	oc := n.mustOut(conn)
+	if !oc.queue.CanPush() {
+		return false
+	}
+	meta.Conn = conn
+	oc.queue.Push(now, meta)
+	return true
+}
+
+// SendQueueSpace returns the free space of the connection's IP-side FIFO.
+func (n *NI) SendQueueSpace(conn phit.ConnID) int {
+	oc := n.mustOut(conn)
+	return oc.queue.Cap() - oc.queue.Len()
+}
+
+// Consume pops up to max words from the connection's receive queue,
+// returning credits to the sender. It is how a modelled IP reads data when
+// AutoDrain is off.
+func (n *NI) Consume(conn phit.ConnID, max int) []phit.Meta {
+	ic := n.mustIn(conn)
+	k := len(ic.recvQ)
+	if k > max {
+		k = max
+	}
+	out := append([]phit.Meta(nil), ic.recvQ[:k]...)
+	ic.recvQ = ic.recvQ[k:]
+	ic.owed += k
+	return out
+}
+
+func (n *NI) mustOut(conn phit.ConnID) *outConn {
+	oc := n.outByID[conn]
+	if oc == nil {
+		panic(fmt.Sprintf("ni %s: unknown out connection %d", n.name, conn))
+	}
+	return oc
+}
+
+func (n *NI) mustIn(conn phit.ConnID) *inConn {
+	ic := n.inByID[conn]
+	if ic == nil {
+		panic(fmt.Sprintf("ni %s: unknown in connection %d", n.name, conn))
+	}
+	return ic
+}
+
+// Name implements sim.Component.
+func (n *NI) Name() string { return n.name }
+
+// Clock implements sim.Component.
+func (n *NI) Clock() *clock.Clock { return n.clk }
+
+// Sample implements sim.Component.
+func (n *NI) Sample(now clock.Time) {
+	if n.in != nil {
+		n.sampled = n.in.Read()
+	} else {
+		n.sampled = phit.IdlePhit
+	}
+}
+
+// Update implements sim.Component.
+func (n *NI) Update(now clock.Time) {
+	if n.wrapped {
+		panic(fmt.Sprintf("ni %s: engine Update on a wrapper-mode NI", n.name))
+	}
+	edge, ok := n.clk.EdgeIndex(now)
+	if !ok {
+		panic(fmt.Sprintf("ni %s: update off-edge at %d ps", n.name, now))
+	}
+	n.receivePhit(now, n.sampled)
+	w := int(edge % phit.FlitWords)
+	if w == 0 {
+		slot := int((edge / phit.FlitWords) % int64(n.table.Size()))
+		n.buildFlit(now, slot)
+		n.flitIndex++
+	}
+	if n.out != nil {
+		n.out.Drive(n.flitBuf[w])
+	} else if n.flitBuf[w].Valid {
+		panic(fmt.Sprintf("ni %s: valid phit but no output wire", n.name))
+	}
+}
+
+// StepFlit advances the NI by one flit cycle in wrapper (asynchronous)
+// mode: the in token's phits are received, the next slot's flit is built
+// and returned. The slot counter advances one slot per call — the
+// iteration count, not wall-clock time, indexes the TDM table, which is
+// how the adapted slot allocation of paper Section VI stays valid under
+// plesiochronous clocks. A wrapped NI must not also be registered with the
+// engine as a component.
+func (n *NI) StepFlit(now clock.Time, in phit.Flit) phit.Flit {
+	n.wrapped = true
+	for _, p := range in {
+		n.receivePhit(now, p)
+	}
+	slot := int(n.flitIndex % int64(n.table.Size()))
+	n.buildFlit(now, slot)
+	n.flitIndex++
+	var out phit.Flit
+	copy(out[:], n.flitBuf[:])
+	return out
+}
+
+// receivePhit processes one arriving phit.
+func (n *NI) receivePhit(now clock.Time, p phit.Phit) {
+	if !p.Valid {
+		return
+	}
+	if !n.inPacket {
+		if p.Kind != phit.Header && p.Kind != phit.CreditOnly {
+			panic(fmt.Sprintf("ni %s: expected header, got %v (conn %d)", n.name, p.Kind, p.Meta.Conn))
+		}
+		qid := n.layout.QID(p.Data)
+		ic := n.inByQID[qid]
+		if ic == nil {
+			panic(fmt.Sprintf("ni %s: header for unknown queue %d (conn %d)", n.name, qid, p.Meta.Conn))
+		}
+		n.curIn = ic
+		if cr := n.layout.Credits(p.Data); cr > 0 {
+			target := ic.cfg.CreditFor
+			if target == phit.None {
+				panic(fmt.Sprintf("ni %s: %d credits arrived on connection %d with no credit target",
+					n.name, cr, ic.cfg.ID))
+			}
+			oc := n.mustOut(target)
+			// Credits travel in flit units (one credit = FlitWords
+			// words of freed buffer), tripling the return bandwidth
+			// of the narrow header field.
+			oc.credits += cr * phit.FlitWords
+			if oc.credits > oc.cfg.InitialCredits {
+				panic(fmt.Sprintf("ni %s: connection %d credits %d exceed capacity %d — duplicate credit return",
+					n.name, target, oc.credits, oc.cfg.InitialCredits))
+			}
+		}
+		n.inPacket = true
+	} else {
+		switch p.Kind {
+		case phit.Payload:
+			ic := n.curIn
+			if len(ic.recvQ) >= ic.cfg.RecvCapacity && !ic.cfg.AutoDrain {
+				panic(fmt.Sprintf("ni %s: receive queue overflow on connection %d — end-to-end flow control violated",
+					n.name, ic.cfg.ID))
+			}
+			lat := float64(now-p.Meta.Injected) / float64(clock.Nanosecond)
+			ic.latency.Add(lat)
+			ic.delivered++
+			ic.lastNs = float64(now) / float64(clock.Nanosecond)
+			if ic.delivered == 1 {
+				ic.firstNs = ic.lastNs
+			}
+			if ic.record {
+				ic.arrivals = append(ic.arrivals, now)
+			}
+			if ic.cfg.AutoDrain {
+				ic.owed++
+			} else {
+				ic.recvQ = append(ic.recvQ, p.Meta)
+			}
+		case phit.Padding:
+			n.paddingSum++
+		default:
+			panic(fmt.Sprintf("ni %s: %v phit inside packet (conn %d)", n.name, p.Kind, p.Meta.Conn))
+		}
+	}
+	if p.EoP {
+		n.inPacket = false
+	}
+}
+
+// headerFor returns the connection's header word for packets opened in
+// the given slot.
+func (n *NI) headerFor(oc *outConn, slot int) phit.Word {
+	if oc.cfg.Headers != nil {
+		if h, ok := oc.cfg.Headers[slot%n.table.Size()]; ok {
+			return h
+		}
+	}
+	return oc.cfg.Header
+}
+
+// buildFlit decides the content of the flit injected in this slot and
+// stores it in flitBuf.
+func (n *NI) buildFlit(now clock.Time, slot int) {
+	for i := range n.flitBuf {
+		n.flitBuf[i] = phit.IdlePhit
+	}
+	owner := n.table.Owner(slot)
+	if owner == phit.None {
+		if n.openConn != phit.None {
+			panic(fmt.Sprintf("ni %s: packet of connection %d left open into unowned slot %d",
+				n.name, n.openConn, slot))
+		}
+		return
+	}
+	oc := n.mustOut(owner)
+	continuing := n.openConn == owner
+	if n.openConn != phit.None && !continuing {
+		panic(fmt.Sprintf("ni %s: packet of connection %d open entering slot %d owned by %d",
+			n.name, n.openConn, slot, owner))
+	}
+
+	maxPayload := phit.FlitWords - 1
+	if continuing {
+		maxPayload = phit.FlitWords
+	}
+	avail := 0
+	for avail < maxPayload && avail < oc.credits && oc.queue.ValidAt(now, avail) {
+		avail++
+	}
+	if oc.queue.Valid(now) && oc.credits == 0 {
+		oc.blocked++
+	}
+
+	// Credits owed on the paired reverse connection (only headers carry
+	// them), in flit units; a sub-flit remainder simply waits for the
+	// next header, costing at most FlitWords-1 words of effective
+	// buffer (the capacity sizing accounts for it).
+	owed := 0
+	var pairedIn *inConn
+	if oc.cfg.PairedIn != phit.None {
+		pairedIn = n.mustIn(oc.cfg.PairedIn)
+		owed = pairedIn.owed / phit.FlitWords
+		if owed > n.layout.MaxCredits() {
+			owed = n.layout.MaxCredits()
+		}
+	}
+
+	word := 0
+	if !continuing {
+		if avail == 0 && owed == 0 {
+			return // nothing to send: idle slot
+		}
+		hdr, err := n.layout.WithCredits(n.headerFor(oc, slot), owed)
+		if err != nil {
+			panic(fmt.Sprintf("ni %s: %v", n.name, err))
+		}
+		if pairedIn != nil {
+			pairedIn.owed -= owed * phit.FlitWords
+		}
+		kind := phit.Header
+		if avail == 0 {
+			kind = phit.CreditOnly
+		}
+		n.flitBuf[0] = phit.Phit{Valid: true, Kind: kind, Data: hdr, Meta: phit.Meta{Conn: owner}}
+		word = 1
+	} else if avail == 0 {
+		panic(fmt.Sprintf("ni %s: connection %d packet kept open with nothing to send in slot %d",
+			n.name, owner, slot))
+	}
+
+	sent := 0
+	for ; word < phit.FlitWords && sent < avail; word++ {
+		meta := oc.queue.Pop(now)
+		meta.Sent = now
+		n.flitBuf[word] = phit.Phit{Valid: true, Kind: phit.Payload, Data: phit.Word(meta.Seq), Meta: meta}
+		sent++
+	}
+	oc.credits -= sent
+	oc.sent += int64(sent)
+	for ; word < phit.FlitWords; word++ {
+		n.flitBuf[word] = phit.Phit{Valid: true, Kind: phit.Padding, Meta: phit.Meta{Conn: owner}}
+	}
+
+	// Keep the packet open only if this connection owns the next slot
+	// *on the same path* (a continuation flit follows the route held by
+	// the routers' HPUs, so it must occupy the slots reserved for that
+	// route) and can certainly send at least one payload word in it.
+	next := n.table.Owner(slot + 1)
+	keepOpen := next == owner && oc.credits > 0 && oc.queue.ValidAt(now, 0) &&
+		n.headerFor(oc, slot) == n.headerFor(oc, slot+1)
+	if keepOpen {
+		n.openConn = owner
+	} else {
+		n.openConn = phit.None
+		n.flitBuf[phit.FlitWords-1].EoP = true
+	}
+}

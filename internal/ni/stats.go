@@ -1,0 +1,118 @@
+package ni
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/phit"
+	"repro/internal/stats"
+)
+
+// ConnStats summarises one terminating connection's measured behaviour at
+// this NI. Latency is measured per payload word from acceptance into the
+// source NI's IP-side FIFO to arrival at the destination NI, in
+// nanoseconds — the same span the paper's requirements cover.
+type ConnStats struct {
+	Delivered int64
+	Latency   *stats.Histogram
+	// FirstNs and LastNs are the arrival times of the first and last
+	// delivered word, for throughput computation over the active span.
+	FirstNs, LastNs float64
+}
+
+// ThroughputMBps returns the average delivered throughput in Mbyte/s over
+// the active span, given the word width in bytes.
+func (c ConnStats) ThroughputMBps(wordBytes int) float64 {
+	if c.Delivered < 2 || c.LastNs <= c.FirstNs {
+		return 0
+	}
+	bytes := float64(c.Delivered-1) * float64(wordBytes)
+	return bytes / (c.LastNs - c.FirstNs) * 1e3 // bytes/ns -> Mbyte/s
+}
+
+// InStats returns measurement for a connection terminating here.
+func (n *NI) InStats(conn phit.ConnID) ConnStats {
+	ic := n.mustIn(conn)
+	return ConnStats{
+		Delivered: ic.delivered,
+		Latency:   &ic.latency,
+		FirstNs:   ic.firstNs,
+		LastNs:    ic.lastNs,
+	}
+}
+
+// SentWords returns how many payload words an out-connection has sent.
+func (n *NI) SentWords(conn phit.ConnID) int64 { return n.mustOut(conn).sent }
+
+// BlockedFlits returns how many owned slots an out-connection could not
+// use for payload because its end-to-end credits were exhausted — the
+// back-pressure signal of paper Section IV.A.
+func (n *NI) BlockedFlits(conn phit.ConnID) int64 { return n.mustOut(conn).blocked }
+
+// Credits returns an out-connection's current end-to-end credit count.
+func (n *NI) Credits(conn phit.ConnID) int { return n.mustOut(conn).credits }
+
+// OwedCredits returns how many credits an in-connection still owes its
+// sender.
+func (n *NI) OwedCredits(conn phit.ConnID) int { return n.mustIn(conn).owed }
+
+// PaddingWords returns the number of padding phits received (protocol
+// overhead accounting).
+func (n *NI) PaddingWords() int64 { return n.paddingSum }
+
+// RecordArrivals enables (or disables) logging of every payload arrival
+// instant for an in-connection.
+func (n *NI) RecordArrivals(conn phit.ConnID, on bool) {
+	ic := n.mustIn(conn)
+	ic.record = on
+	if !on {
+		ic.arrivals = nil
+	}
+}
+
+// Arrivals returns the logged arrival instants (RecordArrivals must be on).
+func (n *NI) Arrivals(conn phit.ConnID) []clock.Time {
+	return append([]clock.Time(nil), n.mustIn(conn).arrivals...)
+}
+
+// ResetStats clears measurement state (typically after warm-up) without
+// touching protocol state.
+func (n *NI) ResetStats() {
+	for _, ic := range n.inByID {
+		ic.delivered = 0
+		ic.latency = stats.Histogram{}
+		ic.firstNs = 0
+		ic.lastNs = 0
+		ic.arrivals = nil
+	}
+	for _, oc := range n.outByID {
+		oc.sent = 0
+		oc.blocked = 0
+	}
+	n.paddingSum = 0
+}
+
+func (n *NI) String() string {
+	return fmt.Sprintf("ni(%s, %d out, %d in)", n.name, len(n.outByID), len(n.inByID))
+}
+
+// CorruptSlotForTest deliberately moves one of the connection's table
+// reservations to a different, unowned slot — a fault-injection hook for
+// verifying that the network's TDM probes and the routers' contention
+// checks detect schedule violations. Never call it outside tests.
+func (n *NI) CorruptSlotForTest(conn phit.ConnID) {
+	from, to := -1, -1
+	for s, owner := range n.table.Slots {
+		if owner == conn && from < 0 {
+			from = s
+		}
+		if owner == phit.None && to < 0 {
+			to = s
+		}
+	}
+	if from < 0 || to < 0 {
+		panic(fmt.Sprintf("ni %s: cannot corrupt table for connection %d", n.name, conn))
+	}
+	n.table.Slots[to] = conn
+	n.table.Slots[from] = phit.None
+}

@@ -1,0 +1,65 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/phit"
+)
+
+// StepFlitDirect advances the router by one whole flit cycle in wrapper
+// (asynchronous) mode. The wrapper feeds the datapath directly, bypassing
+// the input registers — the paper's Section VI notes the fire signal
+// reaches the Output Port Interfaces with a 2-cycle delay "corresponding
+// to the data path in the router without input registers" — so the output
+// flits belong to the same dataflow iteration as the input flits. The
+// physical 2-cycle latency is modelled by the wrapper's channel delay, not
+// here.
+//
+// in[i] is the token consumed from input port i this iteration (empty
+// tokens are all-idle flits); the result gives the token produced on each
+// output port. Contention still panics: with the adapted slot allocation
+// (one extra shift per initial channel token) no two flits may collide.
+func (c *Core) StepFlitDirect(in []phit.Flit, out []phit.Flit) []phit.Flit {
+	if len(in) != c.arity {
+		panic(fmt.Sprintf("router %s: %d input tokens for arity %d", c.name, len(in), c.arity))
+	}
+	if cap(out) < c.arity {
+		out = make([]phit.Flit, c.arity)
+	}
+	out = out[:c.arity]
+	for i := range out {
+		out[i] = phit.Flit{}
+	}
+	for w := 0; w < phit.FlitWords; w++ {
+		for i := 0; i < c.arity; i++ {
+			p := in[i][w]
+			st := &c.hpu[i]
+			if !p.Valid {
+				continue
+			}
+			if !st.inPacket {
+				if p.Kind != phit.Header && p.Kind != phit.CreditOnly {
+					panic(fmt.Sprintf("router %s: input %d expected header, got %v (conn %d)",
+						c.name, i, p.Kind, p.Meta.Conn))
+				}
+				port, shifted := c.layout.NextPort(p.Data)
+				p.Data = shifted
+				st.outPort = port
+				st.inPacket = true
+			}
+			if p.EoP {
+				st.inPacket = false
+			}
+			if st.outPort < 0 || st.outPort >= c.arity {
+				panic(fmt.Sprintf("router %s: input %d routed to non-existent port %d", c.name, i, st.outPort))
+			}
+			if out[st.outPort][w].Valid {
+				panic(fmt.Sprintf("router %s: token contention on output %d word %d between connections %d and %d",
+					c.name, st.outPort, w, out[st.outPort][w].Meta.Conn, p.Meta.Conn))
+			}
+			out[st.outPort][w] = p
+			c.forwarded++
+		}
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+// Package router implements the aelite router (paper Section IV).
+//
+// The router is deliberately minimal — that minimality is the paper's
+// point. It has:
+//
+//   - three pipeline stages, matching the 3-word flit: an input register,
+//     a Header Parsing Unit (HPU) per input, and a switch;
+//   - no routing table: the output port comes from the source route in the
+//     packet header, and the HPU shifts the path field one hop per router;
+//   - no arbiter: TDM slot allocation guarantees no two flits ever want
+//     the same output in the same cycle. The switch *asserts* this; a
+//     collision means the allocation (or a model) is broken and the
+//     simulation halts rather than silently arbitrating;
+//   - no link-level flow control and a single one-word buffer per input
+//     (the input register): GS-only operation means a flit that enters a
+//     router always has a reserved slot downstream;
+//   - explicit sideband valid and End-of-Packet bits, so the HPU never
+//     decodes data and stays off the critical path;
+//   - parameters only for data width (the header layout) and arity.
+//
+// Core is the cycle-exact state machine; Component adapts it to the
+// simulation engine for synchronous and mesochronous operation. The
+// asynchronous wrapper (package wrapper) reuses the same Core at flit
+// granularity, so there is a single source of truth for router behaviour.
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/phit"
+)
+
+// A Source provides a phit when sampled; sim.Wire[phit.Phit] implements it.
+type Source interface{ Read() phit.Phit }
+
+// A Sink accepts a driven phit; sim.Wire[phit.Phit] implements it.
+type Sink interface{ Drive(phit.Phit) }
+
+// hpuState tracks one input's position within a packet.
+type hpuState struct {
+	inPacket bool
+	outPort  int
+}
+
+// stage2Reg is the register between the HPU and the switch.
+type stage2Reg struct {
+	p       phit.Phit
+	outPort int
+}
+
+// Core is the cycle-exact aelite router state machine. Step advances it by
+// one clock cycle. Core carries no notion of time or wiring; callers own
+// both.
+type Core struct {
+	name   string
+	layout phit.HeaderLayout
+	arity  int
+
+	reg1 []phit.Phit // input registers (stage 1)
+	reg2 []stage2Reg // HPU output registers (stage 2)
+	hpu  []hpuState
+
+	// forwarded counts valid phits switched, a cheap progress metric.
+	forwarded int64
+}
+
+// NewCore returns a router core with the given arity (number of input and
+// output ports) and header layout.
+func NewCore(name string, arity int, layout phit.HeaderLayout) *Core {
+	if arity < 2 {
+		panic(fmt.Sprintf("router %s: arity %d below minimum 2", name, arity))
+	}
+	if err := layout.Validate(); err != nil {
+		panic(fmt.Sprintf("router %s: %v", name, err))
+	}
+	return &Core{
+		name:   name,
+		layout: layout,
+		arity:  arity,
+		reg1:   make([]phit.Phit, arity),
+		reg2:   make([]stage2Reg, arity),
+		hpu:    make([]hpuState, arity),
+	}
+}
+
+// Arity returns the port count.
+func (c *Core) Arity() int { return c.arity }
+
+// Name returns the router's name.
+func (c *Core) Name() string { return c.name }
+
+// Forwarded returns the number of valid phits switched so far.
+func (c *Core) Forwarded() int64 { return c.forwarded }
+
+// Step advances the router by one cycle: in[i] is the phit present at
+// input port i this cycle; the returned slice (valid until the next call)
+// holds the phit driven on each output port. The output corresponds to
+// inputs presented three cycles earlier.
+func (c *Core) Step(in []phit.Phit, out []phit.Phit) []phit.Phit {
+	if len(in) != c.arity {
+		panic(fmt.Sprintf("router %s: %d inputs for arity %d", c.name, len(in), c.arity))
+	}
+	if cap(out) < c.arity {
+		out = make([]phit.Phit, c.arity)
+	}
+	out = out[:c.arity]
+	for i := range out {
+		out[i] = phit.IdlePhit
+	}
+
+	// Stage 3: switch reg2 to the outputs. TDM contention-freedom means
+	// at most one input targets each output; hitting a collision is a
+	// broken allocation, not an arbitration event.
+	for i := range c.reg2 {
+		r := &c.reg2[i]
+		if !r.p.Valid {
+			continue
+		}
+		if r.outPort < 0 || r.outPort >= c.arity {
+			panic(fmt.Sprintf("router %s: input %d routed to non-existent port %d (conn %d)",
+				c.name, i, r.outPort, r.p.Meta.Conn))
+		}
+		if out[r.outPort].Valid {
+			panic(fmt.Sprintf(
+				"router %s: TDM contention on output %d between connections %d and %d — slot allocation violated",
+				c.name, r.outPort, out[r.outPort].Meta.Conn, r.p.Meta.Conn))
+		}
+		out[r.outPort] = r.p
+		c.forwarded++
+	}
+
+	// Stage 2: HPU. A valid phit outside a packet is a header: consume
+	// one hop of the path and latch the output port until EoP.
+	for i := range c.reg1 {
+		p := c.reg1[i]
+		st := &c.hpu[i]
+		if !p.Valid {
+			c.reg2[i] = stage2Reg{}
+			continue
+		}
+		if !st.inPacket {
+			if p.Kind != phit.Header && p.Kind != phit.CreditOnly {
+				panic(fmt.Sprintf("router %s: input %d expected header, got %v (conn %d)",
+					c.name, i, p.Kind, p.Meta.Conn))
+			}
+			port, shifted := c.layout.NextPort(p.Data)
+			p.Data = shifted
+			st.outPort = port
+			st.inPacket = true
+		}
+		if p.EoP {
+			st.inPacket = false
+		}
+		c.reg2[i] = stage2Reg{p: p, outPort: st.outPort}
+	}
+
+	// Stage 1: input registers.
+	copy(c.reg1, in)
+	return out
+}
+
+// Component adapts a Core to the simulation engine: inputs are sampled
+// from Sources and outputs driven to Sinks each cycle of the router's
+// clock.
+type Component struct {
+	core *Core
+	clk  *clock.Clock
+
+	in      []Source
+	out     []Sink
+	sampled []phit.Phit
+	outBuf  []phit.Phit
+}
+
+// NewComponent wraps a new Core for the engine. Inputs and outputs are
+// connected afterwards with ConnectIn/ConnectOut; unconnected ports read
+// idle and discard idle-only output (driving a valid phit to an
+// unconnected output panics — it means a route leaves the network).
+func NewComponent(name string, arity int, layout phit.HeaderLayout, clk *clock.Clock) *Component {
+	return &Component{
+		core:    NewCore(name, arity, layout),
+		clk:     clk,
+		in:      make([]Source, arity),
+		out:     make([]Sink, arity),
+		sampled: make([]phit.Phit, arity),
+	}
+}
+
+// Core exposes the underlying state machine (used by tests and tools).
+func (r *Component) Core() *Core { return r.core }
+
+// ConnectIn attaches a source to input port i.
+func (r *Component) ConnectIn(i int, s Source) { r.in[i] = s }
+
+// ConnectOut attaches a sink to output port i.
+func (r *Component) ConnectOut(i int, s Sink) { r.out[i] = s }
+
+// Name implements sim.Component.
+func (r *Component) Name() string { return r.core.name }
+
+// Clock implements sim.Component.
+func (r *Component) Clock() *clock.Clock { return r.clk }
+
+// Sample implements sim.Component.
+func (r *Component) Sample(now clock.Time) {
+	for i, s := range r.in {
+		if s == nil {
+			r.sampled[i] = phit.IdlePhit
+		} else {
+			r.sampled[i] = s.Read()
+		}
+	}
+}
+
+// Update implements sim.Component.
+func (r *Component) Update(now clock.Time) {
+	r.outBuf = r.core.Step(r.sampled, r.outBuf)
+	for i, s := range r.out {
+		if s != nil {
+			s.Drive(r.outBuf[i])
+		} else if r.outBuf[i].Valid {
+			panic(fmt.Sprintf("router %s: valid phit for unconnected output %d (conn %d)",
+				r.core.name, i, r.outBuf[i].Meta.Conn))
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package sim is a deterministic, multi-clock-domain, cycle-accurate
+// simulation engine for on-chip networks.
+//
+// The engine advances absolute time (integer picoseconds, see package
+// clock) from rising edge to rising edge. All components whose clocks have
+// an edge at the current instant execute in two phases:
+//
+//  1. Sample: every due component reads its input wires. Wires still hold
+//     the values committed before this instant, so a reader clocked at the
+//     same instant as a writer observes the writer's *previous* output —
+//     exactly the register-transfer semantics of synchronous hardware.
+//  2. Update: every due component computes its next state and drives its
+//     output wires. Drives are buffered.
+//  3. Commit: all buffered drives become visible.
+//
+// Components in different clock domains simply fire at different instants;
+// cross-domain channels (bi-synchronous FIFOs, token channels) are modelled
+// in package sim as well, with explicit forwarding delays, because they are
+// the only legal clock-domain crossings in aelite.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/clock"
+)
+
+// A Component is a clocked network element (router, NI, link pipeline
+// stage, wrapper, traffic generator...).
+type Component interface {
+	// Name identifies the component in traces and error messages.
+	Name() string
+	// Clock returns the clock domain driving this component.
+	Clock() *clock.Clock
+	// Sample is called first at each rising edge of the component's
+	// clock; the component must read all its inputs here.
+	Sample(now clock.Time)
+	// Update is called after every due component has sampled; the
+	// component computes its next state and drives its outputs.
+	Update(now clock.Time)
+}
+
+// An Engine owns components and wires and advances simulated time.
+type Engine struct {
+	components []Component
+	wires      []committable
+	now        clock.Time
+	edges      int64 // total component-edges executed
+
+	// trace, when non-nil, receives a line per interesting event from
+	// components that support tracing.
+	trace func(string)
+}
+
+// New returns an empty engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Add registers a component with the engine. Components execute in the
+// order they were added when their edges coincide; the two-phase schedule
+// makes the result independent of that order, but keeping it fixed makes
+// traces stable.
+func (e *Engine) Add(c Component) {
+	if c.Clock() == nil {
+		panic(fmt.Sprintf("sim: component %q has no clock", c.Name()))
+	}
+	e.components = append(e.components, c)
+}
+
+// AddWire registers anything with a commit phase (wires, FIFO channels).
+func (e *Engine) AddWire(w committable) {
+	e.wires = append(e.wires, w)
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() clock.Time { return e.now }
+
+// Edges returns the total number of component edges executed so far. It is
+// a useful work metric for benchmarks.
+func (e *Engine) Edges() int64 { return e.edges }
+
+// SetTrace installs a trace sink; nil disables tracing.
+func (e *Engine) SetTrace(f func(string)) { e.trace = f }
+
+// Tracef emits a trace line if tracing is enabled.
+func (e *Engine) Tracef(format string, args ...any) {
+	if e.trace != nil {
+		e.trace(fmt.Sprintf(format, args...))
+	}
+}
+
+type committable interface{ commit() }
+
+// Run advances the simulation until (and including) all edges at times
+// <= until. It returns the number of distinct instants executed.
+func (e *Engine) Run(until clock.Time) int {
+	instants := 0
+	due := make([]Component, 0, len(e.components))
+	for {
+		// Find the earliest next edge strictly after e.now among all
+		// component clocks.
+		next := clock.Infinity
+		for _, c := range e.components {
+			if t := c.Clock().NextEdge(e.now); t < next {
+				next = t
+			}
+		}
+		if next == clock.Infinity || next > until {
+			e.now = until
+			return instants
+		}
+		e.now = next
+		due = due[:0]
+		for _, c := range e.components {
+			if _, ok := c.Clock().EdgeIndex(next); ok {
+				due = append(due, c)
+			}
+		}
+		for _, c := range due {
+			c.Sample(next)
+		}
+		for _, c := range due {
+			c.Update(next)
+		}
+		for _, w := range e.wires {
+			w.commit()
+		}
+		e.edges += int64(len(due))
+		instants++
+	}
+}
+
+// RunCycles advances a purely synchronous simulation by n edges of the
+// given clock. It is a convenience wrapper over Run.
+func (e *Engine) RunCycles(c *clock.Clock, n int64) {
+	if n <= 0 {
+		return
+	}
+	start := c.NextEdge(e.now)
+	e.Run(start + clock.Time(n-1)*c.Period)
+}
+
+// Components returns the registered components sorted by name; useful for
+// diagnostics.
+func (e *Engine) Components() []Component {
+	out := append([]Component(nil), e.components...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}

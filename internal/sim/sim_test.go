@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// counter is a minimal component: it samples an input wire, adds one, and
+// drives an output wire.
+type counter struct {
+	name     string
+	clk      *clock.Clock
+	in, out  *Wire[int]
+	sampled  int
+	updates  int
+	lastTime clock.Time
+}
+
+func (c *counter) Name() string        { return c.name }
+func (c *counter) Clock() *clock.Clock { return c.clk }
+func (c *counter) Sample(now clock.Time) {
+	if c.in != nil {
+		c.sampled = c.in.Read()
+	}
+}
+func (c *counter) Update(now clock.Time) {
+	c.updates++
+	c.lastTime = now
+	if c.out != nil {
+		c.out.Drive(c.sampled + 1)
+	}
+}
+
+func TestEngineRunsEdges(t *testing.T) {
+	eng := New()
+	clk := clock.New("c", 1000, 0)
+	a := &counter{name: "a", clk: clk}
+	eng.Add(a)
+	eng.Run(5000)
+	// Edges strictly after 0 and <= 5000: 1000..5000 = 5 edges.
+	if a.updates != 5 {
+		t.Errorf("updates = %d, want 5", a.updates)
+	}
+	if eng.Now() != 5000 {
+		t.Errorf("Now = %d", eng.Now())
+	}
+	if eng.Edges() != 5 {
+		t.Errorf("Edges = %d", eng.Edges())
+	}
+}
+
+// TestRegisterSemantics: a chain a->w1->b->w2: values driven at instant t
+// are visible only at instants > t, so the pipeline delays by one cycle
+// per stage.
+func TestRegisterSemantics(t *testing.T) {
+	eng := New()
+	clk := clock.New("c", 1000, 0)
+	w1 := NewWire[int]("w1")
+	w2 := NewWire[int]("w2")
+	eng.AddWire(w1)
+	eng.AddWire(w2)
+	a := &counter{name: "a", clk: clk, out: w1}
+	b := &counter{name: "b", clk: clk, in: w1, out: w2}
+	eng.Add(a)
+	eng.Add(b)
+	eng.Run(1000) // one edge
+	// a drove 1 into w1; b sampled the OLD w1 (0) and drove 1 into w2.
+	if got := w1.Read(); got != 1 {
+		t.Errorf("w1 = %d, want 1", got)
+	}
+	if got := w2.Read(); got != 1 {
+		t.Errorf("w2 = %d, want 1 (sampled zero + 1)", got)
+	}
+	eng.Run(2000)
+	if got := w2.Read(); got != 2 {
+		t.Errorf("after 2 edges w2 = %d, want 2", got)
+	}
+}
+
+// TestOrderIndependence: with two-phase execution, registration order of
+// same-clock components does not change results.
+func TestOrderIndependence(t *testing.T) {
+	run := func(swap bool) int {
+		eng := New()
+		clk := clock.New("c", 1000, 0)
+		w1 := NewWire[int]("w1")
+		w2 := NewWire[int]("w2")
+		eng.AddWire(w1)
+		eng.AddWire(w2)
+		a := &counter{name: "a", clk: clk, out: w1}
+		b := &counter{name: "b", clk: clk, in: w1, out: w2}
+		if swap {
+			eng.Add(b)
+			eng.Add(a)
+		} else {
+			eng.Add(a)
+			eng.Add(b)
+		}
+		eng.Run(7000)
+		return w2.Read()
+	}
+	if x, y := run(false), run(true); x != y {
+		t.Errorf("order-dependent result: %d vs %d", x, y)
+	}
+}
+
+func TestMultiDomainInterleaving(t *testing.T) {
+	eng := New()
+	c1 := clock.New("c1", 1000, 0)
+	c2 := clock.New("c2", 1000, 500) // mesochronous, half-cycle offset
+	a := &counter{name: "a", clk: c1}
+	b := &counter{name: "b", clk: c2}
+	eng.Add(a)
+	eng.Add(b)
+	instants := eng.Run(3000)
+	// Edges: c1 at 1000,2000,3000; c2 at 500,1500,2500 -> 6 instants.
+	if instants != 6 {
+		t.Errorf("instants = %d, want 6", instants)
+	}
+	if a.updates != 3 || b.updates != 3 {
+		t.Errorf("updates = %d,%d", a.updates, b.updates)
+	}
+	if a.lastTime != 3000 || b.lastTime != 2500 {
+		t.Errorf("lastTime = %d,%d", a.lastTime, b.lastTime)
+	}
+}
+
+func TestRunCycles(t *testing.T) {
+	eng := New()
+	clk := clock.New("c", 2000, 0)
+	a := &counter{name: "a", clk: clk}
+	eng.Add(a)
+	eng.RunCycles(clk, 4)
+	if a.updates != 4 {
+		t.Errorf("updates = %d, want 4", a.updates)
+	}
+	eng.RunCycles(clk, 0)
+	if a.updates != 4 {
+		t.Error("RunCycles(0) advanced the simulation")
+	}
+}
+
+func TestComponentsSorted(t *testing.T) {
+	eng := New()
+	clk := clock.New("c", 1000, 0)
+	eng.Add(&counter{name: "z", clk: clk})
+	eng.Add(&counter{name: "a", clk: clk})
+	got := eng.Components()
+	if got[0].Name() != "a" || got[1].Name() != "z" {
+		t.Errorf("Components not sorted: %v, %v", got[0].Name(), got[1].Name())
+	}
+}
+
+func TestAddPanicsWithoutClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for component without clock")
+		}
+	}()
+	New().Add(&counter{name: "x"})
+}
+
+func TestTracef(t *testing.T) {
+	eng := New()
+	var lines []string
+	eng.SetTrace(func(s string) { lines = append(lines, s) })
+	eng.Tracef("hello %d", 7)
+	if len(lines) != 1 || lines[0] != "hello 7" {
+		t.Errorf("trace = %v", lines)
+	}
+	eng.SetTrace(nil)
+	eng.Tracef("dropped")
+	if len(lines) != 1 {
+		t.Error("trace emitted while disabled")
+	}
+}

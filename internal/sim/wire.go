@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// A Wire carries a value of type T between two components in the same
+// clock domain with register-transfer semantics: a value driven during
+// Update at instant t becomes visible to Sample at instants > t.
+//
+// Wires must be registered with Engine.AddWire so their drives commit at
+// the end of each instant.
+type Wire[T any] struct {
+	name    string
+	cur     T
+	next    T
+	pending bool
+}
+
+// NewWire returns a wire carrying the zero value of T.
+func NewWire[T any](name string) *Wire[T] { return &Wire[T]{name: name} }
+
+// Name returns the wire's diagnostic name.
+func (w *Wire[T]) Name() string { return w.name }
+
+// Read returns the currently committed value. Components call this during
+// Sample.
+func (w *Wire[T]) Read() T { return w.cur }
+
+// Drive buffers a new value; it becomes visible after the commit phase of
+// the current instant. Components call this during Update.
+func (w *Wire[T]) Drive(v T) {
+	w.next = v
+	w.pending = true
+}
+
+func (w *Wire[T]) commit() {
+	if w.pending {
+		w.cur = w.next
+		w.pending = false
+	}
+}
+
+// A Bisync is a bi-synchronous FIFO: the only legal mesochronous
+// clock-domain crossing in aelite (paper Section V, after [14], [18]).
+//
+// The writer pushes one word per writer-clock edge; a pushed word becomes
+// visible to the reader ForwardDelay picoseconds later, modelling the
+// FIFO's synchroniser forwarding delay (the paper assumes 1-2 reader
+// cycles). Capacity is enforced: aelite sizes the FIFO (4 words) so that it
+// never fills under the skew assumptions, and the model panics if that
+// invariant is violated, because real hardware would lose data (there is no
+// full/accept handshake, by design).
+type Bisync[T any] struct {
+	name         string
+	capacity     int
+	forwardDelay clock.Duration
+
+	entries []bisyncEntry[T]
+	// maxOccupancy records the high-water mark for invariant checks.
+	maxOccupancy int
+}
+
+type bisyncEntry[T any] struct {
+	v       T
+	visible clock.Time // first instant at which the reader may pop this
+}
+
+// NewBisync returns a bi-synchronous FIFO with the given capacity (words)
+// and forwarding delay.
+func NewBisync[T any](name string, capacity int, forwardDelay clock.Duration) *Bisync[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: bisync %q capacity must be positive", name))
+	}
+	return &Bisync[T]{name: name, capacity: capacity, forwardDelay: forwardDelay}
+}
+
+// Name returns the FIFO's diagnostic name.
+func (b *Bisync[T]) Name() string { return b.name }
+
+// Push enqueues a word at writer time now. It panics on overflow: the
+// aelite link FIFO is sized to never fill, so overflow is a modelling or
+// configuration error, not a runtime condition.
+func (b *Bisync[T]) Push(now clock.Time, v T) {
+	if len(b.entries) >= b.capacity {
+		panic(fmt.Sprintf("sim: bisync %q overflow (capacity %d) at t=%d ps", b.name, b.capacity, now))
+	}
+	b.entries = append(b.entries, bisyncEntry[T]{v: v, visible: now + b.forwardDelay})
+	if len(b.entries) > b.maxOccupancy {
+		b.maxOccupancy = len(b.entries)
+	}
+}
+
+// CanPush reports whether a push would succeed.
+func (b *Bisync[T]) CanPush() bool { return len(b.entries) < b.capacity }
+
+// Valid reports whether the reader can pop a word at reader time now.
+func (b *Bisync[T]) Valid(now clock.Time) bool {
+	return len(b.entries) > 0 && b.entries[0].visible <= now
+}
+
+// Peek returns the head word without popping. It panics if !Valid(now).
+func (b *Bisync[T]) Peek(now clock.Time) T {
+	if !b.Valid(now) {
+		panic(fmt.Sprintf("sim: bisync %q peek on invalid head at t=%d ps", b.name, now))
+	}
+	return b.entries[0].v
+}
+
+// Pop removes and returns the head word. It panics if !Valid(now).
+func (b *Bisync[T]) Pop(now clock.Time) T {
+	v := b.Peek(now)
+	copy(b.entries, b.entries[1:])
+	b.entries = b.entries[:len(b.entries)-1]
+	return v
+}
+
+// ValidAt reports whether the reader could pop at least i+1 words at time
+// now (i.e. entry i is visible).
+func (b *Bisync[T]) ValidAt(now clock.Time, i int) bool {
+	return i < len(b.entries) && b.entries[i].visible <= now
+}
+
+// Len returns the current occupancy (including not-yet-visible words).
+func (b *Bisync[T]) Len() int { return len(b.entries) }
+
+// Cap returns the FIFO capacity in words.
+func (b *Bisync[T]) Cap() int { return b.capacity }
+
+// MaxOccupancy returns the high-water mark since construction.
+func (b *Bisync[T]) MaxOccupancy() int { return b.maxOccupancy }
+
+// commit is a no-op; Bisync state changes are immediate but visibility is
+// governed by timestamps. It satisfies committable so a Bisync may be
+// registered like a wire for uniformity.
+func (b *Bisync[T]) commit() {}
+
+// A TokenChannel is the asynchronous channel used between wrapped network
+// elements (paper Section VI). Tokens (whole flits, possibly empty) are
+// transferred with a handshake delay; capacity models the depth of the
+// wrapper's port FIFOs plus the link. Unlike Bisync it exposes space
+// explicitly, because OPIs reserve space ahead of time.
+type TokenChannel[T any] struct {
+	name     string
+	capacity int
+	delay    clock.Duration
+	entries  []bisyncEntry[T]
+}
+
+// NewTokenChannel returns a token channel with the given capacity and
+// transfer delay.
+func NewTokenChannel[T any](name string, capacity int, delay clock.Duration) *TokenChannel[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: token channel %q capacity must be positive", name))
+	}
+	return &TokenChannel[T]{name: name, capacity: capacity, delay: delay}
+}
+
+// Name returns the channel's diagnostic name.
+func (t *TokenChannel[T]) Name() string { return t.name }
+
+// CanPush reports whether the channel has space for another token.
+func (t *TokenChannel[T]) CanPush() bool { return len(t.entries) < t.capacity }
+
+// Prime injects an initial token that is visible immediately. The
+// asynchronous wrappers prime every channel with empty tokens at reset
+// (paper Section VI: "a few cycles are spent at reset to produce initial
+// empty tokens... otherwise the system deadlocks").
+func (t *TokenChannel[T]) Prime(v T) {
+	if !t.CanPush() {
+		panic(fmt.Sprintf("sim: token channel %q overflow while priming", t.name))
+	}
+	t.entries = append(t.entries, bisyncEntry[T]{v: v, visible: 0})
+}
+
+// Push enqueues a token at time now; it panics on overflow because the
+// wrapper's OPI reserves space before sending.
+func (t *TokenChannel[T]) Push(now clock.Time, v T) {
+	if !t.CanPush() {
+		panic(fmt.Sprintf("sim: token channel %q overflow (capacity %d) at t=%d ps", t.name, t.capacity, now))
+	}
+	t.entries = append(t.entries, bisyncEntry[T]{v: v, visible: now + t.delay})
+}
+
+// Valid reports whether a token is available at time now.
+func (t *TokenChannel[T]) Valid(now clock.Time) bool {
+	return len(t.entries) > 0 && t.entries[0].visible <= now
+}
+
+// Pop removes and returns the head token; panics if !Valid(now).
+func (t *TokenChannel[T]) Pop(now clock.Time) T {
+	if !t.Valid(now) {
+		panic(fmt.Sprintf("sim: token channel %q pop on empty at t=%d ps", t.name, now))
+	}
+	v := t.entries[0].v
+	copy(t.entries, t.entries[1:])
+	t.entries = t.entries[:len(t.entries)-1]
+	return v
+}
+
+// Len returns the number of queued tokens (including in-flight ones).
+func (t *TokenChannel[T]) Len() int { return len(t.entries) }
+
+func (t *TokenChannel[T]) commit() {}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clock"
+)
+
+func TestWireCommit(t *testing.T) {
+	w := NewWire[string]("w")
+	if w.Name() != "w" {
+		t.Errorf("Name = %q", w.Name())
+	}
+	w.Drive("x")
+	if got := w.Read(); got != "" {
+		t.Errorf("value visible before commit: %q", got)
+	}
+	w.commit()
+	if got := w.Read(); got != "x" {
+		t.Errorf("after commit: %q", got)
+	}
+	// Commit without a pending drive keeps the value.
+	w.commit()
+	if got := w.Read(); got != "x" {
+		t.Errorf("idempotent commit: %q", got)
+	}
+}
+
+func TestBisyncVisibilityDelay(t *testing.T) {
+	b := NewBisync[int]("b", 4, 1000)
+	b.Push(0, 42)
+	if b.Valid(999) {
+		t.Error("word visible before forwarding delay")
+	}
+	if !b.Valid(1000) {
+		t.Error("word not visible at forwarding delay")
+	}
+	if got := b.Peek(1000); got != 42 {
+		t.Errorf("Peek = %d", got)
+	}
+	if got := b.Pop(1000); got != 42 {
+		t.Errorf("Pop = %d", got)
+	}
+	if b.Len() != 0 {
+		t.Errorf("Len = %d", b.Len())
+	}
+}
+
+func TestBisyncOrderAndOccupancy(t *testing.T) {
+	b := NewBisync[int]("b", 4, 10)
+	for i := 0; i < 4; i++ {
+		b.Push(clock.Time(i), i)
+	}
+	if b.CanPush() {
+		t.Error("CanPush on full FIFO")
+	}
+	if b.MaxOccupancy() != 4 {
+		t.Errorf("MaxOccupancy = %d", b.MaxOccupancy())
+	}
+	if !b.ValidAt(100, 3) {
+		t.Error("ValidAt(3) false after delay")
+	}
+	if b.ValidAt(100, 4) {
+		t.Error("ValidAt(4) true beyond occupancy")
+	}
+	for i := 0; i < 4; i++ {
+		if got := b.Pop(100); got != i {
+			t.Errorf("pop %d = %d", i, got)
+		}
+	}
+}
+
+func TestBisyncOverflowPanics(t *testing.T) {
+	b := NewBisync[int]("b", 1, 10)
+	b.Push(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on overflow")
+		}
+	}()
+	b.Push(0, 2)
+}
+
+func TestBisyncPopEmptyPanics(t *testing.T) {
+	b := NewBisync[int]("b", 1, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on empty pop")
+		}
+	}()
+	b.Pop(0)
+}
+
+func TestBisyncZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero capacity")
+		}
+	}()
+	NewBisync[int]("b", 0, 10)
+}
+
+// TestBisyncFIFOQuick: random interleavings of pushes and delayed pops
+// always pop in push order and never see a word early.
+func TestBisyncFIFOQuick(t *testing.T) {
+	f := func(ops []bool, delay uint8) bool {
+		d := clock.Duration(delay%50) + 1
+		b := NewBisync[int]("q", 1024, d)
+		now := clock.Time(0)
+		pushed, popped := 0, 0
+		for _, isPush := range ops {
+			now += 25
+			if isPush {
+				b.Push(now, pushed)
+				pushed++
+			} else if b.Valid(now) {
+				if got := b.Pop(now); got != popped {
+					return false
+				}
+				popped++
+			}
+		}
+		// Drain: everything becomes visible eventually.
+		now += clock.Time(d)
+		for b.Valid(now) {
+			if got := b.Pop(now); got != popped {
+				return false
+			}
+			popped++
+		}
+		return popped == pushed
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenChannel(t *testing.T) {
+	ch := NewTokenChannel[string]("ch", 2, 100)
+	if ch.Name() != "ch" {
+		t.Errorf("Name = %q", ch.Name())
+	}
+	ch.Prime("init")
+	if !ch.Valid(0) {
+		t.Error("primed token not immediately visible")
+	}
+	ch.Push(50, "x")
+	if ch.CanPush() {
+		t.Error("CanPush on full channel")
+	}
+	if got := ch.Pop(0); got != "init" {
+		t.Errorf("Pop = %q", got)
+	}
+	if ch.Valid(100) {
+		t.Error("pushed token visible before delay")
+	}
+	if got := ch.Pop(150); got != "x" {
+		t.Errorf("Pop = %q", got)
+	}
+	if ch.Len() != 0 {
+		t.Errorf("Len = %d", ch.Len())
+	}
+}
+
+func TestTokenChannelPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero capacity": func() { NewTokenChannel[int]("x", 0, 1) },
+		"overflow": func() {
+			ch := NewTokenChannel[int]("x", 1, 1)
+			ch.Push(0, 1)
+			ch.Push(0, 2)
+		},
+		"prime overflow": func() {
+			ch := NewTokenChannel[int]("x", 1, 1)
+			ch.Prime(1)
+			ch.Prime(2)
+		},
+		"empty pop": func() { NewTokenChannel[int]("x", 1, 1).Pop(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

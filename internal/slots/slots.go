@@ -1,0 +1,604 @@
+// Package slots implements the TDM machinery at the heart of aelite's
+// contention-free routing (paper Section III).
+//
+// Time is divided into slots of one flit cycle (3 cycles) each; slot
+// tables of a common size S repeat forever. A connection that owns
+// injection slot s at its source NI occupies link k of its path during
+// slot (s + shift_k) mod S, where shift_k grows by one per router hop and
+// by one per mesochronous link pipeline stage. An allocation is
+// contention-free when no link is claimed by two connections in the same
+// slot; the network then needs no arbiters at all.
+package slots
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/phit"
+	"repro/internal/route"
+	"repro/internal/topology"
+)
+
+// A Table is one NI's injection slot table: Slots[s] names the connection
+// that may inject a flit in slot s, or phit.None.
+type Table struct {
+	Slots []phit.ConnID
+}
+
+// NewTable returns an all-idle table of the given size.
+func NewTable(size int) *Table {
+	if size <= 0 {
+		panic(fmt.Sprintf("slots: table size %d must be positive", size))
+	}
+	return &Table{Slots: make([]phit.ConnID, size)}
+}
+
+// Size returns the table period in slots.
+func (t *Table) Size() int { return len(t.Slots) }
+
+// Owner returns the connection owning slot s (taken modulo the size).
+func (t *Table) Owner(s int) phit.ConnID {
+	return t.Slots[s%len(t.Slots)]
+}
+
+// SlotsOf returns the slots owned by the given connection, in order.
+func (t *Table) SlotsOf(c phit.ConnID) []int {
+	var out []int
+	for s, owner := range t.Slots {
+		if owner == c {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// A Request asks the allocator for slot reservations for one connection.
+type Request struct {
+	Conn phit.ConnID
+	// Paths lists candidate routes in preference order; the allocator
+	// uses the first one on which it can find enough free slots.
+	Paths []*route.Path
+	// Count is the number of slots required per table revolution.
+	Count int
+	// GapTarget, when positive, is the largest tolerable service
+	// window, in slots: the worst sum of WindowSlots consecutive
+	// reservation gaps must not exceed it (the latency requirement in
+	// slot form). If the evenly-spread ideal cannot be realised on the
+	// loaded table, the allocator adds slots until the realised window
+	// meets the target.
+	GapTarget int
+	// WindowSlots is the number of consecutive owned slots a whole
+	// transaction needs (1 for single-word latency requirements).
+	WindowSlots int
+}
+
+// An Assignment is the allocator's answer for one connection. Different
+// slots may ride different (equal-length, equal-shift) minimal paths —
+// the freedom the Æthereal allocation tools exploit to defeat slot
+// fragmentation on loaded meshes. Because every candidate path has the
+// same TotalShift, per-slot path mixing preserves in-order delivery.
+type Assignment struct {
+	Conn  phit.ConnID
+	Path  *route.Path // primary (first) path, for reporting
+	Slots []int       // injection slots at the source NI, ascending
+	// PathOf gives the path each slot was reserved on.
+	PathOf map[int]*route.Path
+}
+
+// An Allocation is a complete, contention-free set of assignments over a
+// topology.
+type Allocation struct {
+	TableSize int
+	ByConn    map[phit.ConnID]*Assignment
+	// linkOcc[link][slot] is the connection occupying that link in that
+	// slot.
+	linkOcc map[topology.LinkID][]phit.ConnID
+}
+
+// NewAllocation returns an empty allocation with the given table size.
+func NewAllocation(tableSize int) *Allocation {
+	if tableSize <= 0 {
+		panic(fmt.Sprintf("slots: table size %d must be positive", tableSize))
+	}
+	return &Allocation{
+		TableSize: tableSize,
+		ByConn:    make(map[phit.ConnID]*Assignment),
+		linkOcc:   make(map[topology.LinkID][]phit.ConnID),
+	}
+}
+
+func (a *Allocation) occ(l topology.LinkID) []phit.ConnID {
+	o := a.linkOcc[l]
+	if o == nil {
+		o = make([]phit.ConnID, a.TableSize)
+		a.linkOcc[l] = o
+	}
+	return o
+}
+
+// SlotFree reports whether injection slot s is free on every link of path p.
+func (a *Allocation) SlotFree(p *route.Path, s int) bool {
+	for k, lid := range p.Links {
+		if a.occ(lid)[(s+p.Shift[k])%a.TableSize] != phit.None {
+			return false
+		}
+	}
+	return true
+}
+
+// Claim reserves injection slot s on every link of p for connection c. It
+// panics if the slot is taken: callers must check SlotFree first, and a
+// violation means the allocator itself is broken.
+func (a *Allocation) Claim(c phit.ConnID, p *route.Path, s int) {
+	for k, lid := range p.Links {
+		slot := (s + p.Shift[k]) % a.TableSize
+		o := a.occ(lid)
+		if o[slot] != phit.None {
+			panic(fmt.Sprintf("slots: link %d slot %d already owned by connection %d", lid, slot, o[slot]))
+		}
+		o[slot] = c
+	}
+}
+
+// LinkOwner returns the connection occupying the link in the given slot.
+func (a *Allocation) LinkOwner(l topology.LinkID, slot int) phit.ConnID {
+	o := a.linkOcc[l]
+	if o == nil {
+		return phit.None
+	}
+	return o[slot%a.TableSize]
+}
+
+// LinkUtilisation returns the fraction of slots occupied on the link.
+func (a *Allocation) LinkUtilisation(l topology.LinkID) float64 {
+	o := a.linkOcc[l]
+	if o == nil {
+		return 0
+	}
+	used := 0
+	for _, c := range o {
+		if c != phit.None {
+			used++
+		}
+	}
+	return float64(used) / float64(a.TableSize)
+}
+
+// NITable builds the injection slot table for the given source NI from the
+// assignments in the allocation.
+func (a *Allocation) NITable(ni topology.NodeID) *Table {
+	t := NewTable(a.TableSize)
+	for _, as := range a.ByConn {
+		if as.Path.Src != ni {
+			continue
+		}
+		for _, s := range as.Slots {
+			if t.Slots[s] != phit.None {
+				panic(fmt.Sprintf("slots: NI %d slot %d doubly assigned (%d and %d)", ni, s, t.Slots[s], as.Conn))
+			}
+			t.Slots[s] = as.Conn
+		}
+	}
+	return t
+}
+
+// Verify recomputes link occupancy from scratch and reports any
+// double-booking; it is the structural contention-freedom check.
+func (a *Allocation) Verify() error {
+	occ := make(map[topology.LinkID][]phit.ConnID)
+	conns := make([]phit.ConnID, 0, len(a.ByConn))
+	for c := range a.ByConn {
+		conns = append(conns, c)
+	}
+	sort.Slice(conns, func(i, j int) bool { return conns[i] < conns[j] })
+	for _, c := range conns {
+		as := a.ByConn[c]
+		if len(as.Slots) == 0 {
+			return fmt.Errorf("slots: connection %d has no slots", c)
+		}
+		for _, s := range as.Slots {
+			if s < 0 || s >= a.TableSize {
+				return fmt.Errorf("slots: connection %d slot %d out of range", c, s)
+			}
+			p := as.PathOf[s]
+			if p == nil {
+				p = as.Path
+			}
+			for k, lid := range p.Links {
+				slot := (s + p.Shift[k]) % a.TableSize
+				o := occ[lid]
+				if o == nil {
+					o = make([]phit.ConnID, a.TableSize)
+					occ[lid] = o
+				}
+				if o[slot] != phit.None {
+					return fmt.Errorf("slots: contention on link %d slot %d between connections %d and %d",
+						lid, slot, o[slot], c)
+				}
+				o[slot] = c
+			}
+		}
+	}
+	return nil
+}
+
+// Release frees every claim of a connection, making its slots available
+// to future AllocateInto calls — one half of use-case reconfiguration
+// (Hansson et al., DATE 2007 [16]: applications are added and removed
+// without disrupting the others, because slot ownership is the only
+// shared state).
+func (a *Allocation) Release(c phit.ConnID) {
+	asg := a.ByConn[c]
+	if asg == nil {
+		panic(fmt.Sprintf("slots: release of unknown connection %d", c))
+	}
+	for _, s := range asg.Slots {
+		p := asg.PathOf[s]
+		if p == nil {
+			p = asg.Path
+		}
+		for k, lid := range p.Links {
+			slot := (s + p.Shift[k]) % a.TableSize
+			o := a.occ(lid)
+			if o[slot] != c {
+				panic(fmt.Sprintf("slots: link %d slot %d owned by %d, not releasing connection %d",
+					lid, slot, o[slot], c))
+			}
+			o[slot] = phit.None
+		}
+	}
+	delete(a.ByConn, c)
+}
+
+// Allocate performs greedy slot allocation: requests are served in
+// descending slot-count order (heaviest first, longest path breaking
+// ties), and each request takes, among its candidate paths with enough
+// jointly free slots, the one whose hottest link is least utilised —
+// load-balancing the mesh as the Æthereal allocation tools [16] do.
+// Within a path, slots are chosen spread as evenly as possible across the
+// table (staggered per connection), which minimises the worst-case
+// waiting time in the NI (paper Section VII ties latency to the slot
+// spacing).
+//
+// It returns an error naming the first connection that cannot be placed;
+// callers typically retry with a larger table or a different seed.
+func Allocate(tableSize int, requests []Request) (*Allocation, error) {
+	a := NewAllocation(tableSize)
+	if err := AllocateInto(a, requests); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// AllocateInto places additional requests into an existing allocation —
+// the other half of reconfiguration: connections of a newly started
+// application claim only slots that are currently free, so running
+// applications are untouched by construction.
+func AllocateInto(a *Allocation, requests []Request) error {
+	tableSize := a.TableSize
+	order := make([]int, len(requests))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		ri, rj := requests[order[i]], requests[order[j]]
+		// Tightest gap targets first: they need regular combs, which
+		// only an empty table offers. Requests without a target sort
+		// last.
+		gi, gj := ri.GapTarget, rj.GapTarget
+		if gi <= 0 {
+			gi = 1 << 30
+		}
+		if gj <= 0 {
+			gj = 1 << 30
+		}
+		if gi != gj {
+			return gi < gj
+		}
+		if ri.Count != rj.Count {
+			return ri.Count > rj.Count
+		}
+		hi, hj := len(ri.Paths[0].Links), len(rj.Paths[0].Links)
+		if hi != hj {
+			return hi > hj
+		}
+		return ri.Conn < rj.Conn
+	})
+	for _, idx := range order {
+		req := requests[idx]
+		if req.Count <= 0 {
+			return fmt.Errorf("slots: connection %d requests %d slots", req.Conn, req.Count)
+		}
+		if req.Count > tableSize {
+			return fmt.Errorf("slots: connection %d needs %d slots, table has %d", req.Conn, req.Count, tableSize)
+		}
+		if _, dup := a.ByConn[req.Conn]; dup {
+			return fmt.Errorf("slots: duplicate request for connection %d", req.Conn)
+		}
+		// Stagger each connection's ideal slot positions so that
+		// equal-count connections do not all fight for the same
+		// comb (0, S/k, 2S/k, ...), which fragments the joint
+		// free-slot sets of multi-hop paths.
+		offset := int(uint32(req.Conn)*2654435761) % tableSize
+		// Per-slot path mixing is only valid between paths of equal
+		// TotalShift (words would reorder otherwise), so group the
+		// candidates by shift — minimal routes first, detours after —
+		// and take the first group that fits. Within a group, prefer
+		// the path whose hottest link is coolest.
+		score := func(p *route.Path) float64 {
+			worst := 0.0
+			for _, lid := range p.Links {
+				if u := a.LinkUtilisation(lid); u > worst {
+					worst = u
+				}
+			}
+			return worst
+		}
+		var groups [][]*route.Path
+		for _, p := range req.Paths {
+			placed := false
+			for gi := range groups {
+				if groups[gi][0].TotalShift == p.TotalShift {
+					groups[gi] = append(groups[gi], p)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				groups = append(groups, []*route.Path{p})
+			}
+		}
+		var asg *Assignment
+		for _, g := range groups {
+			paths := append([]*route.Path(nil), g...)
+			sort.SliceStable(paths, func(i, j int) bool { return score(paths[i]) < score(paths[j]) })
+			ws := req.WindowSlots
+			if ws < 1 {
+				ws = 1
+			}
+			asg = pickSlotsMultiPath(a, paths, req.Count, req.GapTarget, ws, offset)
+			if asg != nil { // placed
+				break
+			}
+		}
+		if asg != nil {
+			for _, s := range asg.Slots {
+				a.Claim(req.Conn, asg.PathOf[s], s)
+			}
+			asg.Conn = req.Conn
+			asg.Path = req.Paths[0]
+			a.ByConn[req.Conn] = asg
+		} else {
+			detail := ""
+			for pi, p := range req.Paths {
+				free := 0
+				for s := 0; s < tableSize; s++ {
+					if a.SlotFree(p, s) {
+						free++
+					}
+				}
+				worstLink, worstUtil := topology.LinkID(-1), 0.0
+				for _, lid := range p.Links {
+					if u := a.LinkUtilisation(lid); u > worstUtil {
+						worstLink, worstUtil = lid, u
+					}
+				}
+				detail += fmt.Sprintf("; path %d: %d joint-free slots, hottest link %d at %.0f%%",
+					pi, free, worstLink, worstUtil*100)
+			}
+			return &PlacementError{Conn: req.Conn, Needed: req.Count, GapTarget: req.GapTarget,
+				Table: tableSize, Detail: detail}
+		}
+	}
+	return nil
+}
+
+// pickSlotsMultiPath chooses at least count injection slots where each
+// slot may be reserved on any of the candidate paths (tried in the given
+// preference order). When gapTarget is positive the chosen set's cyclic
+// MaxGap must not exceed it; a greedy furthest-within-target cover is
+// computed first and then topped up to count. It returns nil when the
+// free-slot union cannot satisfy the request.
+func pickSlotsMultiPath(a *Allocation, paths []*route.Path, count, windowTarget, windowSlots, offset int) *Assignment {
+	// pathFor[s] is the first candidate path with slot s free, or nil.
+	pathFor := make([]*route.Path, a.TableSize)
+	free := make([]int, 0, a.TableSize)
+	for s := 0; s < a.TableSize; s++ {
+		for _, p := range paths {
+			if a.SlotFree(p, s) {
+				pathFor[s] = p
+				free = append(free, s)
+				break
+			}
+		}
+	}
+	if len(free) < count {
+		return nil
+	}
+	taken := make([]bool, a.TableSize)
+	chosen := make([]int, 0, count)
+	take := func(s int) {
+		if !taken[s] {
+			taken[s] = true
+			chosen = append(chosen, s)
+		}
+	}
+	// Choose count slots near evenly spread ideals.
+	for i := 0; len(chosen) < count && i < count; i++ {
+		ideal := (i*a.TableSize/count + offset) % a.TableSize
+		best, bestDist := -1, a.TableSize+1
+		for _, s := range free {
+			if taken[s] {
+				continue
+			}
+			d := s - ideal
+			if d < 0 {
+				d = -d
+			}
+			if wrap := a.TableSize - d; wrap < d {
+				d = wrap
+			}
+			if d < bestDist {
+				best, bestDist = s, d
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		take(best)
+	}
+	if len(chosen) < count {
+		return nil
+	}
+	sort.Ints(chosen)
+	// Repair the window constraint: while the worst windowSlots-gap
+	// window exceeds the target, add a free slot inside its largest
+	// gap. Each addition strictly shrinks some gap, so this terminates.
+	if windowTarget > 0 {
+		for {
+			w, at := maxGapWindowAt(chosen, a.TableSize, windowSlots)
+			if w <= windowTarget {
+				break
+			}
+			// The offending window spans gaps starting at chosen
+			// index at; find its largest gap and a free slot
+			// inside.
+			bestSlot, bestGap := -1, 0
+			for j := 0; j < windowSlots && j < len(chosen); j++ {
+				i0 := (at + j) % len(chosen)
+				from := chosen[i0]
+				to := chosen[(i0+1)%len(chosen)]
+				gap := to - from
+				if gap <= 0 {
+					gap += a.TableSize
+				}
+				if gap <= bestGap {
+					continue
+				}
+				// Free slot nearest the gap's middle.
+				mid := (from + gap/2) % a.TableSize
+				for d := 0; d < gap/2+1; d++ {
+					for _, cand := range []int{(mid + d) % a.TableSize, (mid - d + a.TableSize) % a.TableSize} {
+						if !taken[cand] && pathFor[cand] != nil && inGap(from, gap, cand, a.TableSize) {
+							bestSlot, bestGap = cand, gap
+							break
+						}
+					}
+					if bestGap == gap {
+						break
+					}
+				}
+			}
+			if bestSlot < 0 {
+				return nil // no free slot can shrink the window
+			}
+			take(bestSlot)
+			sort.Ints(chosen)
+		}
+	}
+	asg := &Assignment{Slots: chosen, PathOf: make(map[int]*route.Path, len(chosen))}
+	for _, s := range chosen {
+		asg.PathOf[s] = pathFor[s]
+	}
+	return asg
+}
+
+// inGap reports whether slot cand lies strictly inside the cyclic gap
+// starting at from with the given length.
+func inGap(from, gap, cand, tableSize int) bool {
+	d := cand - from
+	if d < 0 {
+		d += tableSize
+	}
+	return d > 0 && d < gap
+}
+
+// maxGapWindowAt returns the worst sum of m consecutive cyclic gaps and
+// the index of the chosen slot where that window starts. When m exceeds
+// the slot count, the services wrap around whole table revolutions: k
+// slots deliver k services per revolution, so m services cost
+// floor(m/k) full revolutions plus the worst (m mod k)-gap window.
+func maxGapWindowAt(sorted []int, tableSize, m int) (int, int) {
+	if len(sorted) == 0 {
+		return tableSize * m, 0
+	}
+	k := len(sorted)
+	full := (m / k) * tableSize
+	rem := m % k
+	if rem == 0 {
+		// The worst case still starts just after the least
+		// convenient slot; a full multiple of revolutions is
+		// position-independent.
+		return full, 0
+	}
+	gaps := make([]int, k)
+	for i := range sorted {
+		g := sorted[(i+1)%k] - sorted[i]
+		if g <= 0 {
+			g += tableSize
+		}
+		gaps[i] = g
+	}
+	best, at := 0, 0
+	for i := range gaps {
+		sum := 0
+		for j := 0; j < rem; j++ {
+			sum += gaps[(i+j)%k]
+		}
+		if sum > best {
+			best, at = sum, i
+		}
+	}
+	return full + best, at
+}
+
+// A PlacementError reports the first connection the greedy allocator
+// could not place; callers can relax that connection's requirement (more
+// table sizes, a looser latency budget) and retry.
+type PlacementError struct {
+	Conn      phit.ConnID
+	Needed    int
+	GapTarget int
+	Table     int
+	Detail    string
+}
+
+func (e *PlacementError) Error() string {
+	return fmt.Sprintf("slots: no feasible slots for connection %d (%d needed, gap target %d, table %d)%s",
+		e.Conn, e.Needed, e.GapTarget, e.Table, e.Detail)
+}
+
+// MaxGapWindow returns the largest sum of m consecutive cyclic gaps of
+// the slot set — the worst-case time, in slots, to obtain m services
+// starting from an arbitrary instant. It drives the transactional latency
+// bound.
+func MaxGapWindow(slotSet []int, tableSize, m int) int {
+	sorted := append([]int(nil), slotSet...)
+	sort.Ints(sorted)
+	w, _ := maxGapWindowAt(sorted, tableSize, m)
+	return w
+}
+
+// MaxGap returns the largest distance, in slots, from one owned slot to
+// the next (cyclically). A connection injecting a word just after missing
+// its slot waits at most MaxGap slots; this drives the worst-case latency
+// bound.
+func MaxGap(slots []int, tableSize int) int {
+	if len(slots) == 0 {
+		return tableSize
+	}
+	sorted := append([]int(nil), slots...)
+	sort.Ints(sorted)
+	max := 0
+	for i := range sorted {
+		next := sorted[(i+1)%len(sorted)]
+		gap := next - sorted[i]
+		if gap <= 0 {
+			gap += tableSize
+		}
+		if gap > max {
+			max = gap
+		}
+	}
+	return max
+}

@@ -1,0 +1,126 @@
+// Package stats provides streaming latency/throughput statistics for NoC
+// measurements: per-connection summaries, histograms and percentile
+// queries. Everything is deterministic and allocation-light so it can run
+// inside cycle loops.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// A Summary accumulates a stream of float64 samples.
+type Summary struct {
+	n          int64
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Add records one sample.
+func (s *Summary) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// N returns the sample count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Summary) Max() float64 { return s.max }
+
+// StdDev returns the population standard deviation.
+func (s *Summary) StdDev() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.n) - m*m
+	if v < 0 {
+		v = 0 // numerical noise
+	}
+	return math.Sqrt(v)
+}
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f min=%.1f max=%.1f sd=%.1f", s.n, s.Mean(), s.min, s.max, s.StdDev())
+}
+
+// A Histogram keeps exact samples (NoC experiments produce at most a few
+// million) and answers percentile queries. It embeds a Summary.
+type Histogram struct {
+	Summary
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.Summary.Add(v)
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// Percentile returns the p-th percentile (0..100) using nearest-rank. It
+// returns 0 with no samples.
+func (h *Histogram) Percentile(p float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return h.samples[rank]
+}
+
+// Buckets divides [min, max] into n equal bins and returns the count per
+// bin, for plotting latency distributions.
+func (h *Histogram) Buckets(n int) []int64 {
+	out := make([]int64, n)
+	if len(h.samples) == 0 || n == 0 {
+		return out
+	}
+	lo, hi := h.Min(), h.Max()
+	width := (hi - lo) / float64(n)
+	if width == 0 {
+		out[0] = int64(len(h.samples))
+		return out
+	}
+	for _, v := range h.samples {
+		i := int((v - lo) / width)
+		if i >= n {
+			i = n - 1
+		}
+		out[i]++
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 {
+		t.Error("zero summary not zero")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if got := s.StdDev(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestSummaryNegative(t *testing.T) {
+	var s Summary
+	s.Add(-5)
+	s.Add(-1)
+	if s.Min() != -5 || s.Max() != -1 || s.Mean() != -3 {
+		t.Errorf("negative handling: %v", s.String())
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 {
+		t.Error("empty percentile not 0")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 1}, {50, 50}, {99, 99}, {100, 100}, {150, 100},
+	}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+// TestHistogramQuick: percentiles are order statistics — P100 is max, P0
+// is min, and percentiles are monotone.
+func TestHistogramQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			h.Add(v)
+		}
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		if h.Percentile(0) != sorted[0] || h.Percentile(100) != sorted[len(sorted)-1] {
+			return false
+		}
+		last := math.Inf(-1)
+		for p := 5.0; p <= 100; p += 5 {
+			v := h.Percentile(p)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	b := h.Buckets(10)
+	total := int64(0)
+	for i, n := range b {
+		total += n
+		if n == 0 {
+			t.Errorf("bucket %d empty for uniform data", i)
+		}
+	}
+	if total != 100 {
+		t.Errorf("bucket total = %d", total)
+	}
+	// Degenerate cases.
+	var one Histogram
+	one.Add(5)
+	b = one.Buckets(4)
+	if b[0] != 1 {
+		t.Errorf("constant data buckets = %v", b)
+	}
+	var empty Histogram
+	if got := empty.Buckets(3); got[0] != 0 || len(got) != 3 {
+		t.Errorf("empty buckets = %v", got)
+	}
+}
+
+func TestHistogramInterleavedAddAndQuery(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	if h.Percentile(50) != 10 {
+		t.Error("single sample percentile")
+	}
+	h.Add(20) // must re-sort after the earlier query
+	if got := h.Percentile(100); got != 20 {
+		t.Errorf("max after re-add = %v", got)
+	}
+	if h.N() != 2 {
+		t.Errorf("N = %d", h.N())
+	}
+}

@@ -1,0 +1,183 @@
+// Package traffic provides IP traffic models for driving NoC simulations:
+// constant-bit-rate and bursty generators that write into an NI's IP-side
+// FIFO with blocking semantics (the paper's IPs use blocking writes; an
+// oversubscribing application simply slows down under back-pressure).
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/phit"
+)
+
+// A Port is the IP-side injection interface of a network interface; both
+// the aelite NI and the best-effort baseline NI implement it.
+type Port interface {
+	Offer(now clock.Time, conn phit.ConnID, meta phit.Meta) bool
+}
+
+// A Generator produces payload words for one connection at a modelled
+// rate. It implements sim.Component and runs in the IP's clock domain
+// (which, thanks to the NI's bi-synchronous FIFO, need not be the NI's).
+type Generator struct {
+	name string
+	clk  *clock.Clock
+	ni   Port
+	conn phit.ConnID
+
+	// wordsPerCycle is the offered rate in payload words per generator
+	// clock cycle.
+	wordsPerCycle float64
+
+	// Burst parameters: the generator alternates onCycles of generation
+	// at burstRate with offCycles of silence, keeping the long-run
+	// average at wordsPerCycle. onCycles == 0 selects pure CBR.
+	onCycles, offCycles int64
+	burstRate           float64
+
+	// start delays the first word, staggering generators.
+	start clock.Time
+
+	disabled bool
+	acc      float64
+	phase    int64
+	offered  int64 // words accepted into the NI FIFO
+	rejected int64 // blocked-write retries (full FIFO)
+	seq      int64
+}
+
+// NewCBR returns a constant-bit-rate generator offering rateMBps megabytes
+// per second of payload for the connection, given the word width in bytes.
+func NewCBR(name string, clk *clock.Clock, n Port, conn phit.ConnID,
+	rateMBps float64, wordBytes int, start clock.Time) *Generator {
+	if rateMBps <= 0 {
+		panic(fmt.Sprintf("traffic %s: non-positive rate", name))
+	}
+	wpc := wordsPerCycle(rateMBps, wordBytes, clk)
+	return &Generator{name: name, clk: clk, ni: n, conn: conn, wordsPerCycle: wpc, start: start}
+}
+
+// NewBursty returns an on/off generator with the given long-run average
+// rate: bursts of onCycles at burstFactor times the average rate separated
+// by idle gaps sized to preserve the average.
+func NewBursty(name string, clk *clock.Clock, n Port, conn phit.ConnID,
+	rateMBps float64, wordBytes int, onCycles int64, burstFactor float64, start clock.Time) *Generator {
+	if burstFactor <= 1 || onCycles <= 0 {
+		panic(fmt.Sprintf("traffic %s: burst factor must exceed 1 with positive on-time", name))
+	}
+	g := NewCBR(name, clk, n, conn, rateMBps, wordBytes, start)
+	g.onCycles = onCycles
+	g.offCycles = int64(float64(onCycles) * (burstFactor - 1))
+	g.burstRate = g.wordsPerCycle * burstFactor
+	if g.burstRate > 1 {
+		g.burstRate = 1 // a generator cannot exceed one word per cycle
+	}
+	return g
+}
+
+func wordsPerCycle(rateMBps float64, wordBytes int, clk *clock.Clock) float64 {
+	if wordBytes <= 0 {
+		panic("traffic: non-positive word width")
+	}
+	bytesPerSec := rateMBps * 1e6
+	cyclesPerSec := 1e12 / float64(clk.Period)
+	return bytesPerSec / float64(wordBytes) / cyclesPerSec
+}
+
+// Name implements sim.Component.
+func (g *Generator) Name() string { return g.name }
+
+// Clock implements sim.Component.
+func (g *Generator) Clock() *clock.Clock { return g.clk }
+
+// Sample implements sim.Component.
+func (g *Generator) Sample(now clock.Time) {}
+
+// Update implements sim.Component.
+func (g *Generator) Update(now clock.Time) {
+	if g.disabled || now < g.start {
+		return
+	}
+	rate := g.wordsPerCycle
+	if g.onCycles > 0 {
+		period := g.onCycles + g.offCycles
+		if g.phase%period >= g.onCycles {
+			rate = 0
+		} else {
+			rate = g.burstRate
+		}
+		g.phase++
+	}
+	g.acc += rate
+	for g.acc >= 1 {
+		meta := phit.Meta{Conn: g.conn, Seq: g.seq, Injected: now}
+		if !g.ni.Offer(now, g.conn, meta) {
+			// Blocking write: the word stays pending; retry next
+			// cycle. Cap the backlog accumulator at one FIFO's
+			// worth so an over-subscribed generator models a
+			// stalled IP rather than an unbounded debt.
+			g.rejected++
+			if g.acc > 16 {
+				g.acc = 16
+			}
+			return
+		}
+		g.seq++
+		g.offered++
+		g.acc--
+	}
+}
+
+// NewTransactional returns a generator that emits whole transactions of
+// txWords words at line rate (one word per cycle), spaced so the long-run
+// average equals rateMBps. Real SoC traffic is transactional — DMA bursts,
+// cache lines, stream buffers — and this shape is what separates a
+// guaranteed-service network from a best-effort one: transactions from
+// different IPs collide in BE routers, while TDM injection is oblivious
+// to them.
+func NewTransactional(name string, clk *clock.Clock, n Port, conn phit.ConnID,
+	rateMBps float64, wordBytes int, txWords int64, start clock.Time) *Generator {
+	if txWords <= 0 {
+		panic(fmt.Sprintf("traffic %s: transaction of %d words", name, txWords))
+	}
+	g := NewCBR(name, clk, n, conn, rateMBps, wordBytes, start)
+	if g.wordsPerCycle >= 1 {
+		return g // already at line rate: transactions are back to back
+	}
+	g.onCycles = txWords
+	g.offCycles = int64(float64(txWords)/g.wordsPerCycle) - txWords
+	g.burstRate = 1
+	return g
+}
+
+// SetEnabled turns the generator on or off; a disabled generator models
+// an application that is not running (the composability experiments
+// compare runs with other applications enabled vs disabled).
+func (g *Generator) SetEnabled(on bool) { g.disabled = !on }
+
+// SetRateMBps changes the offered rate, e.g. to model a misbehaving IP
+// that oversubscribes its allocation (which, in aelite, only slows that IP
+// down), or an opportunistic best-effort IP exceeding its nominal rate.
+// For transactional/bursty generators the inter-burst spacing is rescaled.
+func (g *Generator) SetRateMBps(rateMBps float64, wordBytes int) {
+	g.wordsPerCycle = wordsPerCycle(rateMBps, wordBytes, g.clk)
+	if g.onCycles > 0 {
+		if g.wordsPerCycle >= 1 {
+			g.offCycles = 0
+			g.burstRate = 1
+			return
+		}
+		off := int64(float64(g.onCycles)/g.wordsPerCycle) - g.onCycles
+		if off < 0 {
+			off = 0
+		}
+		g.offCycles = off
+	}
+}
+
+// Offered returns the number of words accepted into the NI so far.
+func (g *Generator) Offered() int64 { return g.offered }
+
+// Rejected returns the number of blocked-write retries.
+func (g *Generator) Rejected() int64 { return g.rejected }

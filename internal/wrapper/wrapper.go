@@ -1,0 +1,212 @@
+// Package wrapper implements the asynchronous wrapper of paper Section VI,
+// which turns aelite routers and NIs into stallable dataflow actors so the
+// network can operate plesiochronously (or heterochronously): every
+// element runs on its own clock and only proceeds from one flit cycle
+// (dataflow iteration) to the next once it has synchronised with all its
+// neighbours.
+//
+// Structure, following the paper's Figure 4:
+//
+//   - every port is managed by a Port Interface: Input PIs (IPI) hold a
+//     FIFO and a counter of available words, Output PIs (OPI) a counter of
+//     unreserved space. Here both are modelled by the token channels
+//     between wrappers: a token is one flit; an IPI "fires" when a token
+//     is available, an OPI when space for one token is free.
+//   - the Port Interface Controller (PIC) fires once all PIs fire; the
+//     fire pops one token from every input, runs the wrapped element for
+//     one flit cycle, and pushes one token on every output. Output space
+//     is reserved at fire time (the OPI counter decrements "as soon as
+//     input data is forwarded to the router"), which here is the push
+//     itself; the 2-cycle registered-fire delay to the OPIs is the
+//     channel's transfer delay.
+//   - when an element has nothing to send, it still produces *empty
+//     tokens* so its neighbours can keep iterating, and at reset every
+//     channel is primed with InitialTokens empty tokens — without them the
+//     system deadlocks (both straight from the paper).
+//
+// Slot alignment: each channel's InitialTokens initial marking makes a
+// flit advance InitialTokens dataflow iterations per hop, so the TDM slot
+// allocation must shift reservations by InitialTokens slots per hop
+// instead of one — the paper's "the delay involved in clock-domain
+// crossing is hidden by adapting the slot allocation". Callers achieve
+// this by setting every link's PipelineStages to InitialTokens-1 before
+// routing (core.PrepareTopology does it for Mode Asynchronous).
+package wrapper
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/ni"
+	"repro/internal/phit"
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+// InitialTokens is the uniform initial marking of every channel. Two
+// tokens decouple neighbouring fire schedules enough that the steady-state
+// iteration period equals the flit cycle of the slowest element (with one
+// token, the round-trip dependency between neighbours would throttle the
+// network below full rate).
+const InitialTokens = 2
+
+// ChannelCapacity is the token capacity of a channel (the combined OPI and
+// IPI FIFO depth in flits).
+const ChannelCapacity = 4
+
+// Channel is the asynchronous link between two wrapped elements.
+type Channel = sim.TokenChannel[phit.Flit]
+
+// NewChannel builds a primed channel. delay is the token transfer latency
+// (registered fire plus wire), typically two nominal clock cycles.
+func NewChannel(name string, delay clock.Duration) *Channel {
+	ch := sim.NewTokenChannel[phit.Flit](name, ChannelCapacity, delay)
+	for i := 0; i < InitialTokens; i++ {
+		ch.Prime(phit.Flit{})
+	}
+	return ch
+}
+
+// An Actor is a network element that advances in whole flit cycles.
+type Actor interface {
+	// Fire consumes one token per input port and produces one per
+	// output port.
+	Fire(now clock.Time, in []phit.Flit) []phit.Flit
+	// Ports returns the number of input/output ports.
+	Ports() int
+	// ActorName identifies the element.
+	ActorName() string
+}
+
+// RouterActor adapts an aelite router core.
+type RouterActor struct {
+	Core *router.Core
+	out  []phit.Flit
+}
+
+// NewRouterActor wraps a router core.
+func NewRouterActor(c *router.Core) *RouterActor { return &RouterActor{Core: c} }
+
+// Fire implements Actor.
+func (r *RouterActor) Fire(now clock.Time, in []phit.Flit) []phit.Flit {
+	r.out = r.Core.StepFlitDirect(in, r.out)
+	return r.out
+}
+
+// Ports implements Actor.
+func (r *RouterActor) Ports() int { return r.Core.Arity() }
+
+// ActorName implements Actor.
+func (r *RouterActor) ActorName() string { return r.Core.Name() }
+
+// NIActor adapts an aelite NI (which must not itself be registered with
+// the engine).
+type NIActor struct {
+	NI  *ni.NI
+	out []phit.Flit
+}
+
+// NewNIActor wraps an NI.
+func NewNIActor(n *ni.NI) *NIActor { return &NIActor{NI: n, out: make([]phit.Flit, 1)} }
+
+// Fire implements Actor.
+func (a *NIActor) Fire(now clock.Time, in []phit.Flit) []phit.Flit {
+	a.out[0] = a.NI.StepFlit(now, in[0])
+	return a.out
+}
+
+// Ports implements Actor.
+func (a *NIActor) Ports() int { return 1 }
+
+// ActorName implements Actor.
+func (a *NIActor) ActorName() string { return a.NI.Name() }
+
+// A Wrapper is the engine component: PIC plus port interfaces around an
+// actor.
+type Wrapper struct {
+	name  string
+	clk   *clock.Clock
+	actor Actor
+
+	in  []*Channel // nil for unconnected ports
+	out []*Channel
+
+	busy    int // cycles remaining in the current fire window
+	fires   int64
+	stalled int64 // cycles spent waiting for tokens or space
+
+	inBuf []phit.Flit
+}
+
+// New builds a wrapper around an actor on its own clock. Connect ports
+// with ConnectIn/ConnectOut before registering with the engine.
+func New(name string, clk *clock.Clock, actor Actor) *Wrapper {
+	return &Wrapper{
+		name:  name,
+		clk:   clk,
+		actor: actor,
+		in:    make([]*Channel, actor.Ports()),
+		out:   make([]*Channel, actor.Ports()),
+		inBuf: make([]phit.Flit, actor.Ports()),
+	}
+}
+
+// ConnectIn attaches the channel feeding input port i.
+func (w *Wrapper) ConnectIn(i int, ch *Channel) { w.in[i] = ch }
+
+// ConnectOut attaches the channel driven by output port i.
+func (w *Wrapper) ConnectOut(i int, ch *Channel) { w.out[i] = ch }
+
+// Fires returns the number of completed dataflow iterations.
+func (w *Wrapper) Fires() int64 { return w.fires }
+
+// Stalled returns the number of cycles the PIC waited for a neighbour.
+func (w *Wrapper) Stalled() int64 { return w.stalled }
+
+// Name implements sim.Component.
+func (w *Wrapper) Name() string { return w.name }
+
+// Clock implements sim.Component.
+func (w *Wrapper) Clock() *clock.Clock { return w.clk }
+
+// Sample implements sim.Component.
+func (w *Wrapper) Sample(now clock.Time) {}
+
+// Update implements sim.Component.
+func (w *Wrapper) Update(now clock.Time) {
+	if w.busy > 0 {
+		w.busy--
+		return
+	}
+	// PIC firing rule: every connected IPI has a token, every connected
+	// OPI has space.
+	for _, ch := range w.in {
+		if ch != nil && !ch.Valid(now) {
+			w.stalled++
+			return
+		}
+	}
+	for _, ch := range w.out {
+		if ch != nil && !ch.CanPush() {
+			w.stalled++
+			return
+		}
+	}
+	for i, ch := range w.in {
+		if ch != nil {
+			w.inBuf[i] = ch.Pop(now)
+		} else {
+			w.inBuf[i] = phit.Flit{}
+		}
+	}
+	out := w.actor.Fire(now, w.inBuf)
+	for i, ch := range w.out {
+		if ch != nil {
+			ch.Push(now, out[i])
+		} else if !out[i].Empty() {
+			panic(fmt.Sprintf("wrapper %s: flit for unconnected output %d", w.name, i))
+		}
+	}
+	w.fires++
+	w.busy = phit.FlitWords - 1 // a fire occupies one whole flit cycle
+}

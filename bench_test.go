@@ -248,6 +248,31 @@ func BenchmarkEngineSynchronous(b *testing.B) {
 	b.ReportMetric(float64(eng.Edges())/b.Elapsed().Seconds(), "edges/s")
 }
 
+func BenchmarkEngineMesochronous(b *testing.B) {
+	// The same Section VII network with per-tile clock phases and link
+	// pipeline stages: many distinct clock domains, the worst case for
+	// the engine's edge scheduler.
+	m := experiments.Sec7Mesh()
+	cfg := core.Config{Transactional: true, Mode: core.Mesochronous, PhaseSeed: 7}
+	core.PrepareTopology(m, cfg)
+	uc, err := experiments.Sec7UseCase(m, experiments.Sec7Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := core.Build(m, uc, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := n.Engine()
+	period := n.BaseClock().Period
+	eng.Run(1000 * period) // prime
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Run(eng.Now() + period)
+	}
+	b.ReportMetric(float64(eng.Edges())/b.Elapsed().Seconds(), "edges/s")
+}
+
 func BenchmarkAllocator(b *testing.B) {
 	m := experiments.Sec7Mesh()
 	core.PrepareTopology(m, core.Config{Transactional: true})

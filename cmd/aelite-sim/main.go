@@ -10,13 +10,24 @@
 //
 // Flags:
 //
-//	-backend B    aelite | be
-//	-mode M       synchronous | mesochronous | asynchronous (aelite only)
-//	-freq MHZ     network frequency (default 500)
-//	-warmup NS    warm-up before measurement (default 10000)
-//	-measure NS   measurement window (default 50000)
-//	-tx           transactional traffic (line-rate bursts) instead of CBR
-//	-probes       enable dynamic TDM verification probes (aelite only)
+//	-backend B     aelite | be
+//	-mode M        synchronous | mesochronous | asynchronous (aelite only)
+//	-freq MHZ      network frequency (default 500)
+//	-warmup NS     warm-up before measurement (default 10000)
+//	-measure NS    measurement window (default 50000)
+//	-tx            transactional traffic (line-rate bursts) instead of CBR
+//	-probes        enable dynamic TDM verification probes (aelite only)
+//	-faults SPEC   fault campaign: op@TIMEns:target[:param];... or random:N
+//	-fault-seed N  seed for random fault events (same seed, same campaign)
+//	-strict        fail fast on the first envelope violation instead of
+//	               collecting violations and degrading gracefully
+//	-skew-ps PS    checkerboard tile-skew override in mesochronous mode;
+//	               values past half a period leave the paper's envelope
+//
+// A campaign run (-faults or -skew-ps) prints the connection report
+// followed by the deterministic campaign summary. Any fatal envelope
+// violation (strict mode) or internal failure exits non-zero with a
+// one-line diagnostic instead of a raw panic trace.
 package main
 
 import (
@@ -25,43 +36,84 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/spec"
 	"repro/internal/topology"
 )
 
-func main() {
-	specPath := flag.String("spec", "", "use-case JSON")
-	random := flag.Int("random", 0, "generate this many random connections")
-	seed := flag.Int64("seed", 1, "seed for -random")
-	cols := flag.Int("cols", 4, "mesh columns")
-	rows := flag.Int("rows", 3, "mesh rows")
-	nis := flag.Int("nis", 4, "NIs per router")
-	backend := flag.String("backend", "aelite", "aelite | be")
-	mode := flag.String("mode", "synchronous", "synchronous|mesochronous|asynchronous")
-	freq := flag.Float64("freq", 500, "frequency in MHz")
-	warmup := flag.Float64("warmup", 10000, "warm-up in ns")
-	measure := flag.Float64("measure", 50000, "measurement window in ns")
-	tx := flag.Bool("tx", false, "transactional traffic")
-	probes := flag.Bool("probes", false, "TDM verification probes")
-	flag.Parse()
+type options struct {
+	specPath  string
+	random    int
+	seed      int64
+	cols      int
+	rows      int
+	nis       int
+	backend   string
+	mode      string
+	freq      float64
+	warmup    float64
+	measure   float64
+	tx        bool
+	probes    bool
+	faults    string
+	faultSeed int64
+	strict    bool
+	skewPS    int64
+}
 
-	m := topology.NewMesh(*cols, *rows, *nis)
+func main() {
+	var o options
+	flag.StringVar(&o.specPath, "spec", "", "use-case JSON")
+	flag.IntVar(&o.random, "random", 0, "generate this many random connections")
+	flag.Int64Var(&o.seed, "seed", 1, "seed for -random")
+	flag.IntVar(&o.cols, "cols", 4, "mesh columns")
+	flag.IntVar(&o.rows, "rows", 3, "mesh rows")
+	flag.IntVar(&o.nis, "nis", 4, "NIs per router")
+	flag.StringVar(&o.backend, "backend", "aelite", "aelite | be")
+	flag.StringVar(&o.mode, "mode", "synchronous", "synchronous|mesochronous|asynchronous")
+	flag.Float64Var(&o.freq, "freq", 500, "frequency in MHz")
+	flag.Float64Var(&o.warmup, "warmup", 10000, "warm-up in ns")
+	flag.Float64Var(&o.measure, "measure", 50000, "measurement window in ns")
+	flag.BoolVar(&o.tx, "tx", false, "transactional traffic")
+	flag.BoolVar(&o.probes, "probes", false, "TDM verification probes")
+	flag.StringVar(&o.faults, "faults", "", "fault campaign spec")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for random fault events")
+	flag.BoolVar(&o.strict, "strict", false, "fail fast on the first envelope violation")
+	flag.Int64Var(&o.skewPS, "skew-ps", 0, "mesochronous tile-skew override in ps")
+	flag.Parse()
+	os.Exit(run(o))
+}
+
+// run executes the simulation and returns the process exit code. Envelope
+// violations in strict mode (and any internal failure) surface as panics;
+// they are condensed into a one-line diagnostic rather than a stack trace.
+func run(o options) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "aelite-sim: fatal: %v\n", r)
+			code = 3
+		}
+	}()
+
+	m := topology.NewMesh(o.cols, o.rows, o.nis)
 	var uc *spec.UseCase
 	var err error
 	switch {
-	case *specPath != "":
-		uc, err = spec.Load(*specPath)
-		fatal(err)
-	case *random > 0:
+	case o.specPath != "":
+		uc, err = spec.Load(o.specPath)
+		if err != nil {
+			return fail(err)
+		}
+	case o.random > 0:
 		uc = spec.Random(spec.RandomConfig{
-			Name: "random", Seed: *seed,
-			IPs: *cols * *rows * *nis, Apps: 4, Conns: *random,
+			Name: "random", Seed: o.seed,
+			IPs: o.cols * o.rows * o.nis, Apps: 4, Conns: o.random,
 			MinRateMBps: 10, MaxRateMBps: 300, HeavyFraction: 0.1, HeavyMinRateMBps: 40,
 			MinLatencyNs: 150, MaxLatencyNs: 900,
 		})
 	default:
 		fmt.Fprintln(os.Stderr, "aelite-sim: need -spec or -random")
-		os.Exit(2)
+		return 2
 	}
 	unmapped := false
 	for _, ip := range uc.IPs {
@@ -73,40 +125,85 @@ func main() {
 		spec.MapIPsByTraffic(uc, m)
 	}
 
-	var rep *core.Report
-	if *backend == "be" {
-		n, err := core.BuildBE(m, uc, core.BEConfig{FreqMHz: *freq, Transactional: *tx})
-		fatal(err)
-		rep = n.Run(*warmup, *measure)
-	} else {
-		cfg := core.Config{FreqMHz: *freq, Probes: *probes, Transactional: *tx}
-		switch *mode {
-		case "synchronous":
-		case "mesochronous":
-			cfg.Mode = core.Mesochronous
-		case "asynchronous":
-			cfg.Mode = core.Asynchronous
-		default:
-			fmt.Fprintf(os.Stderr, "aelite-sim: unknown mode %q\n", *mode)
-			os.Exit(2)
+	campaignMode := o.faults != "" || o.skewPS != 0
+	if o.backend == "be" {
+		if campaignMode {
+			fmt.Fprintln(os.Stderr, "aelite-sim: fault campaigns need the aelite backend")
+			return 2
 		}
-		core.PrepareTopology(m, cfg)
-		n, err := core.Build(m, uc, cfg)
-		fatal(err)
-		rep = n.Run(*warmup, *measure)
+		n, err := core.BuildBE(m, uc, core.BEConfig{FreqMHz: o.freq, Transactional: o.tx})
+		if err != nil {
+			return fail(err)
+		}
+		return verdict(n.Run(o.warmup, o.measure))
 	}
+
+	// Campaigns always carry the TDM ownership probes: a corrupted header
+	// re-routes a packet into slots reserved for someone else, which only
+	// the allocation-aware probes can attribute.
+	cfg := core.Config{FreqMHz: o.freq, Probes: o.probes || campaignMode, Transactional: o.tx, SkewOverridePS: o.skewPS}
+	switch o.mode {
+	case "synchronous":
+	case "mesochronous":
+		cfg.Mode = core.Mesochronous
+	case "asynchronous":
+		cfg.Mode = core.Asynchronous
+	default:
+		fmt.Fprintf(os.Stderr, "aelite-sim: unknown mode %q\n", o.mode)
+		return 2
+	}
+
+	// In a campaign, a collector switches every envelope check from
+	// fail-fast panic to graceful violation recording; -strict keeps the
+	// panics so the first violation halts the run.
+	var collector *fault.Collector
+	if campaignMode && !o.strict {
+		collector = fault.NewCollector()
+		cfg.FaultReporter = collector
+	}
+
+	core.PrepareTopology(m, cfg)
+	n, err := core.Build(m, uc, cfg)
+	if err != nil {
+		return fail(err)
+	}
+
+	var campaign *fault.Campaign
+	if campaignMode {
+		n.AddInvariantCheckers(collector)
+		plan := &fault.Plan{Seed: o.faultSeed}
+		if o.faults != "" {
+			plan, err = fault.ParseSpec(o.faults, o.faultSeed)
+			if err != nil {
+				return fail(err)
+			}
+		}
+		campaign = fault.NewCampaign(plan, collector)
+		if err := campaign.Arm(n.Engine(), n.FaultTargets()); err != nil {
+			return fail(err)
+		}
+	}
+
+	rep := n.Run(o.warmup, o.measure)
 	rep.Write(os.Stdout)
-	if rep.AllMet() {
-		fmt.Println("\nall requirements met")
-	} else {
-		fmt.Printf("\n%d requirements MISSED\n", len(rep.Violations()))
-		os.Exit(1)
+	if campaign != nil {
+		fmt.Println()
+		campaign.Summarize().Write(os.Stdout)
+		return 0
 	}
+	return verdict(rep)
 }
 
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "aelite-sim:", err)
-		os.Exit(1)
+func verdict(rep *core.Report) int {
+	if rep.AllMet() {
+		fmt.Println("\nall requirements met")
+		return 0
 	}
+	fmt.Printf("\n%d requirements MISSED\n", len(rep.Violations()))
+	return 1
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "aelite-sim:", err)
+	return 1
 }

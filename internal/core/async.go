@@ -31,6 +31,7 @@ func (n *Network) instantiateAsync() error {
 		}
 		nodeClk[node.ID] = clock.Plesiochronous(n.base, "clk."+node.Name, ppm,
 			clock.Duration(rng.Int63n(int64(period))))
+		n.faultClks = append(n.faultClks, nodeClk[node.ID])
 	}
 
 	// Token channels per link. Transfer delay: the 2-cycle registered
@@ -51,7 +52,9 @@ func (n *Network) instantiateAsync() error {
 	for _, r := range n.Mesh.Routers() {
 		node := n.Mesh.Node(r)
 		core := router.NewCore(node.Name, node.Ports, n.Cfg.Layout)
+		core.SetReporter(n.Cfg.FaultReporter)
 		w := wrapper.New("wrap."+node.Name, nodeClk[r], wrapper.NewRouterActor(core))
+		w.SetReporter(n.Cfg.FaultReporter)
 		for p := 0; p < node.Ports; p++ {
 			if l := n.Mesh.InLink(r, p); l != topology.Invalid {
 				w.ConnectIn(p, chans[l])
@@ -60,6 +63,7 @@ func (n *Network) instantiateAsync() error {
 				w.ConnectOut(p, chans[l])
 			}
 		}
+		n.wrappers = append(n.wrappers, w)
 		n.eng.Add(w)
 	}
 
@@ -69,10 +73,13 @@ func (n *Network) instantiateAsync() error {
 		table := n.Alloc.NITable(id)
 		n.niTables[id] = table
 		c := ni.New(node.Name, nodeClk[id], n.Cfg.Layout, table, nil, nil)
+		c.SetReporter(n.Cfg.FaultReporter)
 		n.nis[id] = c
 		w := wrapper.New("wrap."+node.Name, nodeClk[id], wrapper.NewNIActor(c))
+		w.SetReporter(n.Cfg.FaultReporter)
 		w.ConnectIn(0, chans[n.Mesh.InLink(id, 0)])
 		w.ConnectOut(0, chans[n.Mesh.OutLink(id, 0)])
+		n.wrappers = append(n.wrappers, w)
 		n.eng.Add(w)
 	}
 

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/clock"
+	"repro/internal/fault"
 	"repro/internal/link"
 	"repro/internal/ni"
 	"repro/internal/phit"
@@ -93,6 +94,19 @@ type Config struct {
 	// PPM is the maximum plesiochronous frequency deviation, in parts
 	// per million, of each element's clock in Asynchronous mode.
 	PPM float64
+	// FaultReporter, when non-nil, switches every component's envelope
+	// checks from fail-fast panics to structured fault.Violation records
+	// delivered to the reporter (typically a *fault.Collector), and the
+	// components degrade gracefully past each violation.
+	FaultReporter fault.Reporter
+	// SkewOverridePS, when non-zero in Mesochronous mode, replaces the
+	// random in-envelope tile phases with a deterministic checkerboard:
+	// tiles at even Manhattan parity get phase 0, odd parity get this
+	// value, so every inter-router link sees exactly this skew. Values
+	// past half a period deliberately leave the paper's operating
+	// envelope (strict mode then fails fast at Build; collecting mode
+	// records SkewBound violations and runs anyway).
+	SkewOverridePS int64
 }
 
 // ApplyDefaults fills zero-valued fields with the paper's defaults: 32-bit
@@ -148,6 +162,12 @@ type Network struct {
 	niTables map[topology.NodeID]*slots.Table
 	qidNext  map[topology.NodeID]int
 	domains  map[topology.NodeID]*clock.Clock
+
+	// Fault-injection surface, in construction (= deterministic) order.
+	wrappers  []*wrapper.Wrapper
+	linkWires []fault.LinkTarget
+	linkClks  []*clock.Clock // writer-domain clock per linkWires entry
+	faultClks []*clock.Clock // every mutable (non-base) clock
 }
 
 // Engine exposes the simulation engine (for custom drivers and tests).
@@ -351,12 +371,24 @@ func (n *Network) instantiate() error {
 		return clock.Duration(rng.Int63n(int64(phaseWindow) + 1))
 	}
 
-	// Per-router-tile clocks: the router and its NIs share one domain.
+	// Per-router-tile clocks: the router and its NIs share one domain. A
+	// skew override replaces the random in-envelope phases with a
+	// checkerboard, giving every inter-router link exactly that skew
+	// (adjacent routers always differ in Manhattan parity on a mesh).
 	tileClk := make(map[topology.NodeID]*clock.Clock)
 	for _, r := range n.Mesh.Routers() {
 		ck := n.base
 		if n.Cfg.Mode == Mesochronous {
-			ck = clock.Mesochronous(n.base, fmt.Sprintf("clk.%s", n.Mesh.Node(r).Name), drawPhase())
+			node := n.Mesh.Node(r)
+			ph := drawPhase()
+			if n.Cfg.SkewOverridePS != 0 {
+				ph = 0
+				if (node.X+node.Y)%2 != 0 {
+					ph = clock.Duration(n.Cfg.SkewOverridePS)
+				}
+			}
+			ck = clock.Mesochronous(n.base, fmt.Sprintf("clk.%s", node.Name), ph)
+			n.faultClks = append(n.faultClks, ck)
 		}
 		tileClk[r] = ck
 	}
@@ -391,6 +423,8 @@ func (n *Network) instantiate() error {
 		n.eng.AddWire(w)
 		entry[l.ID] = w
 		wClk, rClk := domainOf(l.From), domainOf(l.To)
+		n.linkWires = append(n.linkWires, fault.LinkTarget{Name: name, Wire: w})
+		n.linkClks = append(n.linkClks, wClk)
 		if wantStages == 0 {
 			if wClk != rClk {
 				return fmt.Errorf("core: link %s crosses clock domains without pipeline stages", name)
@@ -405,10 +439,17 @@ func (n *Network) instantiate() error {
 			if i == wantStages-1 {
 				stageClks[i] = rClk
 			} else {
-				stageClks[i] = clock.Mesochronous(n.base, fmt.Sprintf("%s.st%d", name, i), drawPhase())
+				ph := drawPhase()
+				if n.Cfg.SkewOverridePS != 0 {
+					// Deeper pipelines keep the override on the first hop
+					// and land the rest in the reader's phase.
+					ph = rClk.Phase
+				}
+				stageClks[i] = clock.Mesochronous(n.base, fmt.Sprintf("%s.st%d", name, i), ph)
+				n.faultClks = append(n.faultClks, stageClks[i])
 			}
 		}
-		sts := link.Pipeline(name, n.eng, w, out, wClk, stageClks, fwdDelay)
+		sts := link.PipelineWith(name, n.eng, w, out, wClk, stageClks, fwdDelay, n.Cfg.FaultReporter)
 		n.stages = append(n.stages, sts...)
 		exit[l.ID] = out
 	}
@@ -417,6 +458,7 @@ func (n *Network) instantiate() error {
 	for _, r := range n.Mesh.Routers() {
 		node := n.Mesh.Node(r)
 		rc := router.NewComponent(node.Name, node.Ports, n.Cfg.Layout, tileClk[r])
+		rc.SetReporter(n.Cfg.FaultReporter)
 		for p := 0; p < node.Ports; p++ {
 			if l := n.Mesh.InLink(r, p); l != topology.Invalid {
 				rc.ConnectIn(p, exit[l])
@@ -439,6 +481,7 @@ func (n *Network) instantiate() error {
 		inW := exit[n.Mesh.InLink(id, 0)]
 		outW := entry[n.Mesh.OutLink(id, 0)]
 		c := ni.New(node.Name, domainOf(id), n.Cfg.Layout, table, inW, outW)
+		c.SetReporter(n.Cfg.FaultReporter)
 		n.nis[id] = c
 		n.eng.Add(c)
 	}
@@ -496,6 +539,7 @@ func (n *Network) instantiate() error {
 				wire:  entry[l.ID],
 				alloc: n.Alloc,
 				link:  l.ID,
+				rep:   n.Cfg.FaultReporter,
 			}
 			n.eng.Add(p)
 		}
@@ -572,6 +616,41 @@ func slotHeaders(layout phit.HeaderLayout, asg *slots.Assignment, qid int) (map[
 		out[s] = h
 	}
 	return out, nil
+}
+
+// FaultTargets enumerates the built network's injection points for a
+// fault campaign: link entry wires (drop/corrupt/duplicate), every
+// non-base clock (phase/period steps), every mesochronous FIFO
+// (forwarding-delay stretch) and every asynchronous wrapper (PIC stall).
+func (n *Network) FaultTargets() fault.Targets {
+	t := fault.Targets{
+		Links:  append([]fault.LinkTarget(nil), n.linkWires...),
+		Clocks: append([]*clock.Clock(nil), n.faultClks...),
+	}
+	for _, s := range n.stages {
+		t.Delays = append(t.Delays, fault.DelayTarget{Name: s.FIFOName(), Stretch: s.StretchForwardDelay})
+	}
+	for _, w := range n.wrappers {
+		t.Stalls = append(t.Stalls, fault.StallTarget{Name: w.Name(), Stall: w.Stall})
+	}
+	return t
+}
+
+// AddInvariantCheckers registers the paper's invariant observers with the
+// engine: a SlotChecker on every link entry (Section III contention
+// freedom) and, in asynchronous mode, a LivenessChecker over every
+// wrapper (Section VI empty-token liveness). Call once, before Run.
+func (n *Network) AddInvariantCheckers(rep fault.Reporter) {
+	for i, lt := range n.linkWires {
+		n.eng.Add(fault.NewSlotChecker("check."+lt.Name, n.linkClks[i], lt.Wire, rep))
+	}
+	if len(n.wrappers) > 0 {
+		watch := make([]fault.Progress, len(n.wrappers))
+		for i, w := range n.wrappers {
+			watch[i] = w
+		}
+		n.eng.Add(fault.NewLivenessChecker("check.liveness", n.base, watch, 0, rep))
+	}
 }
 
 // PrepareTopology sets the pipeline-stage counts the given config will

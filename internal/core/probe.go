@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/clock"
+	"repro/internal/fault"
 	"repro/internal/phit"
 	"repro/internal/sim"
 	"repro/internal/slots"
@@ -14,13 +15,16 @@ import (
 // observed at a link's entry must belong to the connection that the
 // allocation assigned to that link in that slot. Any mismatch is a
 // violated TDM schedule — the property underpinning both composability and
-// predictability — so the probe halts the simulation rather than counting.
+// predictability — so with a nil reporter the probe halts the simulation
+// rather than counting, and with a reporter it records a SlotOwnership
+// violation and keeps observing.
 type probe struct {
 	name  string
 	clk   *clock.Clock
 	wire  *sim.Wire[phit.Phit]
 	alloc *slots.Allocation
 	link  topology.LinkID
+	rep   fault.Reporter
 
 	sampled  phit.Phit
 	observed int64
@@ -36,6 +40,12 @@ func (p *probe) Update(now clock.Time) {
 	}
 	edge, ok := p.clk.EdgeIndex(now)
 	if !ok {
+		// An injected phase or period step can leave this dispatch
+		// between edges of the mutated clock; slot attribution is
+		// meaningless there, so skip the observation in collecting mode.
+		if p.rep != nil {
+			return
+		}
 		panic(fmt.Sprintf("%s: update off-edge at %d ps", p.name, now))
 	}
 	// The sampled value was driven in the previous cycle; attribute it
@@ -48,8 +58,11 @@ func (p *probe) Update(now clock.Time) {
 	owner := p.alloc.LinkOwner(p.link, slot)
 	got := p.sampled.Meta.Conn
 	if got != owner {
-		panic(fmt.Sprintf("%s: slot %d carries connection %d but is allocated to %d — TDM schedule violated at %d ps",
-			p.name, slot, got, owner, now))
+		fault.Report(p.rep, fault.Violation{
+			Kind: fault.SlotOwnership, Component: p.name, Time: now, Slot: slot,
+			Detail: fmt.Sprintf("slot carries connection %d but is allocated to %d — TDM schedule violated", got, owner),
+		})
+		return
 	}
 	p.observed++
 }

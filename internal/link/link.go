@@ -20,17 +20,24 @@
 // as globally flit-synchronous.
 //
 // The paper's operating assumptions are checked, not assumed: skew at most
-// half a clock cycle, FIFO forwarding delay of 1-2 cycles with skew+delay
-// small enough to make the alignment land one flit cycle downstream, and a
-// nominal rate of one word per cycle (used slots carry whole 3-word
-// flits). Violations panic, because silently mis-aligned hardware would
-// corrupt the TDM schedule.
+// half a clock cycle — the bound is inclusive, skew of exactly half a
+// period is the largest legal value ("at most half a clock cycle", Section
+// V) — FIFO forwarding delay of 1-2 cycles with skew+delay small enough to
+// make the alignment land one flit cycle downstream, and a nominal rate of
+// one word per cycle (used slots carry whole 3-word flits).
+//
+// A violated assumption is reported through a fault.Reporter: with a nil
+// reporter (NewStage, the default) it panics, because silently mis-aligned
+// hardware would corrupt the TDM schedule; with a collector
+// (NewStageWith), the stage records a structured fault.Violation and keeps
+// running out of envelope so campaigns can observe the failure mode.
 package link
 
 import (
 	"fmt"
 
 	"repro/internal/clock"
+	"repro/internal/fault"
 	"repro/internal/phit"
 	"repro/internal/sim"
 )
@@ -44,6 +51,12 @@ const FIFODepth = 4
 type Stage struct {
 	name string
 	fifo *sim.Bisync[phit.Phit]
+	rep  fault.Reporter
+
+	// buildDelay is the construction-time forwarding delay; the in-envelope
+	// bound of the one-flit-cycle latency check (faults may stretch the
+	// live delay).
+	buildDelay clock.Duration
 
 	tap *writerTap
 	fsm *readerFSM
@@ -60,9 +73,20 @@ type Stage struct {
 // forwardDelay is the FIFO's synchroniser forwarding delay (the paper
 // assumes one to two cycles; pass e.g. readerClk.Period for one cycle).
 // The writer/reader skew is |writerClk.Phase - readerClk.Phase| and must
-// be at most half a period.
+// be at most half a period — the bound is inclusive: skew of exactly
+// Period/2 is legal.
 func NewStage(name string, in *sim.Wire[phit.Phit], out *sim.Wire[phit.Phit],
 	writerClk, readerClk *clock.Clock, forwardDelay clock.Duration) *Stage {
+	return NewStageWith(name, in, out, writerClk, readerClk, forwardDelay, nil)
+}
+
+// NewStageWith is NewStage with an explicit violation reporter: nil keeps
+// the fail-fast panics; a collector turns the construction-time envelope
+// checks (skew bound, alignment feasibility) into fault.Violation records
+// and builds the stage anyway, deliberately out of envelope, so that fault
+// campaigns can observe how it misbehaves.
+func NewStageWith(name string, in *sim.Wire[phit.Phit], out *sim.Wire[phit.Phit],
+	writerClk, readerClk *clock.Clock, forwardDelay clock.Duration, rep fault.Reporter) *Stage {
 	if writerClk.Period != readerClk.Period {
 		panic(fmt.Sprintf("link %s: mesochronous stage requires equal periods (writer %d ps, reader %d ps); use the asynchronous wrapper for plesiochronous operation",
 			name, writerClk.Period, readerClk.Period))
@@ -72,8 +96,11 @@ func NewStage(name string, in *sim.Wire[phit.Phit], out *sim.Wire[phit.Phit],
 		skew = -skew
 	}
 	if 2*skew > writerClk.Period {
-		panic(fmt.Sprintf("link %s: skew %d ps exceeds half a period (%d ps) — outside the paper's mesochronous operating assumption",
-			name, skew, writerClk.Period))
+		fault.Report(rep, fault.Violation{
+			Kind: fault.SkewBound, Component: "link " + name, Slot: fault.NoSlot,
+			Detail: fmt.Sprintf("skew %d ps exceeds half a period (%d ps) — outside the paper's mesochronous operating assumption",
+				skew, writerClk.Period/2),
+		})
 	}
 	if forwardDelay <= 0 {
 		panic(fmt.Sprintf("link %s: non-positive FIFO forwarding delay", name))
@@ -87,17 +114,35 @@ func NewStage(name string, in *sim.Wire[phit.Phit], out *sim.Wire[phit.Phit],
 	// skew; the paper's full half-cycle skew budget needs a forwarding
 	// delay of at most 1.5 cycles.
 	if forwardDelay+(writerClk.Phase-readerClk.Phase) > 2*writerClk.Period {
-		panic(fmt.Sprintf("link %s: forwarding delay %d ps plus adverse skew %d ps exceeds two cycles — flits would mis-align by a whole slot and break the TDM schedule",
-			name, forwardDelay, writerClk.Phase-readerClk.Phase))
+		fault.Report(rep, fault.Violation{
+			Kind: fault.AlignBound, Component: "link " + name, Slot: fault.NoSlot,
+			Detail: fmt.Sprintf("forwarding delay %d ps plus adverse skew %d ps exceeds two cycles — flits would mis-align by a whole slot and break the TDM schedule",
+				forwardDelay, writerClk.Phase-readerClk.Phase),
+		})
 	}
 	s := &Stage{
-		name: name,
-		fifo: sim.NewBisync[phit.Phit](name+".fifo", FIFODepth, forwardDelay),
+		name:       name,
+		fifo:       sim.NewBisync[phit.Phit](name+".fifo", FIFODepth, forwardDelay),
+		rep:        rep,
+		buildDelay: forwardDelay,
 	}
 	s.tap = &writerTap{stage: s, clk: writerClk, in: in}
 	s.fsm = &readerFSM{stage: s, clk: readerClk, out: out}
 	return s
 }
+
+// SetReporter routes this stage's runtime envelope checks to r (nil
+// restores fail-fast panics).
+func (s *Stage) SetReporter(r fault.Reporter) { s.rep = r }
+
+// StretchForwardDelay adds delta to the FIFO's forwarding delay — the
+// fault model of a slow or metastable synchroniser.
+func (s *Stage) StretchForwardDelay(delta clock.Duration) {
+	s.fifo.SetForwardDelay(s.fifo.ForwardDelay() + delta)
+}
+
+// FIFOName returns the diagnostic name of the stage's bi-synchronous FIFO.
+func (s *Stage) FIFOName() string { return s.fifo.Name() }
 
 // Components returns the two engine components of the stage (writer tap
 // and reader FSM); register both with Engine.Add.
@@ -128,9 +173,17 @@ func (t *writerTap) Sample(now clock.Time) { t.sampled = t.in.Read() }
 
 func (t *writerTap) Update(now clock.Time) {
 	if t.sampled.Valid {
-		// The FIFO panics on overflow: aelite sizes it to never fill
-		// under the skew assumption, so overflow is a configuration
-		// error.
+		// aelite sizes the FIFO to never fill under the skew assumption,
+		// so a full FIFO is an envelope violation; the word is lost, as
+		// it would be in hardware (there is no full/accept handshake,
+		// by design).
+		if !t.stage.fifo.CanPush() {
+			fault.Report(t.stage.rep, fault.Violation{
+				Kind: fault.FIFOOverflow, Component: "link " + t.stage.name, Time: now, Slot: fault.NoSlot,
+				Detail: fmt.Sprintf("bi-synchronous FIFO overflow (capacity %d), word dropped", FIFODepth),
+			})
+			return
+		}
 		t.stage.fifo.Push(now, t.sampled)
 	}
 }
@@ -159,6 +212,19 @@ func (f *readerFSM) Update(now clock.Time) {
 		f.forwarding = f.stage.fifo.Valid(now)
 		if f.forwarding {
 			f.flits++
+			// Section V's latency claim: a stage adds exactly one flit
+			// cycle. In envelope, the head word waits at most the
+			// forwarding delay plus one flit cycle before the FSM picks
+			// it up; a longer wait means the alignment slipped a slot
+			// (stretched synchroniser, clock drift) and the TDM
+			// reservation downstream no longer matches.
+			bound := f.stage.buildDelay + phit.FlitWords*f.clk.Period
+			if age := f.stage.fifo.HeadAge(now); age > bound {
+				fault.Report(f.stage.rep, fault.Violation{
+					Kind: fault.LinkLatency, Component: "link " + f.stage.name, Time: now, Slot: fault.NoSlot,
+					Detail: fmt.Sprintf("head word waited %d ps, above the one-flit-cycle bound of %d ps", age, bound),
+				})
+			}
 		}
 	}
 	if !f.forwarding {
@@ -167,10 +233,16 @@ func (f *readerFSM) Update(now clock.Time) {
 	}
 	// Accept is high: pop one word this cycle. An empty FIFO mid-flit
 	// violates the nominal one-word-per-cycle rate assumption (a used
-	// slot must carry a whole flit).
+	// slot must carry a whole flit); the flit is truncated and the FSM
+	// resynchronises at the next flit boundary.
 	if !f.stage.fifo.Valid(now) {
-		panic(fmt.Sprintf("link %s: FIFO underflow in flit state %d at %d ps — writer sent a partial flit",
-			f.stage.name, state, now))
+		fault.Report(f.stage.rep, fault.Violation{
+			Kind: fault.FIFOUnderflow, Component: "link " + f.stage.name, Time: now, Slot: fault.NoSlot,
+			Detail: fmt.Sprintf("FIFO underflow in flit state %d — writer sent a partial flit", state),
+		})
+		f.forwarding = false
+		f.out.Drive(phit.IdlePhit)
+		return
 	}
 	f.out.Drive(f.stage.fifo.Pop(now))
 	if state == phit.FlitWords-1 {
@@ -185,6 +257,13 @@ func (f *readerFSM) Update(now clock.Time) {
 // intermediate wires it creates via the provided engine.
 func Pipeline(name string, eng *sim.Engine, in *sim.Wire[phit.Phit], out *sim.Wire[phit.Phit],
 	writerClk *clock.Clock, stageClks []*clock.Clock, forwardDelay clock.Duration) []*Stage {
+	return PipelineWith(name, eng, in, out, writerClk, stageClks, forwardDelay, nil)
+}
+
+// PipelineWith is Pipeline with an explicit violation reporter for every
+// stage (see NewStageWith).
+func PipelineWith(name string, eng *sim.Engine, in *sim.Wire[phit.Phit], out *sim.Wire[phit.Phit],
+	writerClk *clock.Clock, stageClks []*clock.Clock, forwardDelay clock.Duration, rep fault.Reporter) []*Stage {
 	if len(stageClks) == 0 {
 		panic(fmt.Sprintf("link %s: pipeline needs at least one stage", name))
 	}
@@ -199,7 +278,7 @@ func Pipeline(name string, eng *sim.Engine, in *sim.Wire[phit.Phit], out *sim.Wi
 			next = sim.NewWire[phit.Phit](fmt.Sprintf("%s.w%d", name, i))
 			eng.AddWire(next)
 		}
-		st := NewStage(fmt.Sprintf("%s.s%d", name, i), cur, next, w, ck, forwardDelay)
+		st := NewStageWith(fmt.Sprintf("%s.s%d", name, i), cur, next, w, ck, forwardDelay, rep)
 		for _, c := range st.Components() {
 			eng.Add(c)
 		}

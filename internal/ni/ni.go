@@ -33,6 +33,7 @@ import (
 	"fmt"
 
 	"repro/internal/clock"
+	"repro/internal/fault"
 	"repro/internal/phit"
 	"repro/internal/sim"
 	"repro/internal/slots"
@@ -134,6 +135,15 @@ type NI struct {
 	// phase tracks the word index within the current flit cycle in
 	// component mode; in wrapper (flit-granular) mode it is unused.
 	wrapped bool
+
+	// dropPacket discards the remainder of an incoming packet whose
+	// header was unusable (unknown queue) in collecting mode.
+	dropPacket bool
+
+	// rep receives envelope violations (protocol breaks, flow-control
+	// failures, packetisation state errors); nil preserves the original
+	// fail-fast panics.
+	rep fault.Reporter
 }
 
 // New builds an NI clocked by clk with the given header layout and slot
@@ -249,6 +259,10 @@ func (n *NI) mustIn(conn phit.ConnID) *inConn {
 	return ic
 }
 
+// SetReporter routes the NI's envelope checks to r; nil restores the
+// fail-fast panics.
+func (n *NI) SetReporter(r fault.Reporter) { n.rep = r }
+
 // Name implements sim.Component.
 func (n *NI) Name() string { return n.name }
 
@@ -283,7 +297,10 @@ func (n *NI) Update(now clock.Time) {
 	if n.out != nil {
 		n.out.Drive(n.flitBuf[w])
 	} else if n.flitBuf[w].Valid {
-		panic(fmt.Sprintf("ni %s: valid phit but no output wire", n.name))
+		fault.Report(n.rep, fault.Violation{
+			Kind: fault.RouteError, Component: "ni " + n.name, Time: now, Slot: fault.NoSlot,
+			Detail: "valid phit but no output wire, phit dropped",
+		})
 	}
 }
 
@@ -307,45 +324,79 @@ func (n *NI) StepFlit(now clock.Time, in phit.Flit) phit.Flit {
 	return out
 }
 
-// receivePhit processes one arriving phit.
+// receivePhit processes one arriving phit. With a reporter set, every
+// envelope break degrades gracefully — the offending phit (or the rest of
+// its packet) is dropped and a Violation recorded — instead of panicking.
 func (n *NI) receivePhit(now clock.Time, p phit.Phit) {
 	if !p.Valid {
 		return
 	}
 	if !n.inPacket {
 		if p.Kind != phit.Header && p.Kind != phit.CreditOnly {
-			panic(fmt.Sprintf("ni %s: expected header, got %v (conn %d)", n.name, p.Kind, p.Meta.Conn))
+			fault.Report(n.rep, fault.Violation{
+				Kind: fault.ProtocolError, Component: "ni " + n.name, Time: now, Slot: fault.NoSlot,
+				Detail: fmt.Sprintf("expected header, got %v (conn %d), phit dropped", p.Kind, p.Meta.Conn),
+			})
+			return
 		}
 		qid := n.layout.QID(p.Data)
 		ic := n.inByQID[qid]
 		if ic == nil {
-			panic(fmt.Sprintf("ni %s: header for unknown queue %d (conn %d)", n.name, qid, p.Meta.Conn))
+			fault.Report(n.rep, fault.Violation{
+				Kind: fault.UnknownQueue, Component: "ni " + n.name, Time: now, Slot: fault.NoSlot,
+				Detail: fmt.Sprintf("header for unknown queue %d (conn %d), packet dropped", qid, p.Meta.Conn),
+			})
+			// Swallow the rest of the packet: its payload belongs to no
+			// receive queue we know.
+			n.inPacket = true
+			n.dropPacket = true
+			n.curIn = nil
+			if p.EoP {
+				n.inPacket = false
+				n.dropPacket = false
+			}
+			return
 		}
 		n.curIn = ic
+		n.dropPacket = false
 		if cr := n.layout.Credits(p.Data); cr > 0 {
 			target := ic.cfg.CreditFor
 			if target == phit.None {
-				panic(fmt.Sprintf("ni %s: %d credits arrived on connection %d with no credit target",
-					n.name, cr, ic.cfg.ID))
-			}
-			oc := n.mustOut(target)
-			// Credits travel in flit units (one credit = FlitWords
-			// words of freed buffer), tripling the return bandwidth
-			// of the narrow header field.
-			oc.credits += cr * phit.FlitWords
-			if oc.credits > oc.cfg.InitialCredits {
-				panic(fmt.Sprintf("ni %s: connection %d credits %d exceed capacity %d — duplicate credit return",
-					n.name, target, oc.credits, oc.cfg.InitialCredits))
+				fault.Report(n.rep, fault.Violation{
+					Kind: fault.CreditError, Component: "ni " + n.name, Time: now, Slot: fault.NoSlot,
+					Detail: fmt.Sprintf("%d credits arrived on connection %d with no credit target, credits discarded",
+						cr, ic.cfg.ID),
+				})
+			} else {
+				oc := n.mustOut(target)
+				// Credits travel in flit units (one credit = FlitWords
+				// words of freed buffer), tripling the return bandwidth
+				// of the narrow header field.
+				oc.credits += cr * phit.FlitWords
+				if oc.credits > oc.cfg.InitialCredits {
+					fault.Report(n.rep, fault.Violation{
+						Kind: fault.CreditError, Component: "ni " + n.name, Time: now, Slot: fault.NoSlot,
+						Detail: fmt.Sprintf("connection %d credits %d exceed capacity %d — duplicate credit return, clamped",
+							target, oc.credits, oc.cfg.InitialCredits),
+					})
+					oc.credits = oc.cfg.InitialCredits
+				}
 			}
 		}
 		n.inPacket = true
+	} else if n.dropPacket {
+		// Discarding the remainder of a packet with an unusable header.
 	} else {
 		switch p.Kind {
 		case phit.Payload:
 			ic := n.curIn
 			if len(ic.recvQ) >= ic.cfg.RecvCapacity && !ic.cfg.AutoDrain {
-				panic(fmt.Sprintf("ni %s: receive queue overflow on connection %d — end-to-end flow control violated",
-					n.name, ic.cfg.ID))
+				fault.Report(n.rep, fault.Violation{
+					Kind: fault.QueueOverflow, Component: "ni " + n.name, Time: now, Slot: fault.NoSlot,
+					Detail: fmt.Sprintf("receive queue overflow on connection %d — end-to-end flow control violated, word dropped",
+						ic.cfg.ID),
+				})
+				break
 			}
 			lat := float64(now-p.Meta.Injected) / float64(clock.Nanosecond)
 			ic.latency.Add(lat)
@@ -365,11 +416,15 @@ func (n *NI) receivePhit(now clock.Time, p phit.Phit) {
 		case phit.Padding:
 			n.paddingSum++
 		default:
-			panic(fmt.Sprintf("ni %s: %v phit inside packet (conn %d)", n.name, p.Kind, p.Meta.Conn))
+			fault.Report(n.rep, fault.Violation{
+				Kind: fault.ProtocolError, Component: "ni " + n.name, Time: now, Slot: fault.NoSlot,
+				Detail: fmt.Sprintf("%v phit inside packet (conn %d), phit dropped", p.Kind, p.Meta.Conn),
+			})
 		}
 	}
 	if p.EoP {
 		n.inPacket = false
+		n.dropPacket = false
 	}
 }
 
@@ -393,16 +448,24 @@ func (n *NI) buildFlit(now clock.Time, slot int) {
 	owner := n.table.Owner(slot)
 	if owner == phit.None {
 		if n.openConn != phit.None {
-			panic(fmt.Sprintf("ni %s: packet of connection %d left open into unowned slot %d",
-				n.name, n.openConn, slot))
+			fault.Report(n.rep, fault.Violation{
+				Kind: fault.PacketState, Component: "ni " + n.name, Time: now, Slot: slot,
+				Detail: fmt.Sprintf("packet of connection %d left open into unowned slot, packet force-closed",
+					n.openConn),
+			})
+			n.openConn = phit.None
 		}
 		return
 	}
 	oc := n.mustOut(owner)
 	continuing := n.openConn == owner
 	if n.openConn != phit.None && !continuing {
-		panic(fmt.Sprintf("ni %s: packet of connection %d open entering slot %d owned by %d",
-			n.name, n.openConn, slot, owner))
+		fault.Report(n.rep, fault.Violation{
+			Kind: fault.PacketState, Component: "ni " + n.name, Time: now, Slot: slot,
+			Detail: fmt.Sprintf("packet of connection %d open entering slot owned by %d, packet force-closed",
+				n.openConn, owner),
+		})
+		n.openConn = phit.None
 	}
 
 	maxPayload := phit.FlitWords - 1
@@ -450,8 +513,12 @@ func (n *NI) buildFlit(now clock.Time, slot int) {
 		n.flitBuf[0] = phit.Phit{Valid: true, Kind: kind, Data: hdr, Meta: phit.Meta{Conn: owner}}
 		word = 1
 	} else if avail == 0 {
-		panic(fmt.Sprintf("ni %s: connection %d packet kept open with nothing to send in slot %d",
-			n.name, owner, slot))
+		fault.Report(n.rep, fault.Violation{
+			Kind: fault.PacketState, Component: "ni " + n.name, Time: now, Slot: slot,
+			Detail: fmt.Sprintf("connection %d packet kept open with nothing to send, padded and closed", owner),
+		})
+		// Fall through with no payload: the flit fills with padding and
+		// the keep-open test below closes the packet with an EoP.
 	}
 
 	sent := 0

@@ -3,6 +3,7 @@ package router
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/phit"
 )
 
@@ -17,8 +18,10 @@ import (
 //
 // in[i] is the token consumed from input port i this iteration (empty
 // tokens are all-idle flits); the result gives the token produced on each
-// output port. Contention still panics: with the adapted slot allocation
-// (one extra shift per initial channel token) no two flits may collide.
+// output port. Contention is an envelope violation: with the adapted slot
+// allocation (one extra shift per initial channel token) no two flits may
+// collide. In strict mode (nil reporter) it panics; in collecting mode the
+// colliding phit is dropped and a fault.Violation recorded.
 func (c *Core) StepFlitDirect(in []phit.Flit, out []phit.Flit) []phit.Flit {
 	if len(in) != c.arity {
 		panic(fmt.Sprintf("router %s: %d input tokens for arity %d", c.name, len(in), c.arity))
@@ -39,8 +42,12 @@ func (c *Core) StepFlitDirect(in []phit.Flit, out []phit.Flit) []phit.Flit {
 			}
 			if !st.inPacket {
 				if p.Kind != phit.Header && p.Kind != phit.CreditOnly {
-					panic(fmt.Sprintf("router %s: input %d expected header, got %v (conn %d)",
-						c.name, i, p.Kind, p.Meta.Conn))
+					fault.Report(c.rep, fault.Violation{
+						Kind: fault.ProtocolError, Component: "router " + c.name, Time: c.now, Slot: fault.NoSlot,
+						Detail: fmt.Sprintf("input %d expected header, got %v (conn %d), phit dropped",
+							i, p.Kind, p.Meta.Conn),
+					})
+					continue
 				}
 				port, shifted := c.layout.NextPort(p.Data)
 				p.Data = shifted
@@ -51,11 +58,19 @@ func (c *Core) StepFlitDirect(in []phit.Flit, out []phit.Flit) []phit.Flit {
 				st.inPacket = false
 			}
 			if st.outPort < 0 || st.outPort >= c.arity {
-				panic(fmt.Sprintf("router %s: input %d routed to non-existent port %d", c.name, i, st.outPort))
+				fault.Report(c.rep, fault.Violation{
+					Kind: fault.RouteError, Component: "router " + c.name, Time: c.now, Slot: fault.NoSlot,
+					Detail: fmt.Sprintf("input %d routed to non-existent port %d, phit dropped", i, st.outPort),
+				})
+				continue
 			}
 			if out[st.outPort][w].Valid {
-				panic(fmt.Sprintf("router %s: token contention on output %d word %d between connections %d and %d",
-					c.name, st.outPort, w, out[st.outPort][w].Meta.Conn, p.Meta.Conn))
+				fault.Report(c.rep, fault.Violation{
+					Kind: fault.SlotContention, Component: "router " + c.name, Time: c.now, Slot: fault.NoSlot,
+					Detail: fmt.Sprintf("token contention on output %d word %d between connections %d and %d",
+						st.outPort, w, out[st.outPort][w].Meta.Conn, p.Meta.Conn),
+				})
+				continue
 			}
 			out[st.outPort][w] = p
 			c.forwarded++

@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"repro/internal/clock"
+	"repro/internal/fault"
 	"repro/internal/phit"
 )
 
@@ -63,6 +64,12 @@ type Core struct {
 
 	// forwarded counts valid phits switched, a cheap progress metric.
 	forwarded int64
+
+	// rep receives envelope violations (TDM contention, protocol errors);
+	// nil preserves the fail-fast panics. now is the adapter-maintained
+	// simulation time stamped onto violations — Core itself is timeless.
+	rep fault.Reporter
+	now clock.Time
 }
 
 // NewCore returns a router core with the given arity (number of input and
@@ -93,6 +100,15 @@ func (c *Core) Name() string { return c.name }
 // Forwarded returns the number of valid phits switched so far.
 func (c *Core) Forwarded() int64 { return c.forwarded }
 
+// SetReporter routes the router's envelope checks (TDM contention,
+// protocol errors, routing errors) to r; nil restores fail-fast panics.
+func (c *Core) SetReporter(r fault.Reporter) { c.rep = r }
+
+// SetNow stamps subsequent violations with the given simulation time; the
+// engine adapter and the asynchronous wrapper call it, keeping Core itself
+// free of any notion of time.
+func (c *Core) SetNow(t clock.Time) { c.now = t }
+
 // Step advances the router by one cycle: in[i] is the phit present at
 // input port i this cycle; the returned slice (valid until the next call)
 // holds the phit driven on each output port. The output corresponds to
@@ -111,27 +127,39 @@ func (c *Core) Step(in []phit.Phit, out []phit.Phit) []phit.Phit {
 
 	// Stage 3: switch reg2 to the outputs. TDM contention-freedom means
 	// at most one input targets each output; hitting a collision is a
-	// broken allocation, not an arbitration event.
+	// broken allocation, not an arbitration event. In collecting mode the
+	// first-switched phit wins and the collider is dropped — hardware
+	// would garble both, but keeping one preserves more observable
+	// behaviour downstream.
 	for i := range c.reg2 {
 		r := &c.reg2[i]
 		if !r.p.Valid {
 			continue
 		}
 		if r.outPort < 0 || r.outPort >= c.arity {
-			panic(fmt.Sprintf("router %s: input %d routed to non-existent port %d (conn %d)",
-				c.name, i, r.outPort, r.p.Meta.Conn))
+			fault.Report(c.rep, fault.Violation{
+				Kind: fault.RouteError, Component: "router " + c.name, Time: c.now, Slot: fault.NoSlot,
+				Detail: fmt.Sprintf("input %d routed to non-existent port %d (conn %d), phit dropped",
+					i, r.outPort, r.p.Meta.Conn),
+			})
+			continue
 		}
 		if out[r.outPort].Valid {
-			panic(fmt.Sprintf(
-				"router %s: TDM contention on output %d between connections %d and %d — slot allocation violated",
-				c.name, r.outPort, out[r.outPort].Meta.Conn, r.p.Meta.Conn))
+			fault.Report(c.rep, fault.Violation{
+				Kind: fault.SlotContention, Component: "router " + c.name, Time: c.now, Slot: fault.NoSlot,
+				Detail: fmt.Sprintf("TDM contention on output %d between connections %d and %d — slot allocation violated",
+					r.outPort, out[r.outPort].Meta.Conn, r.p.Meta.Conn),
+			})
+			continue
 		}
 		out[r.outPort] = r.p
 		c.forwarded++
 	}
 
 	// Stage 2: HPU. A valid phit outside a packet is a header: consume
-	// one hop of the path and latch the output port until EoP.
+	// one hop of the path and latch the output port until EoP. A
+	// non-header phit outside a packet (a dropped or corrupted header
+	// upstream) is discarded until the next packet start.
 	for i := range c.reg1 {
 		p := c.reg1[i]
 		st := &c.hpu[i]
@@ -141,8 +169,13 @@ func (c *Core) Step(in []phit.Phit, out []phit.Phit) []phit.Phit {
 		}
 		if !st.inPacket {
 			if p.Kind != phit.Header && p.Kind != phit.CreditOnly {
-				panic(fmt.Sprintf("router %s: input %d expected header, got %v (conn %d)",
-					c.name, i, p.Kind, p.Meta.Conn))
+				fault.Report(c.rep, fault.Violation{
+					Kind: fault.ProtocolError, Component: "router " + c.name, Time: c.now, Slot: fault.NoSlot,
+					Detail: fmt.Sprintf("input %d expected header, got %v (conn %d), phit dropped",
+						i, p.Kind, p.Meta.Conn),
+				})
+				c.reg2[i] = stage2Reg{}
+				continue
 			}
 			port, shifted := c.layout.NextPort(p.Data)
 			p.Data = shifted
@@ -202,6 +235,9 @@ func (r *Component) Name() string { return r.core.name }
 // Clock implements sim.Component.
 func (r *Component) Clock() *clock.Clock { return r.clk }
 
+// SetReporter routes the wrapped core's envelope checks to r.
+func (r *Component) SetReporter(rep fault.Reporter) { r.core.SetReporter(rep) }
+
 // Sample implements sim.Component.
 func (r *Component) Sample(now clock.Time) {
 	for i, s := range r.in {
@@ -215,13 +251,17 @@ func (r *Component) Sample(now clock.Time) {
 
 // Update implements sim.Component.
 func (r *Component) Update(now clock.Time) {
+	r.core.SetNow(now)
 	r.outBuf = r.core.Step(r.sampled, r.outBuf)
 	for i, s := range r.out {
 		if s != nil {
 			s.Drive(r.outBuf[i])
 		} else if r.outBuf[i].Valid {
-			panic(fmt.Sprintf("router %s: valid phit for unconnected output %d (conn %d)",
-				r.core.name, i, r.outBuf[i].Meta.Conn))
+			fault.Report(r.core.rep, fault.Violation{
+				Kind: fault.RouteError, Component: "router " + r.core.name, Time: now, Slot: fault.NoSlot,
+				Detail: fmt.Sprintf("valid phit for unconnected output %d (conn %d), phit dropped",
+					i, r.outBuf[i].Meta.Conn),
+			})
 		}
 	}
 }

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// TestAtTimerOnlyInstant: a scheduled callback fires at its exact
+// picosecond even when no clock has an edge there, and the instant counts
+// as executed.
+func TestAtTimerOnlyInstant(t *testing.T) {
+	eng := New()
+	clk := clock.New("c", 1000, 0)
+	a := &counter{name: "a", clk: clk}
+	eng.Add(a)
+	var firedAt clock.Time = -1
+	eng.At(1500, func() { firedAt = eng.Now() })
+	instants := eng.Run(3000)
+	if firedAt != 1500 {
+		t.Errorf("callback fired at %d, want 1500", firedAt)
+	}
+	// Edges at 1000, 2000, 3000 plus the timer-only instant 1500.
+	if instants != 4 {
+		t.Errorf("instants = %d, want 4", instants)
+	}
+	if a.updates != 3 {
+		t.Errorf("component ran %d edges, want 3 — the timer instant must not dispatch components", a.updates)
+	}
+}
+
+// TestAtOrdering: callbacks run in time order, and same-instant callbacks
+// in registration order.
+func TestAtOrdering(t *testing.T) {
+	eng := New()
+	clk := clock.New("c", 1000, 0)
+	eng.Add(&counter{name: "a", clk: clk})
+	var order []string
+	eng.At(1500, func() { order = append(order, "a") })
+	eng.At(1500, func() { order = append(order, "b") })
+	eng.At(700, func() { order = append(order, "c") })
+	eng.Run(2000)
+	if len(order) != 3 || order[0] != "c" || order[1] != "a" || order[2] != "b" {
+		t.Errorf("callback order %v, want [c a b]", order)
+	}
+}
+
+// TestAtClampsPastTimes: scheduling at or before the current instant fires
+// at the next executed instant instead of being dropped or rewinding time.
+func TestAtClampsPastTimes(t *testing.T) {
+	eng := New()
+	clk := clock.New("c", 1000, 0)
+	eng.Add(&counter{name: "a", clk: clk})
+	var times []clock.Time
+	eng.At(0, func() { times = append(times, eng.Now()) }) // at time zero: clamped to 1
+	eng.At(1500, func() {
+		times = append(times, eng.Now())
+		// From inside a callback, a past time lands strictly after now.
+		eng.At(100, func() { times = append(times, eng.Now()) })
+	})
+	eng.Run(3000)
+	if len(times) != 3 {
+		t.Fatalf("fired %d callbacks, want 3: %v", len(times), times)
+	}
+	if times[0] != 1 || times[1] != 1500 || times[2] != 1501 {
+		t.Errorf("fire times %v, want [1 1500 1501]", times)
+	}
+}
+
+// TestAtRunsBeforeEdges: a callback at an instant that coincides with a
+// clock edge runs before the components dispatch there — injected
+// perturbations take effect in the same cycle.
+func TestAtRunsBeforeEdges(t *testing.T) {
+	eng := New()
+	clk := clock.New("c", 1000, 0)
+	a := &counter{name: "a", clk: clk}
+	eng.Add(a)
+	updatesSeen := -1
+	eng.At(2000, func() { updatesSeen = a.updates })
+	eng.Run(3000)
+	if updatesSeen != 1 {
+		t.Errorf("callback at 2000 saw %d updates, want 1 (the edge at 1000 only)", updatesSeen)
+	}
+}
+
+// TestInvalidateScheduleAfterPeriodChange: mutating a clock's period from a
+// scheduled callback (plus InvalidateSchedule) moves every subsequent edge
+// to the new cadence without skipping the edge due at the mutation instant.
+func TestInvalidateScheduleAfterPeriodChange(t *testing.T) {
+	eng := New()
+	clk := clock.New("c", 1000, 0)
+	a := &counter{name: "a", clk: clk}
+	eng.Add(a)
+	eng.At(3500, func() {
+		clk.Period = 500
+		eng.InvalidateSchedule()
+	})
+	eng.Run(6000)
+	// Old cadence: 1000, 2000, 3000. The new cadence (period 500, phase 0)
+	// has an edge exactly at the mutation instant 3500, which still fires,
+	// then 4000, 4500, 5000, 5500, 6000.
+	if a.updates != 9 {
+		t.Errorf("updates = %d, want 9 after mid-run period change", a.updates)
+	}
+	if a.lastTime != 6000 {
+		t.Errorf("last edge at %d, want 6000", a.lastTime)
+	}
+}
+
+// TestInvalidateScheduleAfterPhaseStep: a phase step that would place the
+// clock's next edge in the past rounds up to the current instant instead of
+// stalling or rewinding the group.
+func TestInvalidateScheduleAfterPhaseStep(t *testing.T) {
+	eng := New()
+	clk := clock.New("c", 1000, 0)
+	a := &counter{name: "a", clk: clk}
+	eng.Add(a)
+	eng.At(2500, func() {
+		clk.Phase = 300
+		eng.InvalidateSchedule()
+	})
+	eng.Run(5000)
+	// Old cadence: 1000, 2000. New cadence from 2500: 3300, 4300.
+	if a.updates != 4 {
+		t.Errorf("updates = %d, want 4 after phase step", a.updates)
+	}
+	if a.lastTime != 4300 {
+		t.Errorf("last edge at %d, want 4300", a.lastTime)
+	}
+}
+
+// TestCoincidentClockAndTimer: when a timer and a clock edge share an
+// instant, both execute and the instant is counted once.
+func TestCoincidentClockAndTimer(t *testing.T) {
+	eng := New()
+	clk := clock.New("c", 1000, 0)
+	a := &counter{name: "a", clk: clk}
+	eng.Add(a)
+	fired := false
+	eng.At(2000, func() { fired = true })
+	instants := eng.Run(2000)
+	if !fired || a.updates != 2 {
+		t.Errorf("fired=%v updates=%d, want callback and both edges", fired, a.updates)
+	}
+	if instants != 2 {
+		t.Errorf("instants = %d, want 2 — coincident timer and edge share an instant", instants)
+	}
+}

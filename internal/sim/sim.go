@@ -48,9 +48,41 @@ type Engine struct {
 	now        clock.Time
 	edges      int64 // total component-edges executed
 
+	// Edge schedule: components grouped by clock, with a min-heap of
+	// groups keyed by each clock's next edge. Rebuilt lazily whenever the
+	// component set or a clock definition changes (dirty).
+	groups []*clockGroup
+	gheap  []*clockGroup
+	dirty  bool
+
+	// Scheduled callbacks, fired at exact picosecond instants (fault
+	// injection, reconfiguration). Min-heap on (at, seq).
+	timers   []timerEntry
+	timerSeq int64
+
 	// trace, when non-nil, receives a line per interesting event from
 	// components that support tracing.
 	trace func(string)
+}
+
+// A clockGroup holds every component driven by one clock, in add order.
+type clockGroup struct {
+	clk   *clock.Clock
+	comps []indexedComp
+	next  clock.Time // cached next edge, strictly after the last dispatch
+}
+
+// indexedComp remembers a component's global add index so coincident
+// edges of different clocks still execute in add order (stable traces).
+type indexedComp struct {
+	c   Component
+	idx int
+}
+
+type timerEntry struct {
+	at  clock.Time
+	seq int64
+	f   func()
 }
 
 // New returns an empty engine at time zero.
@@ -65,7 +97,28 @@ func (e *Engine) Add(c Component) {
 		panic(fmt.Sprintf("sim: component %q has no clock", c.Name()))
 	}
 	e.components = append(e.components, c)
+	e.dirty = true
 }
+
+// At schedules f to run at the exact instant t, before any component edges
+// at that instant (and regardless of whether any clock has an edge there).
+// Callbacks at the same instant run in registration order. A time at or
+// before the current instant fires at the next executed instant. Scheduled
+// callbacks may mutate clocks; call InvalidateSchedule afterwards so the
+// engine recomputes its edge schedule.
+func (e *Engine) At(t clock.Time, f func()) {
+	if t <= e.now {
+		t = e.now + 1
+	}
+	e.timers = append(e.timers, timerEntry{at: t, seq: e.timerSeq, f: f})
+	e.timerSeq++
+	timerUp(e.timers, len(e.timers)-1)
+}
+
+// InvalidateSchedule tells the engine that a clock's period or phase was
+// mutated (fault injection models drift and jitter this way) so cached
+// next-edge times must be recomputed before the next dispatch.
+func (e *Engine) InvalidateSchedule() { e.dirty = true }
 
 // AddWire registers anything with a commit phase (wires, FIFO channels).
 func (e *Engine) AddWire(w committable) {
@@ -91,42 +144,174 @@ func (e *Engine) Tracef(format string, args ...any) {
 
 type committable interface{ commit() }
 
+// rebuild regroups components by clock and recomputes every group's next
+// edge strictly after the instant from.
+func (e *Engine) rebuild(from clock.Time) {
+	byClk := make(map[*clock.Clock]*clockGroup, len(e.groups)+1)
+	e.groups = e.groups[:0]
+	for i, c := range e.components {
+		g := byClk[c.Clock()]
+		if g == nil {
+			g = &clockGroup{clk: c.Clock()}
+			byClk[c.Clock()] = g
+			e.groups = append(e.groups, g)
+		}
+		g.comps = append(g.comps, indexedComp{c: c, idx: i})
+	}
+	e.gheap = e.gheap[:0]
+	for _, g := range e.groups {
+		g.next = g.clk.NextEdge(from)
+		e.gheap = append(e.gheap, g)
+	}
+	for i := len(e.gheap)/2 - 1; i >= 0; i-- {
+		groupDown(e.gheap, i)
+	}
+	e.dirty = false
+}
+
 // Run advances the simulation until (and including) all edges at times
 // <= until. It returns the number of distinct instants executed.
+//
+// Instead of rescanning every component per instant, the engine keeps the
+// components grouped by clock and pops the next-due clocks off a min-heap:
+// the per-instant cost scales with the number of due clock domains, not
+// with the total component count.
 func (e *Engine) Run(until clock.Time) int {
 	instants := 0
-	due := make([]Component, 0, len(e.components))
+	due := make([]indexedComp, 0, len(e.components))
+	dueGroups := make([]*clockGroup, 0, 8)
 	for {
-		// Find the earliest next edge strictly after e.now among all
-		// component clocks.
+		if e.dirty {
+			e.rebuild(e.now)
+		}
 		next := clock.Infinity
-		for _, c := range e.components {
-			if t := c.Clock().NextEdge(e.now); t < next {
-				next = t
-			}
+		if len(e.gheap) > 0 {
+			next = e.gheap[0].next
+		}
+		if len(e.timers) > 0 && e.timers[0].at < next {
+			next = e.timers[0].at
 		}
 		if next == clock.Infinity || next > until {
 			e.now = until
 			return instants
 		}
 		e.now = next
+
+		// Scheduled callbacks run first at their instant. They may
+		// mutate clocks; rebuild then re-derives the schedule so that
+		// unchanged clocks due exactly at this instant still fire, and
+		// edges a mutation would place in the past round up to now.
+		ranTimer := false
+		for len(e.timers) > 0 && e.timers[0].at <= next {
+			t := e.timers[0]
+			n := len(e.timers) - 1
+			e.timers[0] = e.timers[n]
+			e.timers = e.timers[:n]
+			timerDown(e.timers, 0)
+			t.f()
+			ranTimer = true
+		}
+		if ranTimer && e.dirty {
+			e.rebuild(next - 1)
+		}
+
 		due = due[:0]
-		for _, c := range e.components {
-			if _, ok := c.Clock().EdgeIndex(next); ok {
-				due = append(due, c)
-			}
+		dueGroups = dueGroups[:0]
+		for len(e.gheap) > 0 && e.gheap[0].next <= next {
+			g := e.gheap[0]
+			n := len(e.gheap) - 1
+			e.gheap[0] = e.gheap[n]
+			e.gheap = e.gheap[:n]
+			groupDown(e.gheap, 0)
+			due = append(due, g.comps...)
+			dueGroups = append(dueGroups, g)
+		}
+		for _, g := range dueGroups {
+			g.next = g.clk.NextEdge(next)
+			e.gheap = append(e.gheap, g)
+			groupUp(e.gheap, len(e.gheap)-1)
+		}
+		if len(dueGroups) > 1 {
+			sort.Slice(due, func(i, j int) bool { return due[i].idx < due[j].idx })
 		}
 		for _, c := range due {
-			c.Sample(next)
+			c.c.Sample(next)
 		}
 		for _, c := range due {
-			c.Update(next)
+			c.c.Update(next)
 		}
 		for _, w := range e.wires {
 			w.commit()
 		}
 		e.edges += int64(len(due))
 		instants++
+	}
+}
+
+// groupUp/groupDown maintain the clock-group min-heap on next edge time.
+func groupUp(h []*clockGroup, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].next <= h[i].next {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func groupDown(h []*clockGroup, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && h[l].next < h[m].next {
+			m = l
+		}
+		if r < len(h) && h[r].next < h[m].next {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// timerUp/timerDown maintain the callback min-heap on (at, seq).
+func timerLess(a, b timerEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func timerUp(h []timerEntry, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !timerLess(h[i], h[p]) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func timerDown(h []timerEntry, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && timerLess(h[l], h[m]) {
+			m = l
+		}
+		if r < len(h) && timerLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
 	}
 }
 

@@ -17,6 +17,13 @@ type Wire[T any] struct {
 	cur     T
 	next    T
 	pending bool
+
+	// intercept, when non-nil, observes and may override the wire's
+	// effective value at every commit (fault injection: drop, corrupt or
+	// replay values in place, without adding a pipeline stage that would
+	// perturb timing by itself). driven reports whether a component drove
+	// the wire this instant.
+	intercept func(v T, driven bool) T
 }
 
 // NewWire returns a wire carrying the zero value of T.
@@ -37,11 +44,21 @@ func (w *Wire[T]) Drive(v T) {
 }
 
 func (w *Wire[T]) commit() {
+	driven := w.pending
 	if w.pending {
 		w.cur = w.next
 		w.pending = false
 	}
+	if w.intercept != nil {
+		w.cur = w.intercept(w.cur, driven)
+	}
 }
+
+// SetIntercept installs (or, with nil, removes) a commit-time intercept.
+// The intercept sees the value about to become visible and returns the
+// value that actually does; it runs on every commit of the engine, with
+// driven reporting whether this instant drove a fresh value.
+func (w *Wire[T]) SetIntercept(f func(v T, driven bool) T) { w.intercept = f }
 
 // A Bisync is a bi-synchronous FIFO: the only legal mesochronous
 // clock-domain crossing in aelite (paper Section V, after [14], [18]).
@@ -65,6 +82,7 @@ type Bisync[T any] struct {
 
 type bisyncEntry[T any] struct {
 	v       T
+	pushed  clock.Time // writer instant of the push
 	visible clock.Time // first instant at which the reader may pop this
 }
 
@@ -87,10 +105,32 @@ func (b *Bisync[T]) Push(now clock.Time, v T) {
 	if len(b.entries) >= b.capacity {
 		panic(fmt.Sprintf("sim: bisync %q overflow (capacity %d) at t=%d ps", b.name, b.capacity, now))
 	}
-	b.entries = append(b.entries, bisyncEntry[T]{v: v, visible: now + b.forwardDelay})
+	b.entries = append(b.entries, bisyncEntry[T]{v: v, pushed: now, visible: now + b.forwardDelay})
 	if len(b.entries) > b.maxOccupancy {
 		b.maxOccupancy = len(b.entries)
 	}
+}
+
+// ForwardDelay returns the current synchroniser forwarding delay.
+func (b *Bisync[T]) ForwardDelay() clock.Duration { return b.forwardDelay }
+
+// SetForwardDelay changes the forwarding delay for subsequently pushed
+// words (fault injection: a slow or metastable synchroniser). Words already
+// in flight keep their original visibility times.
+func (b *Bisync[T]) SetForwardDelay(d clock.Duration) {
+	if d <= 0 {
+		panic(fmt.Sprintf("sim: bisync %q non-positive forwarding delay %d", b.name, d))
+	}
+	b.forwardDelay = d
+}
+
+// HeadAge returns how long ago the head word was pushed, at reader time
+// now. It panics if the FIFO is empty.
+func (b *Bisync[T]) HeadAge(now clock.Time) clock.Duration {
+	if len(b.entries) == 0 {
+		panic(fmt.Sprintf("sim: bisync %q head age of empty FIFO", b.name))
+	}
+	return now - b.entries[0].pushed
 }
 
 // CanPush reports whether a push would succeed.

@@ -37,6 +37,7 @@ import (
 	"fmt"
 
 	"repro/internal/clock"
+	"repro/internal/fault"
 	"repro/internal/ni"
 	"repro/internal/phit"
 	"repro/internal/router"
@@ -89,6 +90,7 @@ func NewRouterActor(c *router.Core) *RouterActor { return &RouterActor{Core: c} 
 
 // Fire implements Actor.
 func (r *RouterActor) Fire(now clock.Time, in []phit.Flit) []phit.Flit {
+	r.Core.SetNow(now)
 	r.out = r.Core.StepFlitDirect(in, r.out)
 	return r.out
 }
@@ -135,6 +137,14 @@ type Wrapper struct {
 	fires   int64
 	stalled int64 // cycles spent waiting for tokens or space
 
+	// stallFault is an injected PIC stall: cycles during which the
+	// wrapper refuses to fire even when its PIs are ready, exercising the
+	// empty-token liveness machinery.
+	stallFault int
+
+	// rep receives envelope violations; nil preserves fail-fast panics.
+	rep fault.Reporter
+
 	inBuf []phit.Flit
 }
 
@@ -157,6 +167,19 @@ func (w *Wrapper) ConnectIn(i int, ch *Channel) { w.in[i] = ch }
 // ConnectOut attaches the channel driven by output port i.
 func (w *Wrapper) ConnectOut(i int, ch *Channel) { w.out[i] = ch }
 
+// SetReporter routes the wrapper's envelope checks to r; nil restores the
+// fail-fast panics.
+func (w *Wrapper) SetReporter(r fault.Reporter) { w.rep = r }
+
+// Stall injects a PIC stall: for the given number of this wrapper's clock
+// cycles the PIC will not fire regardless of token availability, modelling
+// a slow or hung element behind the port interfaces.
+func (w *Wrapper) Stall(cycles int) {
+	if cycles > 0 {
+		w.stallFault += cycles
+	}
+}
+
 // Fires returns the number of completed dataflow iterations.
 func (w *Wrapper) Fires() int64 { return w.fires }
 
@@ -174,6 +197,11 @@ func (w *Wrapper) Sample(now clock.Time) {}
 
 // Update implements sim.Component.
 func (w *Wrapper) Update(now clock.Time) {
+	if w.stallFault > 0 {
+		w.stallFault--
+		w.stalled++
+		return
+	}
 	if w.busy > 0 {
 		w.busy--
 		return
@@ -204,7 +232,10 @@ func (w *Wrapper) Update(now clock.Time) {
 		if ch != nil {
 			ch.Push(now, out[i])
 		} else if !out[i].Empty() {
-			panic(fmt.Sprintf("wrapper %s: flit for unconnected output %d", w.name, i))
+			fault.Report(w.rep, fault.Violation{
+				Kind: fault.RouteError, Component: "wrapper " + w.name, Time: now, Slot: fault.NoSlot,
+				Detail: fmt.Sprintf("flit for unconnected output %d, flit dropped", i),
+			})
 		}
 	}
 	w.fires++

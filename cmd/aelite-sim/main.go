@@ -23,22 +23,32 @@
 //	               collecting violations and degrading gracefully
 //	-skew-ps PS    checkerboard tile-skew override in mesochronous mode;
 //	               values past half a period leave the paper's envelope
+//	-trace-out F   write a Chrome trace-event JSON of every flit lifecycle
+//	               event (load in Perfetto or chrome://tracing); aelite only
+//	-metrics-out F write aggregated per-connection/per-component metrics;
+//	               a .csv suffix selects CSV, anything else JSON
+//	-pprof F       write a CPU profile of the simulation run
 //
 // A campaign run (-faults or -skew-ps) prints the connection report
 // followed by the deterministic campaign summary. Any fatal envelope
 // violation (strict mode) or internal failure exits non-zero with a
-// one-line diagnostic instead of a raw panic trace.
+// one-line diagnostic instead of a raw panic trace; invalid flag
+// combinations are rejected up front with exit code 2.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/phit"
 	"repro/internal/spec"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 type options struct {
@@ -59,6 +69,51 @@ type options struct {
 	faultSeed int64
 	strict    bool
 	skewPS    int64
+
+	traceOut   string
+	metricsOut string
+	pprofOut   string
+}
+
+// validate rejects malformed flag combinations before anything is built,
+// so every misuse gets a one-line diagnostic and exit code 2 instead of a
+// late panic or a silently ignored value.
+func (o *options) validate() error {
+	if o.cols < 1 || o.rows < 1 || o.nis < 1 {
+		return fmt.Errorf("mesh dimensions must be at least 1 (-cols %d -rows %d -nis %d)", o.cols, o.rows, o.nis)
+	}
+	if o.freq <= 0 {
+		return fmt.Errorf("-freq %g must be positive", o.freq)
+	}
+	if o.warmup < 0 || o.measure <= 0 {
+		return fmt.Errorf("-warmup %g must be >= 0 and -measure %g > 0", o.warmup, o.measure)
+	}
+	if o.random < 0 {
+		return fmt.Errorf("-random %d must be positive", o.random)
+	}
+	if o.backend != "aelite" && o.backend != "be" {
+		return fmt.Errorf("unknown backend %q (aelite | be)", o.backend)
+	}
+	switch o.mode {
+	case "synchronous", "mesochronous", "asynchronous":
+	default:
+		return fmt.Errorf("unknown mode %q (synchronous | mesochronous | asynchronous)", o.mode)
+	}
+	if o.skewPS < 0 {
+		return fmt.Errorf("-skew-ps %d is negative; skew is a magnitude in picoseconds", o.skewPS)
+	}
+	if o.skewPS != 0 && o.mode != "mesochronous" {
+		return fmt.Errorf("-skew-ps applies only to -mode mesochronous (got %q)", o.mode)
+	}
+	if o.faults != "" {
+		if _, err := fault.ParseSpec(o.faults, o.faultSeed); err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+	}
+	if (o.traceOut != "" || o.metricsOut != "") && o.backend != "aelite" {
+		return fmt.Errorf("-trace-out/-metrics-out need the aelite backend (got %q)", o.backend)
+	}
+	return nil
 }
 
 func main() {
@@ -80,7 +135,14 @@ func main() {
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for random fault events")
 	flag.BoolVar(&o.strict, "strict", false, "fail fast on the first envelope violation")
 	flag.Int64Var(&o.skewPS, "skew-ps", 0, "mesochronous tile-skew override in ps")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write Chrome trace-event JSON to this file")
+	flag.StringVar(&o.metricsOut, "metrics-out", "", "write aggregated metrics to this file (.csv selects CSV)")
+	flag.StringVar(&o.pprofOut, "pprof", "", "write a CPU profile to this file")
 	flag.Parse()
+	if err := o.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "aelite-sim:", err)
+		os.Exit(2)
+	}
 	os.Exit(run(o))
 }
 
@@ -94,6 +156,39 @@ func run(o options) (code int) {
 			code = 3
 		}
 	}()
+
+	if o.pprofOut != "" {
+		f, err := os.Create(o.pprofOut)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	// Output files are opened before anything is built or simulated, so an
+	// unwritable path fails in milliseconds instead of after a full run.
+	var traceFile, metricsFile *os.File
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return fail(err)
+		}
+		traceFile = f
+	}
+	if o.metricsOut != "" {
+		f, err := os.Create(o.metricsOut)
+		if err != nil {
+			return fail(err)
+		}
+		metricsFile = f
+	}
 
 	m := topology.NewMesh(o.cols, o.rows, o.nis)
 	var uc *spec.UseCase
@@ -168,6 +263,21 @@ func run(o options) (code int) {
 		return fail(err)
 	}
 
+	// Tracing: one bus feeds both the Chrome sink and the metrics sink.
+	var chrome *trace.Chrome
+	var metrics *trace.Metrics
+	if o.traceOut != "" || o.metricsOut != "" {
+		bus := trace.NewBus()
+		if o.traceOut != "" {
+			chrome = trace.NewChrome(bus)
+			chrome.SetFlitCycle(phit.FlitWords * int64(n.BaseClock().Period))
+		}
+		if o.metricsOut != "" {
+			metrics = trace.NewMetrics(bus)
+		}
+		n.AttachTracer(bus)
+	}
+
 	var campaign *fault.Campaign
 	if campaignMode {
 		n.AddInvariantCheckers(collector)
@@ -186,6 +296,17 @@ func run(o options) (code int) {
 
 	rep := n.Run(o.warmup, o.measure)
 	rep.Write(os.Stdout)
+	if chrome != nil {
+		if err := writeTrace(traceFile, chrome); err != nil {
+			return fail(err)
+		}
+	}
+	if metrics != nil {
+		mrep := metrics.Report(int64(n.Engine().Now()), int64(n.BaseClock().Period))
+		if err := writeMetrics(metricsFile, o.metricsOut, mrep); err != nil {
+			return fail(err)
+		}
+	}
 	if campaign != nil {
 		fmt.Println()
 		campaign.Summarize().Write(os.Stdout)
@@ -201,6 +322,28 @@ func verdict(rep *core.Report) int {
 	}
 	fmt.Printf("\n%d requirements MISSED\n", len(rep.Violations()))
 	return 1
+}
+
+func writeTrace(f *os.File, c *trace.Chrome) error {
+	if _, err := c.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeMetrics(f *os.File, path string, rep *trace.Report) error {
+	var err error
+	if strings.HasSuffix(path, ".csv") {
+		err = rep.WriteCSV(f)
+	} else {
+		err = rep.WriteJSON(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) int {

@@ -10,19 +10,30 @@
 // Run with:
 //
 //	go run ./examples/quickstart
+//
+// Pass -trace-out trace.json to additionally record every flit lifecycle
+// event as Chrome trace-event JSON; load the file in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing to see each connection's
+// flits hop through the NIs and routers slot by slot.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/phit"
 	"repro/internal/spec"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 func main() {
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of every flit lifecycle event")
+	flag.Parse()
+
 	// A 2x1 mesh: two routers, one NI each — the shape of Fig. 1.
 	mesh := topology.NewMesh(2, 1, 1)
 
@@ -69,10 +80,31 @@ func main() {
 			c.ID, len(info.Slots), info.GuaranteedMBps, c.BandwidthMBps, info.BoundNs, c.MaxLatencyNs)
 	}
 
+	var chrome *trace.Chrome
+	if *traceOut != "" {
+		bus := trace.NewBus()
+		chrome = trace.NewChrome(bus)
+		chrome.SetFlitCycle(phit.FlitWords * int64(net.BaseClock().Period))
+		net.AttachTracer(bus)
+	}
+
 	// Simulate 100 µs at 500 MHz and compare measurement to guarantee.
 	rep := net.Run(5000, 100000)
 	fmt.Println("\nSimulation (cycle-accurate, 100 µs):")
 	rep.Write(os.Stdout)
+	if chrome != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := chrome.WriteTo(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %d trace events to %s (open in https://ui.perfetto.dev)\n", chrome.Len(), *traceOut)
+	}
 	if rep.AllMet() && rep.AllWithinBound() {
 		fmt.Println("\nevery requirement met and every measured latency within its bound")
 	} else {

@@ -591,9 +591,14 @@ func fitHeader(paths []*route.Path, layout phit.HeaderLayout) []*route.Path {
 // usedWorstPath returns, among the paths an assignment actually uses, the
 // one with the largest TotalShift — the path latency bounds must cover.
 func usedWorstPath(asg *slots.Assignment) *route.Path {
+	// Walk the ordered slot list, not the PathOf map: among candidate
+	// paths of equal TotalShift the first strict improvement wins, and map
+	// iteration order would make that pick — and everything derived from
+	// it (latency bounds, credit round trips, receive buffer capacities) —
+	// vary between same-seed builds.
 	worst := asg.Path
-	for _, p := range asg.PathOf {
-		if p.TotalShift > worst.TotalShift {
+	for _, s := range asg.Slots {
+		if p := asg.PathOf[s]; p != nil && p.TotalShift > worst.TotalShift {
 			worst = p
 		}
 	}

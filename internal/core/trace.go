@@ -1,0 +1,38 @@
+package core
+
+import (
+	"repro/internal/trace"
+	"repro/internal/wrapper"
+)
+
+// AttachTracer installs bus as the network's event bus and hands every
+// router, NI, link pipeline stage and asynchronous wrapper its emitter.
+// Component names are interned in a fixed order — routers in mesh order,
+// then NIs, link stages, wrappers — so the same build gets the same
+// component ids, and with the engine's deterministic edge dispatch the same
+// seed produces a byte-identical event stream. Call before Run; passing a
+// nil bus detaches everything.
+func (n *Network) AttachTracer(bus *trace.Bus) {
+	n.eng.SetTracer(bus)
+	for _, r := range n.Mesh.Routers() {
+		if rc := n.routers[r]; rc != nil {
+			rc.SetTracer(bus.Emitter(rc.Name()))
+		}
+	}
+	for _, id := range n.Mesh.AllNIs() {
+		if c := n.nis[id]; c != nil {
+			c.SetTracer(bus.Emitter(c.Name()))
+		}
+	}
+	for _, s := range n.stages {
+		s.SetTracer(bus.Emitter(s.Name()))
+	}
+	// Asynchronous mode: the wrapper fires and the router cores inside the
+	// actors (wrapped NIs are already covered by the AllNIs loop above).
+	for _, w := range n.wrappers {
+		w.SetTracer(bus.Emitter(w.Name()))
+		if ra, ok := w.Actor().(*wrapper.RouterActor); ok {
+			ra.Core.SetTracer(bus.Emitter(ra.Core.Name()))
+		}
+	}
+}

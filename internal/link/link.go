@@ -40,6 +40,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/phit"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // FIFODepth is the bi-synchronous FIFO depth in words; the paper sizes it
@@ -52,6 +53,13 @@ type Stage struct {
 	name string
 	fifo *sim.Bisync[phit.Phit]
 	rep  fault.Reporter
+
+	// tr, when non-nil, receives LinkForward events (one per forwarded
+	// flit, from the reader FSM) and Occupancy events (FIFO fill
+	// high-water marks, from the writer tap). maxOcc ratchets the traced
+	// mark so steady-state traffic emits nothing.
+	tr     *trace.Emitter
+	maxOcc int
 
 	// buildDelay is the construction-time forwarding delay; the in-envelope
 	// bound of the one-flit-cycle latency check (faults may stretch the
@@ -135,11 +143,18 @@ func NewStageWith(name string, in *sim.Wire[phit.Phit], out *sim.Wire[phit.Phit]
 // restores fail-fast panics).
 func (s *Stage) SetReporter(r fault.Reporter) { s.rep = r }
 
+// SetTracer installs the stage's lifecycle-event emitter; nil disables
+// tracing.
+func (s *Stage) SetTracer(e *trace.Emitter) { s.tr = e }
+
 // StretchForwardDelay adds delta to the FIFO's forwarding delay — the
 // fault model of a slow or metastable synchroniser.
 func (s *Stage) StretchForwardDelay(delta clock.Duration) {
 	s.fifo.SetForwardDelay(s.fifo.ForwardDelay() + delta)
 }
+
+// Name returns the stage's name.
+func (s *Stage) Name() string { return s.name }
 
 // FIFOName returns the diagnostic name of the stage's bi-synchronous FIFO.
 func (s *Stage) FIFOName() string { return s.fifo.Name() }
@@ -185,6 +200,13 @@ func (t *writerTap) Update(now clock.Time) {
 			return
 		}
 		t.stage.fifo.Push(now, t.sampled)
+		if t.stage.tr != nil {
+			if l := t.stage.fifo.Len(); l > t.stage.maxOcc {
+				t.stage.maxOcc = l
+				t.stage.tr.Emit(trace.Event{Time: now, Kind: trace.Occupancy,
+					Arg: int64(l), Slot: trace.NoSlot})
+			}
+		}
 	}
 }
 
@@ -244,7 +266,12 @@ func (f *readerFSM) Update(now clock.Time) {
 		f.out.Drive(phit.IdlePhit)
 		return
 	}
-	f.out.Drive(f.stage.fifo.Pop(now))
+	p := f.stage.fifo.Pop(now)
+	f.out.Drive(p)
+	if f.stage.tr != nil && state == 0 {
+		f.stage.tr.Emit(trace.Event{Time: now, Kind: trace.LinkForward,
+			Conn: p.Meta.Conn, Seq: p.Meta.Seq, Slot: trace.NoSlot})
+	}
 	if state == phit.FlitWords-1 {
 		f.forwarding = false
 	}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/slots"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // DefaultSendCapacity is the default depth, in words, of the IP-to-NI
@@ -89,6 +90,7 @@ type outConn struct {
 	queue   *sim.Bisync[phit.Meta] // IP -> NI
 	sent    int64                  // payload words sent
 	blocked int64                  // flit opportunities lost to credit exhaustion
+	maxOcc  int                    // traced high-water mark of the queue depth
 }
 
 type inConn struct {
@@ -144,6 +146,10 @@ type NI struct {
 	// failures, packetisation state errors); nil preserves the original
 	// fail-fast panics.
 	rep fault.Reporter
+
+	// tr, when non-nil, receives this NI's flit-lifecycle events
+	// (injection, send, slot builds, ejection, credits, back-pressure).
+	tr *trace.Emitter
 }
 
 // New builds an NI clocked by clk with the given header layout and slot
@@ -219,6 +225,13 @@ func (n *NI) Offer(now clock.Time, conn phit.ConnID, meta phit.Meta) bool {
 	}
 	meta.Conn = conn
 	oc.queue.Push(now, meta)
+	if n.tr != nil {
+		n.tr.Emit(trace.Event{Time: now, Kind: trace.Inject, Conn: conn, Seq: meta.Seq, Slot: trace.NoSlot})
+		if l := oc.queue.Len(); l > oc.maxOcc {
+			oc.maxOcc = l
+			n.tr.Emit(trace.Event{Time: now, Kind: trace.Occupancy, Arg: int64(l), Slot: trace.NoSlot})
+		}
+	}
 	return true
 }
 
@@ -262,6 +275,10 @@ func (n *NI) mustIn(conn phit.ConnID) *inConn {
 // SetReporter routes the NI's envelope checks to r; nil restores the
 // fail-fast panics.
 func (n *NI) SetReporter(r fault.Reporter) { n.rep = r }
+
+// SetTracer installs the NI's lifecycle-event emitter; nil disables
+// tracing (the default, and free: every emission site is a pointer test).
+func (n *NI) SetTracer(e *trace.Emitter) { n.tr = e }
 
 // Name implements sim.Component.
 func (n *NI) Name() string { return n.name }
@@ -381,6 +398,10 @@ func (n *NI) receivePhit(now clock.Time, p phit.Phit) {
 					})
 					oc.credits = oc.cfg.InitialCredits
 				}
+				if n.tr != nil {
+					n.tr.Emit(trace.Event{Time: now, Kind: trace.Credit, Conn: target,
+						Arg: int64(cr * phit.FlitWords), Slot: trace.NoSlot})
+				}
 			}
 		}
 		n.inPacket = true
@@ -407,6 +428,10 @@ func (n *NI) receivePhit(now clock.Time, p phit.Phit) {
 			}
 			if ic.record {
 				ic.arrivals = append(ic.arrivals, now)
+			}
+			if n.tr != nil {
+				n.tr.Emit(trace.Event{Time: now, Ref: p.Meta.Injected, Kind: trace.Eject,
+					Conn: ic.cfg.ID, Seq: p.Meta.Seq, Slot: trace.NoSlot})
 			}
 			if ic.cfg.AutoDrain {
 				ic.owed++
@@ -478,6 +503,9 @@ func (n *NI) buildFlit(now clock.Time, slot int) {
 	}
 	if oc.queue.Valid(now) && oc.credits == 0 {
 		oc.blocked++
+		if n.tr != nil {
+			n.tr.Emit(trace.Event{Time: now, Kind: trace.Blocked, Conn: owner, Slot: int32(slot)})
+		}
 	}
 
 	// Credits owed on the paired reverse connection (only headers carry
@@ -526,12 +554,19 @@ func (n *NI) buildFlit(now clock.Time, slot int) {
 		meta := oc.queue.Pop(now)
 		meta.Sent = now
 		n.flitBuf[word] = phit.Phit{Valid: true, Kind: phit.Payload, Data: phit.Word(meta.Seq), Meta: meta}
+		if n.tr != nil {
+			n.tr.Emit(trace.Event{Time: now, Ref: meta.Injected, Kind: trace.Send,
+				Conn: owner, Seq: meta.Seq, Slot: int32(slot)})
+		}
 		sent++
 	}
 	oc.credits -= sent
 	oc.sent += int64(sent)
 	for ; word < phit.FlitWords; word++ {
 		n.flitBuf[word] = phit.Phit{Valid: true, Kind: phit.Padding, Meta: phit.Meta{Conn: owner}}
+	}
+	if n.tr != nil && n.flitBuf[0].Valid {
+		n.tr.Emit(trace.Event{Time: now, Kind: trace.SlotStart, Conn: owner, Slot: int32(slot), Arg: int64(sent)})
 	}
 
 	// Keep the packet open only if this connection owns the next slot

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/phit"
+	"repro/internal/trace"
 )
 
 // StepFlitDirect advances the router by one whole flit cycle in wrapper
@@ -74,6 +75,21 @@ func (c *Core) StepFlitDirect(in []phit.Flit, out []phit.Flit) []phit.Flit {
 			}
 			out[st.outPort][w] = p
 			c.forwarded++
+			if c.tr != nil {
+				// One event per flit token: a flit's first word is never
+				// idle, so emit only when every earlier word was.
+				start := true
+				for pw := 0; pw < w; pw++ {
+					if in[i][pw].Valid {
+						start = false
+						break
+					}
+				}
+				if start {
+					c.tr.Emit(trace.Event{Time: c.now, Kind: trace.RouterForward, Conn: p.Meta.Conn,
+						Seq: p.Meta.Seq, Arg: int64(st.outPort), Slot: trace.NoSlot})
+				}
+			}
 		}
 	}
 	return out

@@ -30,6 +30,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/fault"
 	"repro/internal/phit"
+	"repro/internal/trace"
 )
 
 // A Source provides a phit when sampled; sim.Wire[phit.Phit] implements it.
@@ -62,6 +63,12 @@ type Core struct {
 	reg2 []stage2Reg // HPU output registers (stage 2)
 	hpu  []hpuState
 
+	// flitLeft counts the words remaining in the flit currently crossing
+	// each input's switch stage, so tracing can emit one RouterForward per
+	// flit instead of one per word. A flit's first word is never idle, so
+	// the counter self-aligns: zero at a valid word marks a flit start.
+	flitLeft []int8
+
 	// forwarded counts valid phits switched, a cheap progress metric.
 	forwarded int64
 
@@ -70,6 +77,10 @@ type Core struct {
 	// simulation time stamped onto violations — Core itself is timeless.
 	rep fault.Reporter
 	now clock.Time
+
+	// tr, when non-nil, receives a RouterForward event per switched flit
+	// (stamped with the flit's first word), using the adapter-maintained now.
+	tr *trace.Emitter
 }
 
 // NewCore returns a router core with the given arity (number of input and
@@ -82,12 +93,13 @@ func NewCore(name string, arity int, layout phit.HeaderLayout) *Core {
 		panic(fmt.Sprintf("router %s: %v", name, err))
 	}
 	return &Core{
-		name:   name,
-		layout: layout,
-		arity:  arity,
-		reg1:   make([]phit.Phit, arity),
-		reg2:   make([]stage2Reg, arity),
-		hpu:    make([]hpuState, arity),
+		name:     name,
+		layout:   layout,
+		arity:    arity,
+		reg1:     make([]phit.Phit, arity),
+		reg2:     make([]stage2Reg, arity),
+		hpu:      make([]hpuState, arity),
+		flitLeft: make([]int8, arity),
 	}
 }
 
@@ -103,6 +115,10 @@ func (c *Core) Forwarded() int64 { return c.forwarded }
 // SetReporter routes the router's envelope checks (TDM contention,
 // protocol errors, routing errors) to r; nil restores fail-fast panics.
 func (c *Core) SetReporter(r fault.Reporter) { c.rep = r }
+
+// SetTracer installs the router's lifecycle-event emitter; nil disables
+// tracing.
+func (c *Core) SetTracer(e *trace.Emitter) { c.tr = e }
 
 // SetNow stamps subsequent violations with the given simulation time; the
 // engine adapter and the asynchronous wrapper call it, keeping Core itself
@@ -134,7 +150,16 @@ func (c *Core) Step(in []phit.Phit, out []phit.Phit) []phit.Phit {
 	for i := range c.reg2 {
 		r := &c.reg2[i]
 		if !r.p.Valid {
+			if c.flitLeft[i] > 0 {
+				c.flitLeft[i]-- // idle padding inside a flit
+			}
 			continue
+		}
+		flitStart := c.flitLeft[i] == 0
+		if flitStart {
+			c.flitLeft[i] = phit.FlitWords - 1
+		} else {
+			c.flitLeft[i]--
 		}
 		if r.outPort < 0 || r.outPort >= c.arity {
 			fault.Report(c.rep, fault.Violation{
@@ -154,6 +179,10 @@ func (c *Core) Step(in []phit.Phit, out []phit.Phit) []phit.Phit {
 		}
 		out[r.outPort] = r.p
 		c.forwarded++
+		if c.tr != nil && flitStart {
+			c.tr.Emit(trace.Event{Time: c.now, Kind: trace.RouterForward, Conn: r.p.Meta.Conn,
+				Seq: r.p.Meta.Seq, Arg: int64(r.outPort), Slot: trace.NoSlot})
+		}
 	}
 
 	// Stage 2: HPU. A valid phit outside a packet is a header: consume
@@ -237,6 +266,9 @@ func (r *Component) Clock() *clock.Clock { return r.clk }
 
 // SetReporter routes the wrapped core's envelope checks to r.
 func (r *Component) SetReporter(rep fault.Reporter) { r.core.SetReporter(rep) }
+
+// SetTracer installs the wrapped core's lifecycle-event emitter.
+func (r *Component) SetTracer(e *trace.Emitter) { r.core.SetTracer(e) }
 
 // Sample implements sim.Component.
 func (r *Component) Sample(now clock.Time) {

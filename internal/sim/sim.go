@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"repro/internal/clock"
+	"repro/internal/trace"
 )
 
 // A Component is a clocked network element (router, NI, link pipeline
@@ -60,9 +61,12 @@ type Engine struct {
 	timers   []timerEntry
 	timerSeq int64
 
-	// trace, when non-nil, receives a line per interesting event from
-	// components that support tracing.
-	trace func(string)
+	// tracer, when non-nil, is the typed event bus components emit their
+	// flit-lifecycle events on. The engine itself emits nothing — the
+	// exact-time edges it dispatches are the timestamps components stamp
+	// onto their events — but owning the bus here gives drivers one place
+	// to find it.
+	tracer *trace.Bus
 }
 
 // A clockGroup holds every component driven by one clock, in add order.
@@ -132,15 +136,13 @@ func (e *Engine) Now() clock.Time { return e.now }
 // a useful work metric for benchmarks.
 func (e *Engine) Edges() int64 { return e.edges }
 
-// SetTrace installs a trace sink; nil disables tracing.
-func (e *Engine) SetTrace(f func(string)) { e.trace = f }
+// SetTracer installs the typed trace event bus; nil disables tracing.
+// It replaces the historical stringly SetTrace(func(string)) hook: events
+// are now typed trace.Event values with exact picosecond timestamps.
+func (e *Engine) SetTracer(b *trace.Bus) { e.tracer = b }
 
-// Tracef emits a trace line if tracing is enabled.
-func (e *Engine) Tracef(format string, args ...any) {
-	if e.trace != nil {
-		e.trace(fmt.Sprintf(format, args...))
-	}
-}
+// Tracer returns the installed event bus, or nil when tracing is off.
+func (e *Engine) Tracer() *trace.Bus { return e.tracer }
 
 type committable interface{ commit() }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/clock"
+	"repro/internal/trace"
 )
 
 // counter is a minimal component: it samples an input wire, adds one, and
@@ -161,17 +162,33 @@ func TestAddPanicsWithoutClock(t *testing.T) {
 	New().Add(&counter{name: "x"})
 }
 
-func TestTracef(t *testing.T) {
+type captureSink struct{ events []trace.Event }
+
+func (c *captureSink) Event(ev trace.Event) { c.events = append(c.events, ev) }
+
+func TestTracer(t *testing.T) {
 	eng := New()
-	var lines []string
-	eng.SetTrace(func(s string) { lines = append(lines, s) })
-	eng.Tracef("hello %d", 7)
-	if len(lines) != 1 || lines[0] != "hello 7" {
-		t.Errorf("trace = %v", lines)
+	if eng.Tracer() != nil {
+		t.Error("tracing enabled by default")
 	}
-	eng.SetTrace(nil)
-	eng.Tracef("dropped")
-	if len(lines) != 1 {
-		t.Error("trace emitted while disabled")
+	bus := trace.NewBus()
+	sink := &captureSink{}
+	bus.Attach(sink)
+	eng.SetTracer(bus)
+	em := eng.Tracer().Emitter("test.comp")
+	em.Emit(trace.Event{Time: 42, Kind: trace.Inject, Conn: 7})
+	if len(sink.events) != 1 {
+		t.Fatalf("events = %d", len(sink.events))
+	}
+	ev := sink.events[0]
+	if ev.Time != 42 || ev.Kind != trace.Inject || ev.Conn != 7 {
+		t.Errorf("event = %+v", ev)
+	}
+	if bus.ComponentName(ev.Comp) != "test.comp" {
+		t.Errorf("component = %q", bus.ComponentName(ev.Comp))
+	}
+	eng.SetTracer(nil)
+	if eng.Tracer() != nil {
+		t.Error("tracer not cleared")
 	}
 }

@@ -33,26 +33,67 @@ func (s *Summary) Add(v float64) {
 // N returns the sample count.
 func (s *Summary) N() int64 { return s.n }
 
-// Mean returns the arithmetic mean, or 0 with no samples.
+// Mean returns the arithmetic mean, or NaN with no samples.
 func (s *Summary) Mean() float64 {
 	if s.n == 0 {
-		return 0
+		return math.NaN()
 	}
 	return s.sum / float64(s.n)
 }
 
-// Min returns the smallest sample, or 0 with no samples.
-func (s *Summary) Min() float64 { return s.min }
+// Min returns the smallest sample, or NaN with no samples — an empty
+// summary must be distinguishable from one whose smallest sample is 0
+// (a real 0 ps latency exists: same-instant probe observations).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
 
-// Max returns the largest sample, or 0 with no samples.
-func (s *Summary) Max() float64 { return s.max }
+// Max returns the largest sample, or NaN with no samples.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
 
-// StdDev returns the population standard deviation.
+// Range returns the smallest and largest samples and whether any sample
+// exists — the ok-bool form of Min/Max for callers that prefer explicit
+// emptiness over NaN propagation.
+func (s *Summary) Range() (min, max float64, ok bool) {
+	if s.n == 0 {
+		return 0, 0, false
+	}
+	return s.min, s.max, true
+}
+
+// Merge folds another summary into s, as if every sample of o had been
+// Added to s. Merging an empty summary is a no-op; merging into an empty
+// summary copies o. It enables per-shard accumulation (one Summary per
+// worker or per connection) with exact recombination.
+func (s *Summary) Merge(o *Summary) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if s.n == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.n == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.n += o.n
+	s.sum += o.sum
+	s.sumSq += o.sumSq
+}
+
+// StdDev returns the population standard deviation, or 0 with no samples.
 func (s *Summary) StdDev() float64 {
 	if s.n == 0 {
 		return 0
 	}
-	m := s.Mean()
+	m := s.sum / float64(s.n)
 	v := s.sumSq/float64(s.n) - m*m
 	if v < 0 {
 		v = 0 // numerical noise
@@ -61,55 +102,90 @@ func (s *Summary) StdDev() float64 {
 }
 
 func (s *Summary) String() string {
+	if s.n == 0 {
+		return "n=0 (empty)"
+	}
 	return fmt.Sprintf("n=%d mean=%.1f min=%.1f max=%.1f sd=%.1f", s.n, s.Mean(), s.min, s.max, s.StdDev())
 }
 
 // A Histogram keeps exact samples (NoC experiments produce at most a few
 // million) and answers percentile queries. It embeds a Summary.
+//
+// Samples are retained in insertion order; percentile queries work on a
+// separate lazily sorted copy. (An earlier version sorted the sample
+// slice itself in Percentile, which silently destroyed insertion order
+// for any reader interleaving Add and query — the classic stale-sort
+// window this structure now closes by construction.)
 type Histogram struct {
 	Summary
-	samples []float64
-	sorted  bool
+	samples []float64 // insertion order, never reordered
+	ordered []float64 // lazily maintained sorted copy for queries
 }
 
 // Add records one sample.
 func (h *Histogram) Add(v float64) {
 	h.Summary.Add(v)
 	h.samples = append(h.samples, v)
-	h.sorted = false
+}
+
+// Merge folds another histogram's samples into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	h.Summary.Merge(&o.Summary)
+	h.samples = append(h.samples, o.samples...)
+}
+
+// Samples returns the recorded samples in insertion order. The slice is
+// shared; callers must not mutate it.
+func (h *Histogram) Samples() []float64 { return h.samples }
+
+// sorted returns the samples in ascending order, re-sorting only when
+// samples were added since the last query. The invariant is structural:
+// len(ordered) == len(samples) iff ordered is current, because samples
+// only ever grows and ordered is rebuilt whole.
+func (h *Histogram) sorted() []float64 {
+	if len(h.ordered) != len(h.samples) {
+		h.ordered = append(h.ordered[:0], h.samples...)
+		sort.Float64s(h.ordered)
+	}
+	return h.ordered
 }
 
 // Percentile returns the p-th percentile (0..100) using nearest-rank. It
-// returns 0 with no samples.
+// returns NaN with no samples.
 func (h *Histogram) Percentile(p float64) float64 {
-	if len(h.samples) == 0 {
-		return 0
-	}
-	if !h.sorted {
-		sort.Float64s(h.samples)
-		h.sorted = true
+	s := h.sorted()
+	if len(s) == 0 {
+		return math.NaN()
 	}
 	if p <= 0 {
-		return h.samples[0]
+		return s[0]
 	}
 	if p >= 100 {
-		return h.samples[len(h.samples)-1]
+		return s[len(s)-1]
 	}
-	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	return h.samples[rank]
+	return s[rank]
 }
 
 // Buckets divides [min, max] into n equal bins and returns the count per
-// bin, for plotting latency distributions.
+// bin, for plotting latency distributions. It is total: n <= 0 returns
+// nil, an empty histogram returns n zero bins, negative samples and
+// single-value sample sets (width 0) land everything in bin 0.
 func (h *Histogram) Buckets(n int) []int64 {
+	if n <= 0 {
+		return nil
+	}
 	out := make([]int64, n)
-	if len(h.samples) == 0 || n == 0 {
+	lo, hi, ok := h.Range()
+	if !ok {
 		return out
 	}
-	lo, hi := h.Min(), h.Max()
 	width := (hi - lo) / float64(n)
 	if width == 0 {
 		out[0] = int64(len(h.samples))
@@ -119,6 +195,9 @@ func (h *Histogram) Buckets(n int) []int64 {
 		i := int((v - lo) / width)
 		if i >= n {
 			i = n - 1
+		}
+		if i < 0 {
+			i = 0 // float rounding at the lower edge
 		}
 		out[i]++
 	}

@@ -8,11 +8,86 @@ import (
 	"testing/quick"
 )
 
-func TestSummaryBasics(t *testing.T) {
+func TestSummaryEmpty(t *testing.T) {
 	var s Summary
-	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 {
+	if s.N() != 0 || s.StdDev() != 0 {
 		t.Error("zero summary not zero")
 	}
+	// An empty summary must be distinguishable from one holding a real 0
+	// sample: Min/Max/Mean are NaN, Range reports !ok.
+	if !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) || !math.IsNaN(s.Mean()) {
+		t.Errorf("empty summary Min/Max/Mean = %v/%v/%v, want NaN", s.Min(), s.Max(), s.Mean())
+	}
+	if _, _, ok := s.Range(); ok {
+		t.Error("empty summary Range ok = true")
+	}
+	s.Add(0)
+	if s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Errorf("single 0 sample: %v", s.String())
+	}
+	if _, _, ok := s.Range(); !ok {
+		t.Error("non-empty summary Range ok = false")
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b, whole Summary
+	for i, v := range []float64{3, -7, 12, 0, 5, 9} {
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		whole.Add(v)
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Errorf("merge: got %v, want %v", a.String(), whole.String())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-12 || math.Abs(a.StdDev()-whole.StdDev()) > 1e-12 {
+		t.Errorf("merge moments: got %v, want %v", a.String(), whole.String())
+	}
+	// Merging an empty summary is a no-op; merging into an empty one copies.
+	var empty, into Summary
+	a.Merge(&empty)
+	a.Merge(nil)
+	if a.N() != whole.N() {
+		t.Error("merge of empty changed N")
+	}
+	into.Merge(&a)
+	if into.N() != a.N() || into.Min() != a.Min() || into.Max() != a.Max() {
+		t.Error("merge into empty did not copy")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Add(5)
+	a.Add(1)
+	if a.Percentile(100) != 5 {
+		t.Error("pre-merge percentile")
+	}
+	b.Add(9)
+	b.Add(3)
+	a.Merge(&b)
+	if a.N() != 4 || a.Percentile(100) != 9 || a.Percentile(0) != 1 {
+		t.Errorf("merged histogram: n=%d p0=%v p100=%v", a.N(), a.Percentile(0), a.Percentile(100))
+	}
+	// Insertion order is preserved across queries and merges.
+	want := []float64{5, 1, 9, 3}
+	got := a.Samples()
+	if len(got) != len(want) {
+		t.Fatalf("samples = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("insertion order broken: %v", got)
+		}
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
 	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
 		s.Add(v)
 	}
@@ -44,8 +119,8 @@ func TestSummaryNegative(t *testing.T) {
 
 func TestHistogramPercentiles(t *testing.T) {
 	var h Histogram
-	if h.Percentile(50) != 0 {
-		t.Error("empty percentile not 0")
+	if !math.IsNaN(h.Percentile(50)) {
+		t.Error("empty percentile not NaN")
 	}
 	for i := 1; i <= 100; i++ {
 		h.Add(float64(i))
@@ -121,6 +196,56 @@ func TestBuckets(t *testing.T) {
 	var empty Histogram
 	if got := empty.Buckets(3); got[0] != 0 || len(got) != 3 {
 		t.Errorf("empty buckets = %v", got)
+	}
+	// Non-positive bin counts are total, not a panic.
+	if got := empty.Buckets(0); got != nil {
+		t.Errorf("Buckets(0) = %v, want nil", got)
+	}
+	if got := h.Buckets(-2); got != nil {
+		t.Errorf("Buckets(-2) = %v, want nil", got)
+	}
+	// Negative sample sets bucket correctly.
+	var neg Histogram
+	for _, v := range []float64{-10, -5, -1} {
+		neg.Add(v)
+	}
+	nb := neg.Buckets(3)
+	var negTotal int64
+	for _, n := range nb {
+		negTotal += n
+	}
+	if negTotal != 3 || nb[0] == 0 {
+		t.Errorf("negative buckets = %v", nb)
+	}
+}
+
+// TestHistogramStaleSortWindow: interleaving Buckets, Percentile and Add
+// must neither reorder the stored samples nor serve a stale sorted view.
+func TestHistogramStaleSortWindow(t *testing.T) {
+	var h Histogram
+	h.Add(30)
+	h.Add(10)
+	_ = h.Percentile(50) // forces a sort of the query copy
+	h.Add(20)            // arrives after the sort
+	if got := h.Percentile(100); got != 30 {
+		t.Errorf("P100 after interleaved Add = %v, want 30", got)
+	}
+	if got := h.Percentile(50); got != 20 {
+		t.Errorf("P50 after interleaved Add = %v, want 20", got)
+	}
+	b := h.Buckets(3)
+	var total int64
+	for _, n := range b {
+		total += n
+	}
+	if total != 3 {
+		t.Errorf("bucket total = %d after interleaving", total)
+	}
+	want := []float64{30, 10, 20}
+	for i, v := range h.Samples() {
+		if v != want[i] {
+			t.Fatalf("insertion order broken by queries: %v", h.Samples())
+		}
 	}
 }
 

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// A Chrome sink buffers every event and renders the Chrome trace-event
+// JSON format (the "JSON Array Format" with a traceEvents wrapper), which
+// chrome://tracing and Perfetto load directly.
+//
+// Mapping:
+//
+//   - every component becomes a "thread" (tid = interned component id) of
+//     one "process" (pid 0), named via thread_name metadata events;
+//   - lifecycle events become instant events (ph "i", thread scope) named
+//     "<kind> c<conn>";
+//   - flit-granular events (SlotStart, LinkForward, WrapperFire) become
+//     complete events (ph "X") spanning their flit cycle when the flit
+//     cycle duration is known (SetFlitCycle), instant events otherwise;
+//   - Occupancy events become counter events (ph "C") so Perfetto draws
+//     buffer depth as a track.
+//
+// Timestamps are microseconds (the format's unit) rendered as a fixed
+// six-decimal string from the exact picosecond instant, so output is
+// byte-identical across runs of the same seed.
+type Chrome struct {
+	bus       *Bus
+	events    []Event
+	flitCycle int64 // ps; 0 renders flit events as instants
+}
+
+// NewChrome builds a Chrome sink and attaches it to the bus.
+func NewChrome(bus *Bus) *Chrome {
+	c := &Chrome{bus: bus}
+	bus.Attach(c)
+	return c
+}
+
+// SetFlitCycle tells the sink the flit cycle duration in picoseconds so
+// flit-granular events render as spans of that length.
+func (c *Chrome) SetFlitCycle(ps int64) { c.flitCycle = ps }
+
+// Event implements Sink.
+func (c *Chrome) Event(ev Event) { c.events = append(c.events, ev) }
+
+// Len returns the number of buffered events.
+func (c *Chrome) Len() int { return len(c.events) }
+
+// tsString renders a picosecond instant as microseconds with exactly six
+// decimals — deterministic, no float formatting involved.
+func tsString(ps int64) string {
+	if ps < 0 {
+		return fmt.Sprintf("-%d.%06d", -ps/1e6, (-ps)%1e6)
+	}
+	return fmt.Sprintf("%d.%06d", ps/1e6, ps%1e6)
+}
+
+// WriteTo renders the buffered events. It implements io.WriterTo.
+func (c *Chrome) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: bufio.NewWriter(w)}
+	cw.printf("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
+	first := true
+	sep := func() {
+		if !first {
+			cw.printf(",\n")
+		} else {
+			cw.printf("\n")
+			first = false
+		}
+	}
+	for id, name := range c.bus.comps {
+		sep()
+		cw.printf(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":%q}}`, id, name)
+	}
+	for _, ev := range c.events {
+		sep()
+		switch ev.Kind {
+		case Occupancy:
+			cw.printf(`{"ph":"C","pid":0,"tid":%d,"ts":%s,"name":"occupancy","args":{"words":%d}}`,
+				ev.Comp, tsString(int64(ev.Time)), ev.Arg)
+		case SlotStart, LinkForward, WrapperFire:
+			if c.flitCycle > 0 {
+				cw.printf(`{"ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s,"name":%q,"args":{%s}}`,
+					ev.Comp, tsString(int64(ev.Time)), tsString(c.flitCycle), eventName(ev), eventArgs(ev))
+			} else {
+				cw.printf(`{"ph":"i","pid":0,"tid":%d,"ts":%s,"s":"t","name":%q,"args":{%s}}`,
+					ev.Comp, tsString(int64(ev.Time)), eventName(ev), eventArgs(ev))
+			}
+		default:
+			cw.printf(`{"ph":"i","pid":0,"tid":%d,"ts":%s,"s":"t","name":%q,"args":{%s}}`,
+				ev.Comp, tsString(int64(ev.Time)), eventName(ev), eventArgs(ev))
+		}
+		if cw.err != nil {
+			return cw.n, cw.err
+		}
+	}
+	cw.printf("\n]}\n")
+	if cw.err == nil {
+		cw.err = cw.w.(*bufio.Writer).Flush()
+	}
+	return cw.n, cw.err
+}
+
+func eventName(ev Event) string {
+	if ev.Conn != 0 {
+		return fmt.Sprintf("%s c%d", ev.Kind, ev.Conn)
+	}
+	return ev.Kind.String()
+}
+
+// eventArgs renders the kind-specific argument object body.
+func eventArgs(ev Event) string {
+	s := fmt.Sprintf(`"conn":%d`, ev.Conn)
+	switch ev.Kind {
+	case Send, Eject:
+		s += fmt.Sprintf(`,"seq":%d,"lat_ps":%d`, ev.Seq, int64(ev.Time-ev.Ref))
+	case SlotStart:
+		s += fmt.Sprintf(`,"slot":%d,"words":%d`, ev.Slot, ev.Arg)
+	case RouterForward:
+		s += fmt.Sprintf(`,"seq":%d,"port":%d`, ev.Seq, ev.Arg)
+	case Credit:
+		s += fmt.Sprintf(`,"words":%d`, ev.Arg)
+	case WrapperFire:
+		s += fmt.Sprintf(`,"stalled":%d`, ev.Arg)
+	case Inject:
+		s += fmt.Sprintf(`,"seq":%d`, ev.Seq)
+	}
+	return s
+}
+
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countWriter) printf(format string, args ...any) {
+	if c.err != nil {
+		return
+	}
+	n, err := fmt.Fprintf(c.w, format, args...)
+	c.n += int64(n)
+	c.err = err
+}

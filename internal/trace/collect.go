@@ -1,0 +1,262 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/clock"
+	"repro/internal/phit"
+	"repro/internal/stats"
+)
+
+// Metrics is a streaming aggregation sink: it folds the event stream into
+// per-connection latency histograms, per-component (link, router, NI,
+// wrapper) slot-utilisation counters and buffer-occupancy high-water
+// marks, without retaining the events themselves — so it is safe to leave
+// attached for arbitrarily long runs.
+type Metrics struct {
+	bus *Bus
+	// Both ids are small dense integers (connections are numbered from 1,
+	// component ids are interned in registration order), so the per-event
+	// hot path indexes grow-on-demand slices instead of hashing map keys.
+	conns   []*ConnMetrics // indexed by ConnID; nil = never seen
+	comps   []*CompMetrics // indexed by CompID; nil = never seen
+	counts  [kindCount]int64
+	firstPs clock.Time
+	lastPs  clock.Time
+	any     bool
+}
+
+// ConnMetrics aggregates one connection's lifecycle events.
+type ConnMetrics struct {
+	Injected  int64 // words accepted into the source NI FIFO
+	Sent      int64 // words that left the source NI
+	Delivered int64 // words ejected at the destination NI
+	Blocked   int64 // owned slots lost to credit exhaustion
+	Credits   int64 // credit words returned to this connection's sender
+	// Latency is the inject-to-eject latency per delivered word, ns.
+	Latency stats.Histogram
+}
+
+// CompMetrics aggregates one component's activity.
+type CompMetrics struct {
+	Events       int64 // events emitted by this component
+	BusyCycles   int64 // clock cycles its output was occupied (see busyCycles)
+	MaxOccupancy int64 // buffer-depth high-water mark, words
+}
+
+// NewMetrics builds a metrics sink and attaches it to the bus.
+func NewMetrics(bus *Bus) *Metrics {
+	m := &Metrics{bus: bus}
+	bus.Attach(m)
+	return m
+}
+
+// grow extends a metrics slice so index i is addressable.
+func grow[T any](s []*T, i int) []*T {
+	for i >= len(s) {
+		s = append(s, nil)
+	}
+	return s
+}
+
+// Event implements Sink.
+func (m *Metrics) Event(ev Event) {
+	m.counts[ev.Kind]++
+	if !m.any {
+		m.any = true
+		m.firstPs, m.lastPs = ev.Time, ev.Time
+	} else if ev.Time > m.lastPs {
+		m.lastPs = ev.Time
+	} else if ev.Time < m.firstPs {
+		m.firstPs = ev.Time
+	}
+
+	m.comps = grow(m.comps, int(ev.Comp))
+	cp := m.comps[ev.Comp]
+	if cp == nil {
+		cp = &CompMetrics{}
+		m.comps[ev.Comp] = cp
+	}
+	cp.Events++
+	cp.BusyCycles += busyCycles[ev.Kind]
+	if ev.Kind == Occupancy && ev.Arg > cp.MaxOccupancy {
+		cp.MaxOccupancy = ev.Arg
+	}
+
+	if ev.Conn <= phit.None {
+		return
+	}
+	m.conns = grow(m.conns, int(ev.Conn))
+	cm := m.conns[ev.Conn]
+	if cm == nil {
+		cm = &ConnMetrics{}
+		m.conns[ev.Conn] = cm
+	}
+	switch ev.Kind {
+	case Inject:
+		cm.Injected++
+	case Send:
+		cm.Sent++
+	case Eject:
+		cm.Delivered++
+		cm.Latency.Add(float64(ev.Time-ev.Ref) / float64(clock.Nanosecond))
+	case Blocked:
+		cm.Blocked++
+	case Credit:
+		cm.Credits += ev.Arg
+	}
+}
+
+// Conn returns the aggregate for one connection (nil if never seen).
+func (m *Metrics) Conn(c phit.ConnID) *ConnMetrics {
+	if c <= phit.None || int(c) >= len(m.conns) {
+		return nil
+	}
+	return m.conns[c]
+}
+
+// Count returns how many events of the kind were observed.
+func (m *Metrics) Count(k Kind) int64 { return m.counts[k] }
+
+// Events returns the total observed event count.
+func (m *Metrics) Events() int64 {
+	var n int64
+	for _, c := range m.counts {
+		n += c
+	}
+	return n
+}
+
+// A Report is the rendered form of a Metrics aggregation over a known
+// observation window.
+type Report struct {
+	WindowPs int64        `json:"window_ps"`
+	PeriodPs int64        `json:"period_ps"`
+	Events   int64        `json:"events"`
+	Kinds    []KindCount  `json:"kinds"`
+	Conns    []ConnReport `json:"connections"`
+	Comps    []CompReport `json:"components"`
+}
+
+// KindCount is one event kind's total.
+type KindCount struct {
+	Kind  string `json:"kind"`
+	Count int64  `json:"count"`
+}
+
+// ConnReport is one connection's aggregate.
+type ConnReport struct {
+	Conn      int32   `json:"conn"`
+	Injected  int64   `json:"injected"`
+	Sent      int64   `json:"sent"`
+	Delivered int64   `json:"delivered"`
+	Blocked   int64   `json:"blocked"`
+	Credits   int64   `json:"credits"`
+	LatMinNs  float64 `json:"lat_min_ns"`
+	LatMeanNs float64 `json:"lat_mean_ns"`
+	LatP99Ns  float64 `json:"lat_p99_ns"`
+	LatMaxNs  float64 `json:"lat_max_ns"`
+}
+
+// CompReport is one component's aggregate.
+type CompReport struct {
+	Component    string  `json:"component"`
+	Events       int64   `json:"events"`
+	BusyCycles   int64   `json:"busy_cycles"`
+	Utilisation  float64 `json:"utilisation"`
+	MaxOccupancy int64   `json:"max_occupancy"`
+}
+
+// Report renders the aggregation. windowPs is the observed simulation span
+// and periodPs the nominal clock period; together they bound the cycles a
+// component's output could have been busy, giving utilisation. A zero
+// windowPs falls back to the span between the first and last event.
+func (m *Metrics) Report(windowPs, periodPs int64) *Report {
+	if windowPs <= 0 && m.any {
+		windowPs = int64(m.lastPs - m.firstPs)
+	}
+	r := &Report{WindowPs: windowPs, PeriodPs: periodPs, Events: m.Events()}
+	for k := 0; k < kindCount; k++ {
+		if m.counts[k] > 0 {
+			r.Kinds = append(r.Kinds, KindCount{Kind: Kind(k).String(), Count: m.counts[k]})
+		}
+	}
+	for id, cm := range m.conns {
+		if cm == nil {
+			continue
+		}
+		cr := ConnReport{
+			Conn: int32(id), Injected: cm.Injected, Sent: cm.Sent,
+			Delivered: cm.Delivered, Blocked: cm.Blocked, Credits: cm.Credits,
+		}
+		if cm.Latency.N() > 0 {
+			cr.LatMinNs = cm.Latency.Min()
+			cr.LatMeanNs = cm.Latency.Mean()
+			cr.LatP99Ns = cm.Latency.Percentile(99)
+			cr.LatMaxNs = cm.Latency.Max()
+		}
+		r.Conns = append(r.Conns, cr)
+	}
+	totalCycles := float64(0)
+	if periodPs > 0 {
+		totalCycles = float64(windowPs) / float64(periodPs)
+	}
+	for id, cp := range m.comps {
+		if cp == nil {
+			continue
+		}
+		util := 0.0
+		if totalCycles > 0 {
+			util = float64(cp.BusyCycles) / totalCycles
+			if util > 1 {
+				util = 1 // edge flits straddling the window boundary
+			}
+		}
+		r.Comps = append(r.Comps, CompReport{
+			Component: m.bus.ComponentName(CompID(id)), Events: cp.Events,
+			BusyCycles: cp.BusyCycles, Utilisation: util, MaxOccupancy: cp.MaxOccupancy,
+		})
+	}
+	return r
+}
+
+// WriteJSON renders the report as indented JSON (stable field order).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV renders the report as two CSV sections: connections, then
+// components. Latency columns are empty (not 0) for connections that
+// delivered nothing, so an absent measurement cannot be mistaken for a
+// real zero-nanosecond latency.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := &countWriter{w: w}
+	cw.printf("section,conn,injected,sent,delivered,blocked,credits,lat_min_ns,lat_mean_ns,lat_p99_ns,lat_max_ns\n")
+	for _, c := range r.Conns {
+		lat := ",,," // four empty latency cells: no delivery, no measurement
+		if c.Delivered > 0 {
+			lat = fmt.Sprintf("%s,%s,%s,%s", csvF(c.LatMinNs), csvF(c.LatMeanNs), csvF(c.LatP99Ns), csvF(c.LatMaxNs))
+		}
+		cw.printf("conn,%d,%d,%d,%d,%d,%d,%s\n",
+			c.Conn, c.Injected, c.Sent, c.Delivered, c.Blocked, c.Credits, lat)
+	}
+	cw.printf("section,component,events,busy_cycles,utilisation,max_occupancy\n")
+	for _, c := range r.Comps {
+		cw.printf("comp,%s,%d,%d,%s,%d\n",
+			c.Component, c.Events, c.BusyCycles, csvF(c.Utilisation), c.MaxOccupancy)
+	}
+	return cw.err
+}
+
+// csvF formats a float deterministically for CSV cells.
+func csvF(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return fmt.Sprintf("%.3f", v)
+}

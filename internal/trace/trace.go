@@ -1,0 +1,207 @@
+// Package trace is the structured observability layer of the aelite
+// reproduction: it records every flit's lifecycle — NI injection, per-hop
+// router traversal, link stage forwarding, ejection — as typed events with
+// exact picosecond timestamps.
+//
+// The paper's central claim is predictability: per-connection latency and
+// throughput bounds that hold cycle-for-cycle. Proving that claim needs an
+// instrument, not prints. This package replaces the simulator's historical
+// stringly-typed trace hook with an event bus that
+//
+//   - costs nothing when no sink is attached (components hold a nil
+//     *Emitter and skip emission on a single pointer test);
+//   - is deterministic: events are emitted from the engine's exact-time
+//     edge dispatch in component add order, so the same seed produces a
+//     byte-identical event stream;
+//   - aggregates into the measurements NoC evaluations live on: per-link
+//     slot utilisation, per-connection latency histograms and buffer
+//     occupancy high-water marks (Metrics), and
+//   - exports Chrome trace-event JSON loadable in chrome://tracing or
+//     Perfetto (Chrome), plus CSV/JSON metric dumps.
+//
+// Component names are interned into small integer ids at registration time
+// so that emission never allocates or hashes strings.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/phit"
+)
+
+// Kind classifies one lifecycle event.
+type Kind uint8
+
+const (
+	// Inject: a payload word was accepted into the source NI's IP-side
+	// FIFO (the start of the latency span the paper's requirements cover).
+	Inject Kind = iota
+	// Send: a payload word left the source NI onto the network.
+	// Ref holds the word's injection instant.
+	Send
+	// SlotStart: an NI began a flit in an owned TDM slot. Slot is the
+	// table slot, Arg the number of payload words carried (0 for a
+	// credit-only or padding flit).
+	SlotStart
+	// RouterForward: a router switched one flit to an output port
+	// (Arg = output port index). Emitted at the flit's first word and
+	// stamped with that word's connection and sequence.
+	RouterForward
+	// LinkForward: a mesochronous link stage FSM began forwarding one
+	// flit toward its reader.
+	LinkForward
+	// Eject: a payload word was delivered at the destination NI.
+	// Ref holds the word's injection instant, so Time-Ref is the
+	// end-to-end latency.
+	Eject
+	// Credit: end-to-end credits returned to a sender (Conn is the
+	// credited out-connection, Arg the credit count in words).
+	Credit
+	// Blocked: an owned slot carried no payload because the connection's
+	// end-to-end credits were exhausted (the back-pressure signal of
+	// paper Section IV.A).
+	Blocked
+	// Occupancy: a buffer's depth reached a new high-water mark
+	// (Arg = words). Emitted only when the mark rises, so steady-state
+	// traffic costs nothing; sinks keep the maximum.
+	Occupancy
+	// WrapperFire: an asynchronous wrapper completed one dataflow
+	// iteration (Arg = cycles it spent stalled since the previous fire).
+	WrapperFire
+
+	kindCount = int(WrapperFire) + 1
+)
+
+var kindNames = [kindCount]string{
+	Inject:        "inject",
+	Send:          "send",
+	SlotStart:     "slot",
+	RouterForward: "route",
+	LinkForward:   "link",
+	Eject:         "eject",
+	Credit:        "credit",
+	Blocked:       "blocked",
+	Occupancy:     "occupancy",
+	WrapperFire:   "fire",
+}
+
+func (k Kind) String() string {
+	if int(k) < kindCount {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// busyCycles is each kind's link-occupancy weight in clock cycles, used by
+// Metrics for utilisation: every per-flit event occupies its output for a
+// whole flit cycle (the TDM slot is reserved end to end regardless of how
+// many words it carries).
+var busyCycles = [kindCount]int64{
+	SlotStart:     phit.FlitWords,
+	RouterForward: phit.FlitWords,
+	LinkForward:   phit.FlitWords,
+	WrapperFire:   phit.FlitWords,
+}
+
+// NoSlot marks an event with no meaningful TDM slot.
+const NoSlot int32 = -1
+
+// A CompID is an interned component name (see Bus.Emitter).
+type CompID int32
+
+// An Event is one observation in a flit's lifecycle. Fields that do not
+// apply to a Kind are zero (Slot is NoSlot where meaningless).
+type Event struct {
+	Time clock.Time  // exact simulation instant, ps
+	Ref  clock.Time  // secondary instant (injection time on Send/Eject)
+	Seq  int64       // payload word sequence number within the connection
+	Arg  int64       // kind-specific argument (port, words, depth, cycles)
+	Conn phit.ConnID // connection, or phit.None
+	Comp CompID      // emitting component
+	Slot int32       // TDM slot, or NoSlot
+	Kind Kind
+}
+
+// A Sink receives every event emitted on a Bus.
+type Sink interface {
+	Event(ev Event)
+}
+
+// A Bus fans events out to sinks and interns component names. It is not
+// safe for concurrent use; the simulation engine is single-threaded by
+// construction.
+type Bus struct {
+	comps  []string
+	byName map[string]CompID
+	sinks  []Sink
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{byName: make(map[string]CompID)}
+}
+
+// Attach adds a sink; every subsequent event is delivered to it.
+func (b *Bus) Attach(s Sink) { b.sinks = append(b.sinks, s) }
+
+// Component interns a component name, returning its stable id. Interning
+// order is the registration order, which wiring code keeps deterministic.
+func (b *Bus) Component(name string) CompID {
+	if id, ok := b.byName[name]; ok {
+		return id
+	}
+	id := CompID(len(b.comps))
+	b.comps = append(b.comps, name)
+	b.byName[name] = id
+	return id
+}
+
+// ComponentName returns the name behind an interned id.
+func (b *Bus) ComponentName(id CompID) string {
+	if int(id) < 0 || int(id) >= len(b.comps) {
+		return fmt.Sprintf("comp(%d)", int32(id))
+	}
+	return b.comps[id]
+}
+
+// Components returns the interned component names in id order.
+func (b *Bus) Components() []string {
+	return append([]string(nil), b.comps...)
+}
+
+// Emit delivers one event to every attached sink.
+func (b *Bus) Emit(ev Event) {
+	for _, s := range b.sinks {
+		s.Event(ev)
+	}
+}
+
+// Emitter returns a per-component emission handle. Components store the
+// handle (nil when tracing is disabled) and test it before building an
+// Event, which keeps the disabled path to a single branch.
+func (b *Bus) Emitter(name string) *Emitter {
+	if b == nil {
+		return nil
+	}
+	return &Emitter{bus: b, comp: b.Component(name)}
+}
+
+// An Emitter stamps events with its component id and forwards them to the
+// bus. A nil *Emitter means tracing is disabled.
+type Emitter struct {
+	bus  *Bus
+	comp CompID
+}
+
+// Emit stamps ev.Comp and delivers the event. Callers must nil-test the
+// emitter first (the zero-cost contract); Emit on a nil emitter panics.
+func (e *Emitter) Emit(ev Event) {
+	ev.Comp = e.comp
+	for _, s := range e.bus.sinks {
+		s.Event(ev)
+	}
+}
+
+// Comp returns the emitter's interned component id.
+func (e *Emitter) Comp() CompID { return e.comp }

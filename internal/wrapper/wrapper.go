@@ -42,6 +42,7 @@ import (
 	"repro/internal/phit"
 	"repro/internal/router"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // InitialTokens is the uniform initial marking of every channel. Two
@@ -145,6 +146,10 @@ type Wrapper struct {
 	// rep receives envelope violations; nil preserves fail-fast panics.
 	rep fault.Reporter
 
+	// tr, when non-nil, receives one WrapperFire event per completed
+	// dataflow iteration, with the cumulative stall count as Arg.
+	tr *trace.Emitter
+
 	inBuf []phit.Flit
 }
 
@@ -171,6 +176,10 @@ func (w *Wrapper) ConnectOut(i int, ch *Channel) { w.out[i] = ch }
 // fail-fast panics.
 func (w *Wrapper) SetReporter(r fault.Reporter) { w.rep = r }
 
+// SetTracer installs the wrapper's lifecycle-event emitter; nil disables
+// tracing.
+func (w *Wrapper) SetTracer(e *trace.Emitter) { w.tr = e }
+
 // Stall injects a PIC stall: for the given number of this wrapper's clock
 // cycles the PIC will not fire regardless of token availability, modelling
 // a slow or hung element behind the port interfaces.
@@ -179,6 +188,9 @@ func (w *Wrapper) Stall(cycles int) {
 		w.stallFault += cycles
 	}
 }
+
+// Actor returns the wrapped dataflow actor.
+func (w *Wrapper) Actor() Actor { return w.actor }
 
 // Fires returns the number of completed dataflow iterations.
 func (w *Wrapper) Fires() int64 { return w.fires }
@@ -240,4 +252,7 @@ func (w *Wrapper) Update(now clock.Time) {
 	}
 	w.fires++
 	w.busy = phit.FlitWords - 1 // a fire occupies one whole flit cycle
+	if w.tr != nil {
+		w.tr.Emit(trace.Event{Time: now, Kind: trace.WrapperFire, Arg: w.stalled, Slot: trace.NoSlot})
+	}
 }

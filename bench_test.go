@@ -9,7 +9,9 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
+	"runtime"
 	"sort"
 	"testing"
 	"time"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 	"repro/internal/phit"
 	"repro/internal/route"
 	"repro/internal/router"
@@ -139,7 +142,7 @@ func BenchmarkSec7AetherealBE(b *testing.B) {
 func BenchmarkSec7FrequencyScan(b *testing.B) {
 	var crossover float64
 	for i := 0; i < b.N; i++ {
-		_, c, err := experiments.FrequencyScan(experiments.Sec7Seed, []float64{500, 900, 1000}, sec7MeasureNs)
+		_, c, err := experiments.FrequencyScan(experiments.Sec7Seed, []float64{500, 900, 1000}, sec7MeasureNs, parallel.Jobs(0))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -148,64 +151,134 @@ func BenchmarkSec7FrequencyScan(b *testing.B) {
 	b.ReportMetric(crossover, "crossoverMHz")
 }
 
+// renderScan fixes a byte representation of a frequency scan so serial and
+// parallel sweeps can be compared exactly, not approximately.
+func renderScan(points []experiments.ScanPoint, crossover float64) []byte {
+	var buf bytes.Buffer
+	for _, p := range points {
+		fmt.Fprintf(&buf, "%.3f %v %d %.6f\n", p.FreqMHz, p.AllMet, p.Violations, p.WorstExcessNs)
+	}
+	fmt.Fprintf(&buf, "crossover %.3f\n", crossover)
+	return buf.Bytes()
+}
+
+// BenchmarkParallelSweep runs the Section VII frequency scan once with one
+// worker and once with eight, asserts the two scan tables are
+// byte-identical (the sweep runner's determinism contract), and reports
+// the wall-clock speedup. On hardware with at least 8 CPUs the speedup
+// must reach 3x; on smaller hosts the assertion is informational, because
+// a worker pool cannot conjure cores (the byte-identity assertion holds
+// everywhere). CI runs this with -benchtime 1x and archives the result in
+// the BENCH_sweep.json artifact.
+func BenchmarkParallelSweep(b *testing.B) {
+	freqs := []float64{500, 600, 650, 700, 800, 850, 900, 1000}
+	const measureNs = 10000
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		p1, c1, err := experiments.FrequencyScan(experiments.Sec7Seed, freqs, measureNs, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serial := time.Since(start)
+		start = time.Now()
+		p8, c8, err := experiments.FrequencyScan(experiments.Sec7Seed, freqs, measureNs, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		par := time.Since(start)
+		if !bytes.Equal(renderScan(p1, c1), renderScan(p8, c8)) {
+			b.Fatalf("-j 1 and -j 8 scans diverge:\n%s\nvs\n%s", renderScan(p1, c1), renderScan(p8, c8))
+		}
+		speedup = serial.Seconds() / par.Seconds()
+	}
+	b.ReportMetric(speedup, "speedup-j8/j1")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cpus")
+	if runtime.GOMAXPROCS(0) >= 8 {
+		if speedup < 3 {
+			b.Fatalf("parallel sweep speedup %.2fx at -j 8 on %d CPUs; want >= 3x",
+				speedup, runtime.GOMAXPROCS(0))
+		}
+	} else {
+		b.Logf("only %d CPUs: measured %.2fx at -j 8; the 3x assertion needs >= 8",
+			runtime.GOMAXPROCS(0), speedup)
+	}
+}
+
 // --- ablations ----------------------------------------------------------
 
 // BenchmarkAblationTableSize sweeps the TDM table size for a mid-size
 // workload: smaller tables give coarser bandwidth granularity (more
 // over-allocation), larger tables longer worst-case waits for few-slot
-// connections.
+// connections. The four table sizes are independent builds fanned across
+// the sweep runner; each point owns a private engine.
 func BenchmarkAblationTableSize(b *testing.B) {
-	for _, size := range []int{16, 32, 64, 128} {
-		b.Run(fmt.Sprintf("S%d", size), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				m := topology.NewMesh(3, 2, 2)
-				uc := spec.Random(spec.RandomConfig{
-					Name: "abl", Seed: 5, IPs: 12, Apps: 2, Conns: 16,
-					MinRateMBps: 15, MaxRateMBps: 120,
-					MinLatencyNs: 300, MaxLatencyNs: 900,
-				})
-				spec.MapIPsByTraffic(uc, m)
-				cfg := core.Config{TableSize: size}
-				core.PrepareTopology(m, cfg)
-				n, err := core.Build(m, uc, cfg)
-				if err != nil {
-					b.Skipf("table %d infeasible: %v", size, err)
-				}
-				rep := n.Run(4000, 15000)
-				if !rep.AllMet() {
-					b.Fatalf("requirements missed at table size %d", size)
-				}
+	sizes := []int{16, 32, 64, 128}
+	for i := 0; i < b.N; i++ {
+		type point struct {
+			infeasible bool
+			met        bool
+		}
+		points, err := parallel.Map(parallel.Jobs(0), len(sizes), func(i int) (point, error) {
+			m := topology.NewMesh(3, 2, 2)
+			uc := spec.Random(spec.RandomConfig{
+				Name: "abl", Seed: 5, IPs: 12, Apps: 2, Conns: 16,
+				MinRateMBps: 15, MaxRateMBps: 120,
+				MinLatencyNs: 300, MaxLatencyNs: 900,
+			})
+			spec.MapIPsByTraffic(uc, m)
+			cfg := core.Config{TableSize: sizes[i]}
+			core.PrepareTopology(m, cfg)
+			n, err := core.Build(m, uc, cfg)
+			if err != nil {
+				return point{infeasible: true}, nil // coarse tables may not place
 			}
+			return point{met: n.Run(4000, 15000).AllMet()}, nil
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, p := range points {
+			if !p.infeasible && !p.met {
+				b.Fatalf("requirements missed at table size %d", sizes[j])
+			}
+		}
 	}
+	b.ReportMetric(float64(len(sizes)), "points")
 }
 
 // BenchmarkAblationFIFODelay compares the two FIFO forwarding delays the
-// paper admits (1-2 cycles) on the mesochronous network.
+// paper admits (1-2 cycles) on the mesochronous network, both points
+// through the sweep runner.
 func BenchmarkAblationFIFODelay(b *testing.B) {
-	for _, d := range []int{1, 2} {
-		b.Run(fmt.Sprintf("%dcycle", d), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				m := topology.NewMesh(3, 2, 2)
-				uc := spec.Random(spec.RandomConfig{
-					Name: "fifo", Seed: 5, IPs: 12, Apps: 2, Conns: 12,
-					MinRateMBps: 15, MaxRateMBps: 100,
-					MinLatencyNs: 300, MaxLatencyNs: 900,
-				})
-				spec.MapIPsByTraffic(uc, m)
-				cfg := core.Config{Mode: core.Mesochronous, FIFOForwardCycles: d, PhaseSeed: 3}
-				core.PrepareTopology(m, cfg)
-				n, err := core.Build(m, uc, cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				rep := n.Run(4000, 15000)
-				if !rep.AllMet() {
-					b.Fatalf("requirements missed with %d-cycle FIFO delay", d)
-				}
+	delays := []int{1, 2}
+	for i := 0; i < b.N; i++ {
+		met, err := parallel.Map(parallel.Jobs(0), len(delays), func(i int) (bool, error) {
+			m := topology.NewMesh(3, 2, 2)
+			uc := spec.Random(spec.RandomConfig{
+				Name: "fifo", Seed: 5, IPs: 12, Apps: 2, Conns: 12,
+				MinRateMBps: 15, MaxRateMBps: 100,
+				MinLatencyNs: 300, MaxLatencyNs: 900,
+			})
+			spec.MapIPsByTraffic(uc, m)
+			cfg := core.Config{Mode: core.Mesochronous, FIFOForwardCycles: delays[i], PhaseSeed: 3}
+			core.PrepareTopology(m, cfg)
+			n, err := core.Build(m, uc, cfg)
+			if err != nil {
+				return false, err
 			}
+			return n.Run(4000, 15000).AllMet(), nil
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, ok := range met {
+			if !ok {
+				b.Fatalf("requirements missed with %d-cycle FIFO delay", delays[j])
+			}
+		}
 	}
+	b.ReportMetric(float64(len(delays)), "points")
 }
 
 // --- micro-benchmarks ----------------------------------------------------

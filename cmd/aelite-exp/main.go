@@ -20,6 +20,8 @@
 //	-seed N       workload seed for sec7/scan (default the documented one)
 //	-measure NS   measurement window in ns (default 60000)
 //	-freq MHZ     frequency for sec7 (default 500)
+//	-j N          parallel sweep workers (default all CPUs; results are
+//	              byte-identical at every worker count)
 //	-verbose      print the full 200-connection report tables
 package main
 
@@ -29,14 +31,17 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
 	seed := flag.Int64("seed", experiments.Sec7Seed, "workload seed for the Section VII experiment")
 	measure := flag.Float64("measure", experiments.Sec7MeasureNs, "measurement window in ns")
 	freq := flag.Float64("freq", 500, "frequency in MHz for the sec7 comparison")
+	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all CPUs)")
 	verbose := flag.Bool("verbose", false, "print full per-connection reports")
 	flag.Parse()
+	j := parallel.Jobs(*jobs)
 
 	cmd := "all"
 	if flag.NArg() > 0 {
@@ -69,7 +74,7 @@ func main() {
 	run("links", func() error { experiments.WriteLinkTable(out); return nil })
 	run("throughput", func() error { experiments.WriteThroughput(out); return nil })
 	run("sec7", func() error {
-		cmp, gs, be, err := experiments.Compare(*seed, *freq, *measure)
+		cmp, gs, be, err := experiments.Compare(*seed, *freq, *measure, j)
 		if err != nil {
 			return err
 		}
@@ -99,7 +104,7 @@ func main() {
 	})
 	run("hetero", func() error { return experiments.WriteHeterochronous(out) })
 	run("scan", func() error {
-		points, crossover, err := experiments.FrequencyScan(*seed, nil, *measure)
+		points, crossover, err := experiments.FrequencyScan(*seed, nil, *measure, j)
 		if err != nil {
 			return err
 		}

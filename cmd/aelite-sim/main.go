@@ -23,6 +23,12 @@
 //	               collecting violations and degrading gracefully
 //	-skew-ps PS    checkerboard tile-skew override in mesochronous mode;
 //	               values past half a period leave the paper's envelope
+//	-runs N        fault-campaign sweep: run N campaigns with consecutive
+//	               fault seeds (-fault-seed, +1, +2, ...), each on its own
+//	               freshly built network, and print the per-run reports and
+//	               summaries in seed order (requires -faults)
+//	-j N           parallel workers for -runs sweeps (default all CPUs;
+//	               output is byte-identical at every worker count)
 //	-trace-out F   write a Chrome trace-event JSON of every flit lifecycle
 //	               event (load in Perfetto or chrome://tracing); aelite only
 //	-metrics-out F write aggregated per-connection/per-component metrics;
@@ -37,6 +43,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +52,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/parallel"
 	"repro/internal/phit"
 	"repro/internal/spec"
 	"repro/internal/topology"
@@ -69,6 +77,8 @@ type options struct {
 	faultSeed int64
 	strict    bool
 	skewPS    int64
+	runs      int
+	jobs      int
 
 	traceOut   string
 	metricsOut string
@@ -113,6 +123,17 @@ func (o *options) validate() error {
 	if (o.traceOut != "" || o.metricsOut != "") && o.backend != "aelite" {
 		return fmt.Errorf("-trace-out/-metrics-out need the aelite backend (got %q)", o.backend)
 	}
+	if o.runs < 1 {
+		return fmt.Errorf("-runs %d must be at least 1", o.runs)
+	}
+	if o.runs > 1 {
+		if o.faults == "" {
+			return fmt.Errorf("-runs %d sweeps fault seeds and needs -faults", o.runs)
+		}
+		if o.traceOut != "" || o.metricsOut != "" {
+			return fmt.Errorf("-trace-out/-metrics-out write one file and cannot serve a -runs sweep")
+		}
+	}
 	return nil
 }
 
@@ -135,6 +156,8 @@ func main() {
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for random fault events")
 	flag.BoolVar(&o.strict, "strict", false, "fail fast on the first envelope violation")
 	flag.Int64Var(&o.skewPS, "skew-ps", 0, "mesochronous tile-skew override in ps")
+	flag.IntVar(&o.runs, "runs", 1, "fault-campaign sweep: campaigns with consecutive fault seeds")
+	flag.IntVar(&o.jobs, "j", 0, "parallel workers for -runs sweeps (0 = all CPUs)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write Chrome trace-event JSON to this file")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write aggregated metrics to this file (.csv selects CSV)")
 	flag.StringVar(&o.pprofOut, "pprof", "", "write a CPU profile to this file")
@@ -190,34 +213,13 @@ func run(o options) (code int) {
 		metricsFile = f
 	}
 
-	m := topology.NewMesh(o.cols, o.rows, o.nis)
-	var uc *spec.UseCase
-	var err error
-	switch {
-	case o.specPath != "":
-		uc, err = spec.Load(o.specPath)
-		if err != nil {
-			return fail(err)
-		}
-	case o.random > 0:
-		uc = spec.Random(spec.RandomConfig{
-			Name: "random", Seed: o.seed,
-			IPs: o.cols * o.rows * o.nis, Apps: 4, Conns: o.random,
-			MinRateMBps: 10, MaxRateMBps: 300, HeavyFraction: 0.1, HeavyMinRateMBps: 40,
-			MinLatencyNs: 150, MaxLatencyNs: 900,
-		})
-	default:
+	m, uc, err := buildUseCase(o)
+	if err != nil {
+		return fail(err)
+	}
+	if uc == nil {
 		fmt.Fprintln(os.Stderr, "aelite-sim: need -spec or -random")
 		return 2
-	}
-	unmapped := false
-	for _, ip := range uc.IPs {
-		if ip.NI == topology.Invalid {
-			unmapped = true
-		}
-	}
-	if unmapped {
-		spec.MapIPsByTraffic(uc, m)
 	}
 
 	campaignMode := o.faults != "" || o.skewPS != 0
@@ -231,6 +233,10 @@ func run(o options) (code int) {
 			return fail(err)
 		}
 		return verdict(n.Run(o.warmup, o.measure))
+	}
+
+	if o.runs > 1 {
+		return runCampaignSweep(o)
 	}
 
 	// Campaigns always carry the TDM ownership probes: a corrupted header
@@ -278,9 +284,9 @@ func run(o options) (code int) {
 		n.AttachTracer(bus)
 	}
 
-	var campaign *fault.Campaign
+	var rep *core.Report
+	var summary *fault.Summary
 	if campaignMode {
-		n.AddInvariantCheckers(collector)
 		plan := &fault.Plan{Seed: o.faultSeed}
 		if o.faults != "" {
 			plan, err = fault.ParseSpec(o.faults, o.faultSeed)
@@ -288,13 +294,15 @@ func run(o options) (code int) {
 				return fail(err)
 			}
 		}
-		campaign = fault.NewCampaign(plan, collector)
-		if err := campaign.Arm(n.Engine(), n.FaultTargets()); err != nil {
+		summary, err = fault.Execute(plan, collector, n, func() {
+			rep = n.Run(o.warmup, o.measure)
+		})
+		if err != nil {
 			return fail(err)
 		}
+	} else {
+		rep = n.Run(o.warmup, o.measure)
 	}
-
-	rep := n.Run(o.warmup, o.measure)
 	rep.Write(os.Stdout)
 	if chrome != nil {
 		if err := writeTrace(traceFile, chrome); err != nil {
@@ -307,12 +315,118 @@ func run(o options) (code int) {
 			return fail(err)
 		}
 	}
-	if campaign != nil {
+	if summary != nil {
 		fmt.Println()
-		campaign.Summarize().Write(os.Stdout)
+		summary.Write(os.Stdout)
 		return 0
 	}
 	return verdict(rep)
+}
+
+// buildUseCase assembles the mesh and use case from the flags. A nil use
+// case (with nil error) means neither -spec nor -random was given. Sweep
+// workers call it once each: a use case is mutated during mapping and
+// build-time budget negotiation, so it must never be shared across
+// engines.
+func buildUseCase(o options) (*topology.Mesh, *spec.UseCase, error) {
+	m := topology.NewMesh(o.cols, o.rows, o.nis)
+	var uc *spec.UseCase
+	switch {
+	case o.specPath != "":
+		var err error
+		uc, err = spec.Load(o.specPath)
+		if err != nil {
+			return nil, nil, err
+		}
+	case o.random > 0:
+		uc = spec.Random(spec.RandomConfig{
+			Name: "random", Seed: o.seed,
+			IPs: o.cols * o.rows * o.nis, Apps: 4, Conns: o.random,
+			MinRateMBps: 10, MaxRateMBps: 300, HeavyFraction: 0.1, HeavyMinRateMBps: 40,
+			MinLatencyNs: 150, MaxLatencyNs: 900,
+		})
+	default:
+		return m, nil, nil
+	}
+	unmapped := false
+	for _, ip := range uc.IPs {
+		if ip.NI == topology.Invalid {
+			unmapped = true
+		}
+	}
+	if unmapped {
+		spec.MapIPsByTraffic(uc, m)
+	}
+	return m, uc, nil
+}
+
+// campaignPoint is one worker of a -runs sweep: it builds a private
+// network and engine, arms the campaign with the given fault seed, runs
+// it, and renders the connection report plus campaign summary. A strict-
+// mode envelope violation (or any other panic) is returned as an error so
+// one failed point cannot tear down the whole sweep.
+func campaignPoint(o options, faultSeed int64) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fatal: %v", r)
+		}
+	}()
+	m, uc, err := buildUseCase(o)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{FreqMHz: o.freq, Probes: true, Transactional: o.tx, SkewOverridePS: o.skewPS}
+	if o.mode == "mesochronous" {
+		cfg.Mode = core.Mesochronous
+	} else if o.mode == "asynchronous" {
+		cfg.Mode = core.Asynchronous
+	}
+	var collector *fault.Collector
+	if !o.strict {
+		collector = fault.NewCollector()
+		cfg.FaultReporter = collector
+	}
+	core.PrepareTopology(m, cfg)
+	n, err := core.Build(m, uc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := fault.ParseSpec(o.faults, faultSeed)
+	if err != nil {
+		return nil, err
+	}
+	var rep *core.Report
+	summary, err := fault.Execute(plan, collector, n, func() {
+		rep = n.Run(o.warmup, o.measure)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	rep.Write(&b)
+	fmt.Fprintln(&b)
+	summary.Write(&b)
+	return b.Bytes(), nil
+}
+
+// runCampaignSweep fans o.runs campaign points with consecutive fault
+// seeds across the worker pool and prints each point's rendered output in
+// seed order — byte-identical at every -j value.
+func runCampaignSweep(o options) int {
+	outs, err := parallel.Map(parallel.Jobs(o.jobs), o.runs, func(i int) ([]byte, error) {
+		return campaignPoint(o, o.faultSeed+int64(i))
+	})
+	if err != nil {
+		return fail(err)
+	}
+	for i, out := range outs {
+		fmt.Printf("== campaign %d/%d (fault seed %d) ==\n", i+1, o.runs, o.faultSeed+int64(i))
+		os.Stdout.Write(out)
+		if i < len(outs)-1 {
+			fmt.Println()
+		}
+	}
+	return 0
 }
 
 func verdict(rep *core.Report) int {

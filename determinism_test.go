@@ -2,10 +2,14 @@ package repro
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/spec"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -48,5 +52,73 @@ func TestSec7BuildDeterminism(t *testing.T) {
 	r2 := sec7TracedReport(t)
 	if !bytes.Equal(r1, r2) {
 		t.Error("same-seed Section VII builds diverge")
+	}
+}
+
+// TestScanSweepDeterminism: the frequency scan must render byte-identically
+// with one worker and with eight. The sweep runner keys results by
+// configuration index, each point owns a private engine and there is no
+// shared RNG, so worker count and completion order must be unobservable.
+func TestScanSweepDeterminism(t *testing.T) {
+	freqs := []float64{500, 900, 1000}
+	const measureNs = 5000
+	p1, c1, err := experiments.FrequencyScan(experiments.Sec7Seed, freqs, measureNs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, c8, err := experiments.FrequencyScan(experiments.Sec7Seed, freqs, measureNs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1, r8 := renderScan(p1, c1), renderScan(p8, c8); !bytes.Equal(r1, r8) {
+		t.Errorf("-j 1 and -j 8 scan tables diverge:\n%s\nvs\n%s", r1, r8)
+	}
+}
+
+// faultSweepSummaries runs a four-point fault-campaign sweep (consecutive
+// fault seeds on a small mesochronous mesh) at the given worker count and
+// returns the concatenated rendered summaries.
+func faultSweepSummaries(t *testing.T, jobs int) []byte {
+	t.Helper()
+	summaries, err := fault.RunSweep(jobs, 4, func(i int) (*fault.Summary, error) {
+		m := topology.NewMesh(3, 2, 2)
+		uc := spec.Random(spec.RandomConfig{
+			Name: "sweep", Seed: 5, IPs: 10, Apps: 2, Conns: 10,
+			MinRateMBps: 20, MaxRateMBps: 120,
+			MinLatencyNs: 300, MaxLatencyNs: 900,
+		})
+		spec.MapIPsByTraffic(uc, m)
+		col := fault.NewCollector()
+		cfg := core.Config{Mode: core.Mesochronous, Probes: true, FaultReporter: col}
+		core.PrepareTopology(m, cfg)
+		n, err := core.Build(m, uc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := fault.ParseSpec("random:3", 100+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		return fault.Execute(plan, col, n, func() { n.Run(5000, 20000) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for i, s := range summaries {
+		fmt.Fprintf(&buf, "-- point %d --\n", i)
+		s.Write(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestFaultSweepDeterminism: same plans, same seeds, different worker
+// counts — the campaign summaries must concatenate byte-identically, in
+// point order, never completion order.
+func TestFaultSweepDeterminism(t *testing.T) {
+	r1 := faultSweepSummaries(t, 1)
+	r8 := faultSweepSummaries(t, 8)
+	if !bytes.Equal(r1, r8) {
+		t.Errorf("-j 1 and -j 8 fault sweeps diverge:\n%s\nvs\n%s", r1, r8)
 	}
 }

@@ -420,9 +420,12 @@ func (n *Network) instantiate() error {
 		}
 		name := fmt.Sprintf("l%d.%s>%s", l.ID, n.Mesh.Node(l.From).Name, n.Mesh.Node(l.To).Name)
 		w := sim.NewWire[phit.Phit](name)
-		n.eng.AddWire(w)
-		entry[l.ID] = w
 		wClk, rClk := domainOf(l.From), domainOf(l.To)
+		// Wires commit with their writer's clock group: the entry wire is
+		// driven by the From component, the exit wire by the last pipeline
+		// stage, which NewStage clocks in the reader's domain.
+		n.eng.AddWireClocked(w, wClk)
+		entry[l.ID] = w
 		n.linkWires = append(n.linkWires, fault.LinkTarget{Name: name, Wire: w})
 		n.linkClks = append(n.linkClks, wClk)
 		if wantStages == 0 {
@@ -433,7 +436,7 @@ func (n *Network) instantiate() error {
 			continue
 		}
 		out := sim.NewWire[phit.Phit](name + ".out")
-		n.eng.AddWire(out)
+		n.eng.AddWireClocked(out, rClk)
 		stageClks := make([]*clock.Clock, wantStages)
 		for i := range stageClks {
 			if i == wantStages-1 {

@@ -1,0 +1,19 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VII plus Figs. 5 and 6). Each experiment returns
+// structured rows and can render itself as text; cmd/aelite-exp and the
+// top-level benchmarks are thin wrappers around this package.
+//
+// The two simulation-backed experiments take a jobs parameter and fan
+// their independent points across workers with internal/parallel; results
+// are keyed by point index, so any worker count renders byte-identically:
+//
+//	cmp, gs, be, err := experiments.Compare(experiments.Sec7Seed, 500, 60000, jobs)
+//	if err != nil { ... }
+//	experiments.WriteComparison(os.Stdout, cmp)
+//
+//	points, crossover, err := experiments.FrequencyScan(
+//		experiments.Sec7Seed, nil, 60000, jobs) // nil = default frequency grid
+//
+// The synthesis-model figures (WriteFig5, WriteFig6a, WriteFig6b,
+// WriteLinkTable, WriteThroughput) are closed-form and run serially.
+package experiments

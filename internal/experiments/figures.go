@@ -1,7 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (Section VII plus Figs. 5 and 6). Each experiment returns
-// structured rows and can render itself as text; cmd/aelite-exp and the
-// top-level benchmarks are thin wrappers around this package.
 package experiments
 
 import (

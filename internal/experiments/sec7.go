@@ -8,6 +8,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/area"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/phit"
 	"repro/internal/route"
 	"repro/internal/slots"
@@ -241,16 +242,19 @@ type Comparison struct {
 
 // Compare runs both networks at one frequency and contrasts them. The BE
 // network runs with Sec7BEOpportunism offered-rate scaling (see that
-// constant).
-func Compare(seed int64, fMHz float64, measureNs float64) (*Comparison, *core.Report, *core.Report, error) {
-	gs, err := Sec7Aelite(seed, fMHz, core.Synchronous, false, measureNs)
+// constant). The two simulations are independent builds, so with jobs > 1
+// they run on concurrent workers, each owning a private engine.
+func Compare(seed int64, fMHz float64, measureNs float64, jobs int) (*Comparison, *core.Report, *core.Report, error) {
+	reps, err := parallel.Map(jobs, 2, func(i int) (*core.Report, error) {
+		if i == 0 {
+			return Sec7Aelite(seed, fMHz, core.Synchronous, false, measureNs)
+		}
+		return Sec7BEFactor(seed, fMHz, measureNs, Sec7BEOpportunism)
+	})
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	be, err := Sec7BEFactor(seed, fMHz, measureNs, Sec7BEOpportunism)
-	if err != nil {
-		return nil, nil, nil, err
-	}
+	gs, be := reps[0], reps[1]
 	cmp := &Comparison{FreqMHz: fMHz, AeliteAllMet: gs.AllMet(), BEAllMet: be.AllMet()}
 	lower, n := 0, 0
 	var spreadSum, maxSum float64
@@ -296,17 +300,19 @@ type ScanPoint struct {
 
 // FrequencyScan raises the BE network's frequency until every latency and
 // throughput requirement is met in simulation (the paper reports this
-// crossover above 900 MHz, versus aelite's 500 MHz).
-func FrequencyScan(seed int64, freqs []float64, measureNs float64) ([]ScanPoint, float64, error) {
+// crossover above 900 MHz, versus aelite's 500 MHz). The scan points are
+// independent simulations fanned across up to jobs workers; results are
+// keyed by frequency index, so the scan table and the crossover are
+// byte-identical at every worker count.
+func FrequencyScan(seed int64, freqs []float64, measureNs float64, jobs int) ([]ScanPoint, float64, error) {
 	if len(freqs) == 0 {
 		freqs = []float64{500, 600, 700, 800, 900, 1000, 1100}
 	}
-	var out []ScanPoint
-	crossover := 0.0
-	for _, f := range freqs {
+	out, err := parallel.Map(jobs, len(freqs), func(i int) (ScanPoint, error) {
+		f := freqs[i]
 		rep, err := Sec7BEFactor(seed, f, measureNs, Sec7BEOpportunism)
 		if err != nil {
-			return nil, 0, err
+			return ScanPoint{}, err
 		}
 		p := ScanPoint{FreqMHz: f, AllMet: rep.AllMet()}
 		for _, c := range rep.Conns {
@@ -317,9 +323,15 @@ func FrequencyScan(seed int64, freqs []float64, measureNs float64) ([]ScanPoint,
 				}
 			}
 		}
-		out = append(out, p)
+		return p, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	crossover := 0.0
+	for _, p := range out {
 		if p.AllMet && crossover == 0 {
-			crossover = f
+			crossover = p.FreqMHz
 		}
 	}
 	return out, crossover, nil

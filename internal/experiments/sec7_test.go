@@ -52,7 +52,7 @@ func TestSec7BEViolatesAt500(t *testing.T) {
 // BE's latency spread and maxima grow dramatically while aelite holds
 // every bound, and the GS+BE router network costs roughly 5x.
 func TestSec7Comparison(t *testing.T) {
-	cmp, gs, be, err := Compare(Sec7Seed, 500, 40000)
+	cmp, gs, be, err := Compare(Sec7Seed, 500, 40000, 2)
 	if err != nil {
 		t.Fatalf("Compare: %v", err)
 	}
@@ -83,7 +83,7 @@ func TestSec7FrequencyScan(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-frequency scan is slow")
 	}
-	points, crossover, err := FrequencyScan(Sec7Seed, []float64{500, 900, 1000}, 40000)
+	points, crossover, err := FrequencyScan(Sec7Seed, []float64{500, 900, 1000}, 40000, 0)
 	if err != nil {
 		t.Fatalf("FrequencyScan: %v", err)
 	}

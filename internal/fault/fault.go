@@ -1,32 +1,3 @@
-// Package fault is the fault-injection and violation-observation subsystem
-// of the aelite reproduction.
-//
-// The paper's guarantees hold only inside a strict operating envelope:
-// writer/reader skew of at most half a clock cycle, a bi-synchronous FIFO
-// forwarding delay of one to two cycles, contention-free TDM slots, whole
-// flits in used slots, live asynchronous wrappers. The simulator checks
-// that envelope everywhere — historically by panicking, which is the right
-// default for catching modelling errors but makes it impossible to *study*
-// behaviour at or beyond the boundary.
-//
-// This package separates mechanism from policy:
-//
-//   - a Violation is a structured record of one envelope breach (kind,
-//     component, time, slot, detail);
-//   - a Reporter receives violations. A nil Reporter selects strict mode:
-//     Report panics with the violation's message, byte-compatible with the
-//     historical fail-fast behaviour, so existing tests and production
-//     runs are unchanged. A non-nil Reporter (usually a Collector) selects
-//     collecting mode: the component records the violation and degrades
-//     gracefully (drops the phit, clamps the credits, closes the packet)
-//     instead of killing the process;
-//   - a Plan is a deterministic, seedable schedule of fault events
-//     (clock drift and jitter, phit drop/corrupt/duplicate, FIFO delay
-//     stretch, wrapper PIC stall), armed on a simulation engine by a
-//     Campaign at exact picosecond times so campaigns are bit-reproducible;
-//   - invariant Checkers (SlotChecker, LivenessChecker) are engine
-//     components that continuously verify the paper's core claims while
-//     faults are being injected.
 package fault
 
 import (

@@ -1,0 +1,48 @@
+package fault
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/sim"
+)
+
+// A System is the slice of a built network a campaign needs: the engine to
+// arm events on, the injection points, and a place to hang the invariant
+// checkers. core.Network satisfies it.
+type System interface {
+	Engine() *sim.Engine
+	FaultTargets() Targets
+	AddInvariantCheckers(rep Reporter)
+}
+
+// Execute arms plan on sys, drives the simulation via run, and returns the
+// deterministic campaign summary — the boilerplate every campaign driver
+// (aelite-sim, the faultcampaign example, sweep workers) shares.
+//
+// col receives the violations and feeds the summary; a nil col leaves the
+// system in strict mode, so the first violation panics and the summary
+// lists the injected faults only.
+func Execute(plan *Plan, col *Collector, sys System, run func()) (*Summary, error) {
+	var rep Reporter
+	if col != nil {
+		rep = col
+	}
+	sys.AddInvariantCheckers(rep)
+	c := NewCampaign(plan, col)
+	if err := c.Arm(sys.Engine(), sys.FaultTargets()); err != nil {
+		return nil, err
+	}
+	run()
+	return c.Summarize(), nil
+}
+
+// RunSweep executes n independent campaign points across up to jobs
+// workers and returns their summaries in point order, never completion
+// order, so a sweep renders byte-identically at any worker count.
+//
+// point(i) runs on a worker goroutine: it must build its own network and
+// engine (a sim.Engine is single-goroutine), arm and drive its own
+// campaign — typically via Execute — and return the summary. Every point
+// runs even when another fails; the lowest-indexed error is returned.
+func RunSweep(jobs, n int, point func(i int) (*Summary, error)) ([]*Summary, error) {
+	return parallel.Map(jobs, n, point)
+}

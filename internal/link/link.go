@@ -303,7 +303,8 @@ func PipelineWith(name string, eng *sim.Engine, in *sim.Wire[phit.Phit], out *si
 			next = out
 		} else {
 			next = sim.NewWire[phit.Phit](fmt.Sprintf("%s.w%d", name, i))
-			eng.AddWire(next)
+			// Stage i's reader FSM drives this wire on its local clock.
+			eng.AddWireClocked(next, ck)
 		}
 		st := NewStageWith(fmt.Sprintf("%s.s%d", name, i), cur, next, w, ck, forwardDelay, rep)
 		for _, c := range st.Components() {

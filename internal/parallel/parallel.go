@@ -1,0 +1,110 @@
+// Package parallel is the sweep runner of the aelite reproduction: it fans
+// independent simulation configurations — experiment points, fault-campaign
+// plans, frequency and ablation scans — across a pool of worker goroutines
+// while keeping every observable output deterministic.
+//
+// The simulation engine (package sim) is deterministic to the picosecond but
+// strictly single-threaded: one engine, one goroutine. Design-space sweeps,
+// however, are embarrassingly parallel — every point builds its own network
+// and its own engine and shares nothing. This package exploits exactly that
+// structure and nothing more:
+//
+//   - each worker invokes the point function for distinct indices; the
+//     point function must build a private sim.Engine (and network, use case,
+//     collector...) per call and must not touch shared mutable state;
+//   - results are keyed by configuration index, never by completion order,
+//     so a sweep's output is byte-identical whatever the worker count or
+//     the OS scheduler's mood;
+//   - errors are deterministic too: every point runs to completion and the
+//     error of the lowest-indexed failed point is returned, so a sweep that
+//     fails under -j 8 fails with the same diagnostic under -j 1.
+//
+// Usage sketch — an eight-point frequency scan on all CPUs:
+//
+//	points, err := parallel.Map(parallel.Jobs(0), len(freqs),
+//		func(i int) (ScanPoint, error) {
+//			return simulateOnPrivateEngine(freqs[i]) // builds its own engine
+//		})
+//
+// Jobs(0) resolves to GOMAXPROCS; Map(1, ...) runs inline on the calling
+// goroutine, which is the reference serial order every parallel run must
+// reproduce.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Jobs canonicalises a -j flag value: any value below 1 (the "pick for me"
+// convention) resolves to GOMAXPROCS, the number of OS threads the Go
+// runtime will actually execute on.
+func Jobs(j int) int {
+	if j < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return j
+}
+
+// Map runs fn(i) for every i in [0, n) on up to jobs workers and returns
+// the results in index order. fn must be safe to call from multiple
+// goroutines for distinct indices; each call must own everything it
+// mutates (in a simulation sweep: the engine, the network, the use case).
+//
+// Every point executes even when another point fails — n is a sweep, not a
+// pipeline — and the error of the lowest-indexed failed point is returned,
+// so failures are as reproducible as results. With jobs <= 1 (or n <= 1)
+// the points run inline on the calling goroutine in index order.
+func Map[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = fn(i)
+		}
+		return finish(out, errs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return finish(out, errs)
+}
+
+func finish[T any](out []T, errs []error) ([]T, error) {
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ForEach is Map without results: it runs fn(i) for every i in [0, n)
+// across up to jobs workers and returns the error of the lowest-indexed
+// failed point.
+func ForEach(jobs, n int, fn func(i int) error) error {
+	_, err := Map(jobs, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

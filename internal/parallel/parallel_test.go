@@ -1,0 +1,141 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 64} {
+		got, err := Map(jobs, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("jobs=%d: len = %d", jobs, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("jobs=%d: got[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapResultsIdenticalAcrossJobCounts(t *testing.T) {
+	ref, err := Map(1, 37, func(i int) (string, error) {
+		return fmt.Sprintf("point-%03d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{2, 3, 8, 16} {
+		got, err := Map(jobs, 37, func(i int) (string, error) {
+			return fmt.Sprintf("point-%03d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("jobs=%d: result %d = %q, want %q", jobs, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	e3 := errors.New("point 3")
+	e7 := errors.New("point 7")
+	for _, jobs := range []int{1, 4, 16} {
+		_, err := Map(jobs, 10, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, e3
+			case 7:
+				return 0, e7
+			}
+			return i, nil
+		})
+		if err != e3 {
+			t.Fatalf("jobs=%d: err = %v, want the lowest-indexed error %v", jobs, err, e3)
+		}
+	}
+}
+
+func TestMapRunsEveryPointDespiteErrors(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(4, 20, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("first point fails")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := ran.Load(); got != 20 {
+		t.Fatalf("ran %d points, want all 20 (a sweep is not a pipeline)", got)
+	}
+}
+
+func TestMapInlineWhenSerial(t *testing.T) {
+	// jobs<=1 must run on the calling goroutine, in index order: this is
+	// the reference execution parallel runs are compared against.
+	last := -1
+	_, err := Map(1, 16, func(i int) (int, error) {
+		if i != last+1 {
+			t.Fatalf("out-of-order inline execution: %d after %d", i, last)
+		}
+		last = i
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(8, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(8, 100, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	wantErr := errors.New("boom")
+	if err := ForEach(3, 5, func(i int) error {
+		if i == 2 {
+			return wantErr
+		}
+		return nil
+	}); err != wantErr {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJobs(t *testing.T) {
+	if got := Jobs(4); got != 4 {
+		t.Fatalf("Jobs(4) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	for _, j := range []int{0, -1} {
+		if got := Jobs(j); got != want {
+			t.Fatalf("Jobs(%d) = %d, want GOMAXPROCS %d", j, got, want)
+		}
+	}
+}

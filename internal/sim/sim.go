@@ -21,6 +21,7 @@ package sim
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/clock"
@@ -43,18 +44,30 @@ type Component interface {
 }
 
 // An Engine owns components and wires and advances simulated time.
+//
+// An Engine is strictly single-goroutine: all methods must be called from
+// one goroutine at a time. Concurrency lives one level up — package
+// parallel fans independent configurations across workers, each owning a
+// private Engine.
 type Engine struct {
 	components []Component
-	wires      []committable
+	wires      []committable // committed at every executed instant
+	clocked    []clockedWire // committed only at their clock's edges
 	now        clock.Time
 	edges      int64 // total component-edges executed
 
 	// Edge schedule: components grouped by clock, with a min-heap of
 	// groups keyed by each clock's next edge. Rebuilt lazily whenever the
 	// component set or a clock definition changes (dirty).
-	groups []*clockGroup
-	gheap  []*clockGroup
-	dirty  bool
+	groups  []*clockGroup
+	gheap   []*clockGroup
+	orphans []committable // clocked wires whose clock drives no component
+	dirty   bool
+
+	// Scratch buffers for Run's per-instant edge dispatch, hoisted here so
+	// steady-state simulation performs zero allocations per instant.
+	due       []indexedComp
+	dueGroups []*clockGroup
 
 	// Scheduled callbacks, fired at exact picosecond instants (fault
 	// injection, reconfiguration). Min-heap on (at, seq).
@@ -69,11 +82,21 @@ type Engine struct {
 	tracer *trace.Bus
 }
 
-// A clockGroup holds every component driven by one clock, in add order.
+// A clockGroup holds every component driven by one clock, in add order,
+// plus the wires written from that domain: commits are batched per clock
+// group, so an instant only touches the wires a due domain can have driven.
 type clockGroup struct {
 	clk   *clock.Clock
 	comps []indexedComp
+	wires []committable
 	next  clock.Time // cached next edge, strictly after the last dispatch
+}
+
+// A clockedWire associates a committable with the clock domain of its
+// writer, for commit batching.
+type clockedWire struct {
+	w   committable
+	clk *clock.Clock
 }
 
 // indexedComp remembers a component's global add index so coincident
@@ -125,8 +148,33 @@ func (e *Engine) At(t clock.Time, f func()) {
 func (e *Engine) InvalidateSchedule() { e.dirty = true }
 
 // AddWire registers anything with a commit phase (wires, FIFO channels).
+// The wire is committed at every executed instant. Prefer AddWireClocked
+// when the wire's writer lives in a known clock domain: per-instant cost
+// then scales with the due domains, not with the total wire count.
 func (e *Engine) AddWire(w committable) {
 	e.wires = append(e.wires, w)
+}
+
+// AddWireClocked registers a wire whose writer is clocked by clk: the wire
+// is committed only at clk's edges, batching commit work per clock group.
+// This is always legal for register-transfer wires, because a wire can
+// only acquire a pending drive during an Update of its writer — i.e. at a
+// clk edge — and commit is a no-op at every other instant. Two behaviours
+// shift relative to AddWire, both toward the hardware semantics: a
+// commit-time intercept (fault injection) observes the wire once per
+// writer-clock cycle instead of once per engine instant, and a drive
+// issued from an At callback becomes visible at the wire's next clk edge
+// rather than at the next instant of any clock.
+//
+// If clk never acquires components, the wire falls back to committing at
+// every instant so drives are never lost.
+func (e *Engine) AddWireClocked(w committable, clk *clock.Clock) {
+	if clk == nil {
+		e.AddWire(w)
+		return
+	}
+	e.clocked = append(e.clocked, clockedWire{w: w, clk: clk})
+	e.dirty = true
 }
 
 // Now returns the current simulation time.
@@ -146,8 +194,9 @@ func (e *Engine) Tracer() *trace.Bus { return e.tracer }
 
 type committable interface{ commit() }
 
-// rebuild regroups components by clock and recomputes every group's next
-// edge strictly after the instant from.
+// rebuild regroups components by clock, attaches each clocked wire to its
+// writer's group, and recomputes every group's next edge strictly after
+// the instant from.
 func (e *Engine) rebuild(from clock.Time) {
 	byClk := make(map[*clock.Clock]*clockGroup, len(e.groups)+1)
 	e.groups = e.groups[:0]
@@ -159,6 +208,16 @@ func (e *Engine) rebuild(from clock.Time) {
 			e.groups = append(e.groups, g)
 		}
 		g.comps = append(g.comps, indexedComp{c: c, idx: i})
+	}
+	e.orphans = e.orphans[:0]
+	for _, cw := range e.clocked {
+		if g := byClk[cw.clk]; g != nil {
+			g.wires = append(g.wires, cw.w)
+		} else {
+			// No component ticks this clock, so its edges never execute;
+			// commit every instant instead of never.
+			e.orphans = append(e.orphans, cw.w)
+		}
 	}
 	e.gheap = e.gheap[:0]
 	for _, g := range e.groups {
@@ -177,11 +236,12 @@ func (e *Engine) rebuild(from clock.Time) {
 // Instead of rescanning every component per instant, the engine keeps the
 // components grouped by clock and pops the next-due clocks off a min-heap:
 // the per-instant cost scales with the number of due clock domains, not
-// with the total component count.
+// with the total component count. Wire commits are batched the same way
+// (see AddWireClocked), the common single-domain instant dispatches a
+// group's components in place without copying, and the dispatch scratch
+// lives on the Engine, so steady-state instants allocate nothing.
 func (e *Engine) Run(until clock.Time) int {
 	instants := 0
-	due := make([]indexedComp, 0, len(e.components))
-	dueGroups := make([]*clockGroup, 0, 8)
 	for {
 		if e.dirty {
 			e.rebuild(e.now)
@@ -217,15 +277,13 @@ func (e *Engine) Run(until clock.Time) int {
 			e.rebuild(next - 1)
 		}
 
-		due = due[:0]
-		dueGroups = dueGroups[:0]
+		dueGroups := e.dueGroups[:0]
 		for len(e.gheap) > 0 && e.gheap[0].next <= next {
 			g := e.gheap[0]
 			n := len(e.gheap) - 1
 			e.gheap[0] = e.gheap[n]
 			e.gheap = e.gheap[:n]
 			groupDown(e.gheap, 0)
-			due = append(due, g.comps...)
 			dueGroups = append(dueGroups, g)
 		}
 		for _, g := range dueGroups {
@@ -233,8 +291,25 @@ func (e *Engine) Run(until clock.Time) int {
 			e.gheap = append(e.gheap, g)
 			groupUp(e.gheap, len(e.gheap)-1)
 		}
-		if len(dueGroups) > 1 {
-			sort.Slice(due, func(i, j int) bool { return due[i].idx < due[j].idx })
+		e.dueGroups = dueGroups
+
+		// Edge dispatch. The overwhelmingly common instant has exactly one
+		// due clock domain (every mesochronous tile edge, every instant of
+		// a purely synchronous run): dispatch that group's components in
+		// place, with no copy and no sort. Coincident edges of different
+		// domains fall back to merging into the scratch slice and sorting
+		// by add index, so cross-domain traces stay in add order.
+		due := e.due[:0]
+		switch len(dueGroups) {
+		case 0:
+		case 1:
+			due = dueGroups[0].comps
+		default:
+			for _, g := range dueGroups {
+				due = append(due, g.comps...)
+			}
+			e.due = due
+			slices.SortFunc(due, func(a, b indexedComp) int { return a.idx - b.idx })
 		}
 		for _, c := range due {
 			c.c.Sample(next)
@@ -242,7 +317,19 @@ func (e *Engine) Run(until clock.Time) int {
 		for _, c := range due {
 			c.c.Update(next)
 		}
+
+		// Commit phase: the due domains' own wires, then the wires that
+		// commit at every instant. Wires of undisturbed domains cannot
+		// hold a pending drive, so skipping them is observation-free.
+		for _, g := range dueGroups {
+			for _, w := range g.wires {
+				w.commit()
+			}
+		}
 		for _, w := range e.wires {
+			w.commit()
+		}
+		for _, w := range e.orphans {
 			w.commit()
 		}
 		e.edges += int64(len(due))

@@ -1,26 +1,3 @@
-// Package trace is the structured observability layer of the aelite
-// reproduction: it records every flit's lifecycle — NI injection, per-hop
-// router traversal, link stage forwarding, ejection — as typed events with
-// exact picosecond timestamps.
-//
-// The paper's central claim is predictability: per-connection latency and
-// throughput bounds that hold cycle-for-cycle. Proving that claim needs an
-// instrument, not prints. This package replaces the simulator's historical
-// stringly-typed trace hook with an event bus that
-//
-//   - costs nothing when no sink is attached (components hold a nil
-//     *Emitter and skip emission on a single pointer test);
-//   - is deterministic: events are emitted from the engine's exact-time
-//     edge dispatch in component add order, so the same seed produces a
-//     byte-identical event stream;
-//   - aggregates into the measurements NoC evaluations live on: per-link
-//     slot utilisation, per-connection latency histograms and buffer
-//     occupancy high-water marks (Metrics), and
-//   - exports Chrome trace-event JSON loadable in chrome://tracing or
-//     Perfetto (Chrome), plus CSV/JSON metric dumps.
-//
-// Component names are interned into small integer ids at registration time
-// so that emission never allocates or hashes strings.
 package trace
 
 import (

@@ -492,3 +492,66 @@ func BenchmarkBisyncFIFO(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkReliableOverhead measures the end-to-end reliability shell on
+// the mesochronous Section VII network, both ways: with the shell
+// disabled (the default; its cost is a nil check per NI receive and per
+// built flit) and enabled on every connection. The disabled run is the
+// baseline every other benchmark exercises, so a regression of the
+// disabled path shows up in BenchmarkEngineMesochronous; this one pins
+// the enabled/disabled ratio. Same trial scheme as
+// BenchmarkTraceOverhead: alternate short runs, trimmed mean of the
+// fastest half per variant.
+func BenchmarkReliableOverhead(b *testing.B) {
+	build := func(reliable bool) *sim.Engine {
+		m := experiments.Sec7Mesh()
+		cfg := core.Config{Transactional: true, Mode: core.Mesochronous, PhaseSeed: 7, Reliable: reliable}
+		core.PrepareTopology(m, cfg)
+		uc, err := experiments.Sec7UseCase(m, experiments.Sec7Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := core.Build(m, uc, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := n.Engine()
+		eng.Run(1000 * n.BaseClock().Period) // prime
+		return eng
+	}
+	off := build(false)
+	on := build(true)
+	period := clock.Time(clock.PeriodFromMHz(500))
+
+	const trials = 40
+	const cycles = 100
+	timeRun := func(eng *sim.Engine) time.Duration {
+		s := time.Now()
+		eng.Run(eng.Now() + cycles*period)
+		return time.Since(s)
+	}
+	var dOff, dOn []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < trials; t++ {
+			if t%2 == 0 {
+				dOff = append(dOff, float64(timeRun(off)))
+				dOn = append(dOn, float64(timeRun(on)))
+			} else {
+				dOn = append(dOn, float64(timeRun(on)))
+				dOff = append(dOff, float64(timeRun(off)))
+			}
+		}
+	}
+	b.StopTimer()
+	trimmedMean := func(ds []float64) float64 {
+		sort.Float64s(ds)
+		keep := ds[:(len(ds)+1)/2]
+		sum := 0.0
+		for _, d := range keep {
+			sum += d
+		}
+		return sum / float64(len(keep))
+	}
+	b.ReportMetric(trimmedMean(dOn)/trimmedMean(dOff), "reliable/baseline")
+}

@@ -13,6 +13,7 @@
 //	aelite-exp scan        best-effort frequency scan (>900 MHz crossover)
 //	aelite-exp power       schedule-driven router sleep study (extension)
 //	aelite-exp hetero      HSDF model of the wrapped NoC (extension)
+//	aelite-exp recovery    bit-flip recovery campaign (reliability layer)
 //	aelite-exp all         everything above
 //
 // Flags:
@@ -61,7 +62,7 @@ func main() {
 
 	known := map[string]bool{"all": true, "fig5": true, "fig6a": true, "fig6b": true,
 		"links": true, "throughput": true, "sec7": true, "scan": true,
-		"power": true, "hetero": true}
+		"power": true, "hetero": true, "recovery": true}
 	if !known[cmd] {
 		fmt.Fprintf(os.Stderr, "aelite-exp: unknown experiment %q\n", cmd)
 		flag.Usage()
@@ -103,6 +104,13 @@ func main() {
 		return nil
 	})
 	run("hetero", func() error { return experiments.WriteHeterochronous(out) })
+	run("recovery", func() error {
+		cfg := experiments.DefaultRecoveryConfig()
+		cfg.Seed = *seed
+		fmt.Fprintf(out, "Bit-flip recovery campaign: %d points, bitflip %.4f drop %.4f per link\n",
+			cfg.Points, cfg.BitFlip, cfg.Drop)
+		return experiments.WriteRecovery(out, cfg, j)
+	})
 	run("scan", func() error {
 		points, crossover, err := experiments.FrequencyScan(*seed, nil, *measure, j)
 		if err != nil {

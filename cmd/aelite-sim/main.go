@@ -19,6 +19,12 @@
 //	-probes        enable dynamic TDM verification probes (aelite only)
 //	-faults SPEC   fault campaign: op@TIMEns:target[:param];... or random:N
 //	-fault-seed N  seed for random fault events (same seed, same campaign)
+//	-reliable      wrap every NI port in the end-to-end reliability shell:
+//	               CRC-protected flits, go-back-N retransmission and link
+//	               quarantine (aelite only)
+//	-bitflip-rate P  per-phit payload bit-flip probability on every link,
+//	               0..1; a seeded rate process on top of -faults events
+//	-drop-rate P   per-flit drop probability on every link, 0..1
 //	-strict        fail fast on the first envelope violation instead of
 //	               collecting violations and degrading gracefully
 //	-skew-ps PS    checkerboard tile-skew override in mesochronous mode;
@@ -47,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 
@@ -75,6 +82,9 @@ type options struct {
 	probes    bool
 	faults    string
 	faultSeed int64
+	reliable  bool
+	bitflip   float64
+	drop      float64
 	strict    bool
 	skewPS    int64
 	runs      int
@@ -83,6 +93,26 @@ type options struct {
 	traceOut   string
 	metricsOut string
 	pprofOut   string
+}
+
+// rateFaults reports whether a seeded rate process is armed.
+func (o *options) rateFaults() bool { return o.bitflip > 0 || o.drop > 0 }
+
+// faultPlan assembles the campaign plan for one run: the event spec (if
+// any) parsed under the given seed, plus the all-links rate rules.
+func (o *options) faultPlan(faultSeed int64) (*fault.Plan, error) {
+	plan := &fault.Plan{Seed: faultSeed}
+	if o.faults != "" {
+		var err error
+		plan, err = fault.ParseSpec(o.faults, faultSeed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if o.rateFaults() {
+		plan.Rates = append(plan.Rates, fault.RateRule{BitFlip: o.bitflip, Drop: o.drop})
+	}
+	return plan, nil
 }
 
 // validate rejects malformed flag combinations before anything is built,
@@ -120,15 +150,24 @@ func (o *options) validate() error {
 			return fmt.Errorf("-faults: %w", err)
 		}
 	}
+	if err := (fault.RateRule{BitFlip: o.bitflip, Drop: o.drop}).Validate(); err != nil {
+		return fmt.Errorf("-bitflip-rate/-drop-rate: %w", err)
+	}
+	if (o.reliable || o.rateFaults()) && o.backend != "aelite" {
+		return fmt.Errorf("-reliable/-bitflip-rate/-drop-rate need the aelite backend (got %q)", o.backend)
+	}
 	if (o.traceOut != "" || o.metricsOut != "") && o.backend != "aelite" {
 		return fmt.Errorf("-trace-out/-metrics-out need the aelite backend (got %q)", o.backend)
 	}
 	if o.runs < 1 {
 		return fmt.Errorf("-runs %d must be at least 1", o.runs)
 	}
+	if o.jobs < 1 {
+		return fmt.Errorf("-j %d must be at least 1", o.jobs)
+	}
 	if o.runs > 1 {
-		if o.faults == "" {
-			return fmt.Errorf("-runs %d sweeps fault seeds and needs -faults", o.runs)
+		if o.faults == "" && !o.rateFaults() {
+			return fmt.Errorf("-runs %d sweeps fault seeds and needs -faults, -bitflip-rate or -drop-rate", o.runs)
 		}
 		if o.traceOut != "" || o.metricsOut != "" {
 			return fmt.Errorf("-trace-out/-metrics-out write one file and cannot serve a -runs sweep")
@@ -154,10 +193,13 @@ func main() {
 	flag.BoolVar(&o.probes, "probes", false, "TDM verification probes")
 	flag.StringVar(&o.faults, "faults", "", "fault campaign spec")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for random fault events")
+	flag.BoolVar(&o.reliable, "reliable", false, "end-to-end reliability shell on every NI port")
+	flag.Float64Var(&o.bitflip, "bitflip-rate", 0, "per-phit payload bit-flip probability on every link (0..1)")
+	flag.Float64Var(&o.drop, "drop-rate", 0, "per-flit drop probability on every link (0..1)")
 	flag.BoolVar(&o.strict, "strict", false, "fail fast on the first envelope violation")
 	flag.Int64Var(&o.skewPS, "skew-ps", 0, "mesochronous tile-skew override in ps")
 	flag.IntVar(&o.runs, "runs", 1, "fault-campaign sweep: campaigns with consecutive fault seeds")
-	flag.IntVar(&o.jobs, "j", 0, "parallel workers for -runs sweeps (0 = all CPUs)")
+	flag.IntVar(&o.jobs, "j", runtime.NumCPU(), "parallel workers for -runs sweeps")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write Chrome trace-event JSON to this file")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write aggregated metrics to this file (.csv selects CSV)")
 	flag.StringVar(&o.pprofOut, "pprof", "", "write a CPU profile to this file")
@@ -222,7 +264,7 @@ func run(o options) (code int) {
 		return 2
 	}
 
-	campaignMode := o.faults != "" || o.skewPS != 0
+	campaignMode := o.faults != "" || o.skewPS != 0 || o.rateFaults()
 	if o.backend == "be" {
 		if campaignMode {
 			fmt.Fprintln(os.Stderr, "aelite-sim: fault campaigns need the aelite backend")
@@ -242,7 +284,8 @@ func run(o options) (code int) {
 	// Campaigns always carry the TDM ownership probes: a corrupted header
 	// re-routes a packet into slots reserved for someone else, which only
 	// the allocation-aware probes can attribute.
-	cfg := core.Config{FreqMHz: o.freq, Probes: o.probes || campaignMode, Transactional: o.tx, SkewOverridePS: o.skewPS}
+	cfg := core.Config{FreqMHz: o.freq, Probes: o.probes || campaignMode, Transactional: o.tx,
+		Reliable: o.reliable, SkewOverridePS: o.skewPS}
 	switch o.mode {
 	case "synchronous":
 	case "mesochronous":
@@ -287,12 +330,9 @@ func run(o options) (code int) {
 	var rep *core.Report
 	var summary *fault.Summary
 	if campaignMode {
-		plan := &fault.Plan{Seed: o.faultSeed}
-		if o.faults != "" {
-			plan, err = fault.ParseSpec(o.faults, o.faultSeed)
-			if err != nil {
-				return fail(err)
-			}
+		plan, err := o.faultPlan(o.faultSeed)
+		if err != nil {
+			return fail(err)
 		}
 		summary, err = fault.Execute(plan, collector, n, func() {
 			rep = n.Run(o.warmup, o.measure)
@@ -375,7 +415,8 @@ func campaignPoint(o options, faultSeed int64) (out []byte, err error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.Config{FreqMHz: o.freq, Probes: true, Transactional: o.tx, SkewOverridePS: o.skewPS}
+	cfg := core.Config{FreqMHz: o.freq, Probes: true, Transactional: o.tx,
+		Reliable: o.reliable, SkewOverridePS: o.skewPS}
 	if o.mode == "mesochronous" {
 		cfg.Mode = core.Mesochronous
 	} else if o.mode == "asynchronous" {
@@ -391,7 +432,7 @@ func campaignPoint(o options, faultSeed int64) (out []byte, err error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := fault.ParseSpec(o.faults, faultSeed)
+	plan, err := o.faultPlan(faultSeed)
 	if err != nil {
 		return nil, err
 	}

@@ -122,3 +122,32 @@ func TestFaultSweepDeterminism(t *testing.T) {
 		t.Errorf("-j 1 and -j 8 fault sweeps diverge:\n%s\nvs\n%s", r1, r8)
 	}
 }
+
+// recoverySummaries renders a three-point bit-flip recovery campaign at
+// the given worker count.
+func recoverySummaries(t *testing.T, jobs int) []byte {
+	t.Helper()
+	cfg := experiments.RecoveryConfig{Seed: 77, Points: 3, BitFlip: 0.01, Drop: 0.001, MeasureNs: 20000}
+	var buf bytes.Buffer
+	if err := experiments.WriteRecovery(&buf, cfg, jobs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRecoverySweepDeterminism: the recovery campaign's summaries — fault
+// tallies, retransmission counts and recovery-latency statistics — must
+// concatenate byte-identically across same-seed reruns and across worker
+// counts. Recovery timing depends on seeded per-link fault processes and
+// per-connection timeout bookkeeping, so this pins the whole reliability
+// layer's scheduling down to the picosecond.
+func TestRecoverySweepDeterminism(t *testing.T) {
+	r1 := recoverySummaries(t, 1)
+	if rerun := recoverySummaries(t, 1); !bytes.Equal(r1, rerun) {
+		t.Errorf("same-seed reruns diverge:\n%s\nvs\n%s", r1, rerun)
+	}
+	r8 := recoverySummaries(t, 8)
+	if !bytes.Equal(r1, r8) {
+		t.Errorf("-j 1 and -j 8 recovery sweeps diverge:\n%s\nvs\n%s", r1, r8)
+	}
+}

@@ -121,5 +121,6 @@ func (n *Network) instantiateAsync() error {
 		n.gens[id] = g
 		n.eng.Add(g)
 	}
+	n.wireReliable()
 	return nil
 }

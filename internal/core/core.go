@@ -22,6 +22,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/ni"
 	"repro/internal/phit"
+	"repro/internal/reliable"
 	"repro/internal/route"
 	"repro/internal/router"
 	"repro/internal/sim"
@@ -99,6 +100,16 @@ type Config struct {
 	// delivered to the reporter (typically a *fault.Collector), and the
 	// components degrade gracefully past each violation.
 	FaultReporter fault.Reporter
+	// Reliable wraps every NI in the end-to-end reliability shell
+	// (internal/reliable): CRC-stamped flits, in-order receive filtering,
+	// cumulative acks instead of in-header credits, go-back-N
+	// retransmission and link quarantine. Off (the default), the baseline
+	// protocol runs untouched.
+	Reliable bool
+	// RetryBudget bounds the reliability layer's consecutive resend
+	// rounds per connection before quarantine (0 selects
+	// reliable.DefaultRetryBudget). Ignored without Reliable.
+	RetryBudget int
 	// SkewOverridePS, when non-zero in Mesochronous mode, replaces the
 	// random in-envelope tile phases with a deterministic checkerboard:
 	// tiles at even Manhattan parity get phase 0, odd parity get this
@@ -143,6 +154,7 @@ type connInfo struct {
 	guaranteeMBps float64
 	boundNs       float64
 	recvCap       int
+	ackRTSlots    int // reverse-channel slot round trip (ack/credit return)
 }
 
 // A Network is a built, runnable aelite instance.
@@ -343,6 +355,7 @@ func allocate(m *topology.Mesh, uc *spec.UseCase, cfg Config, tableSize int) (*s
 			info.boundNs = analysis.LatencyBoundNs(info.path, as.Slots, tableSize, cfg.FreqMHz)
 		}
 		rt := analysis.CreditRoundTripSlots(ras.Slots, info.revPath, tableSize)
+		info.ackRTSlots = rt
 		info.recvCap = analysis.RecvCapacityWords(len(as.Slots), rt, tableSize)
 	}
 	return alloc, infos, nil
@@ -533,6 +546,8 @@ func (n *Network) instantiate() error {
 		n.eng.Add(g)
 	}
 
+	n.wireReliable()
+
 	// Probes.
 	if n.Cfg.Probes {
 		for _, l := range n.Mesh.Links() {
@@ -563,6 +578,88 @@ func buildGenerator(cfg Config, info *connInfo, clk *clock.Clock, src *ni.NI, id
 	default:
 		return traffic.NewCBR(name, clk, src, info.spec.ID, info.spec.BandwidthMBps, cfg.WordBytes, start)
 	}
+}
+
+// wireReliable installs the end-to-end reliability shell on every NI when
+// Config.Reliable is set: each data connection gets a windowed sender at
+// its source (with a timeout derived from the connection's own worst-case
+// forward bound plus its ack channel's slot round trip), a tracked
+// receiver at its destination, and ack carriage on its reverse channel in
+// both directions. Called by both instantiation paths after every
+// connection is registered (in asynchronous mode the forward bounds have
+// already been relaxed for wrapped operation, so the timeouts inherit
+// that relaxation).
+func (n *Network) wireReliable() {
+	if !n.Cfg.Reliable {
+		return
+	}
+	flitCycle := clock.Duration(phit.FlitWords) * clock.PeriodFromMHz(n.Cfg.FreqMHz)
+	eps := make(map[topology.NodeID]*reliable.Endpoint)
+	epFor := func(id topology.NodeID) *reliable.Endpoint {
+		ep := eps[id]
+		if ep == nil {
+			ep = reliable.NewEndpoint(n.nis[id].Name())
+			eps[id] = ep
+		}
+		return ep
+	}
+	ids := make([]phit.ConnID, 0, len(n.conns))
+	for id := range n.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		info := n.conns[id]
+		// Worst-case fault-free flit round trip: the forward latency
+		// bound, the cumulative ack's reverse slot round trip, and one
+		// table revolution of margin (the ack rides the next reverse
+		// flit, which may have just been missed).
+		timeout := clock.Duration(info.boundNs*1e3) +
+			clock.Duration(info.ackRTSlots+n.Cfg.TableSize)*flitCycle
+		src, dst := epFor(info.srcNI), epFor(info.dstNI)
+		src.RegisterTx(id, reliable.TxConfig{
+			Windowed: true, PairedIn: info.rev, Timeout: timeout,
+			RetryBudget: n.Cfg.RetryBudget,
+		})
+		src.RegisterRx(info.rev, reliable.RxConfig{AckFor: id})
+		dst.RegisterRx(id, reliable.RxConfig{Tracked: true})
+		dst.RegisterTx(info.rev, reliable.TxConfig{PairedIn: id})
+	}
+	for _, nid := range n.Mesh.AllNIs() {
+		if ep := eps[nid]; ep != nil {
+			n.nis[nid].SetReliable(ep)
+		}
+	}
+}
+
+// ReliableTxStats returns the send-side reliability aggregate of a data
+// connection (ok false when the network runs the baseline protocol or the
+// connection is unknown).
+func (n *Network) ReliableTxStats(c phit.ConnID) (reliable.TxStats, bool) {
+	info := n.conns[c]
+	if info == nil {
+		return reliable.TxStats{}, false
+	}
+	ep := n.nis[info.srcNI].Reliable()
+	if ep == nil {
+		return reliable.TxStats{}, false
+	}
+	return ep.TxStatsOf(c)
+}
+
+// ReliableRxStats returns the receive-side reliability aggregate of a data
+// connection (ok false when the network runs the baseline protocol or the
+// connection is unknown).
+func (n *Network) ReliableRxStats(c phit.ConnID) (reliable.RxStats, bool) {
+	info := n.conns[c]
+	if info == nil {
+		return reliable.RxStats{}, false
+	}
+	ep := n.nis[info.dstNI].Reliable()
+	if ep == nil {
+		return reliable.RxStats{}, false
+	}
+	return ep.RxStatsOf(c)
 }
 
 // TxWordsForRate maps a connection's rate class to its transaction size:

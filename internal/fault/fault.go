@@ -50,23 +50,28 @@ const (
 	// Liveness: an asynchronous wrapper stopped firing (empty-token
 	// liveness of paper Section VI lost).
 	Liveness
+	// LinkQuarantined: a connection exhausted its reliability-layer retry
+	// budget and stopped transmitting — its path is treated as failed
+	// while every other connection keeps its guarantees.
+	LinkQuarantined
 )
 
 var kindNames = map[Kind]string{
-	SkewBound:      "skew-bound",
-	AlignBound:     "align-bound",
-	FIFOOverflow:   "fifo-overflow",
-	FIFOUnderflow:  "fifo-underflow",
-	LinkLatency:    "link-latency",
-	SlotContention: "slot-contention",
-	SlotOwnership:  "slot-ownership",
-	ProtocolError:  "protocol",
-	UnknownQueue:   "unknown-queue",
-	CreditError:    "credit",
-	QueueOverflow:  "queue-overflow",
-	RouteError:     "route",
-	PacketState:    "packet-state",
-	Liveness:       "liveness",
+	SkewBound:       "skew-bound",
+	AlignBound:      "align-bound",
+	FIFOOverflow:    "fifo-overflow",
+	FIFOUnderflow:   "fifo-underflow",
+	LinkLatency:     "link-latency",
+	SlotContention:  "slot-contention",
+	SlotOwnership:   "slot-ownership",
+	ProtocolError:   "protocol",
+	UnknownQueue:    "unknown-queue",
+	CreditError:     "credit",
+	QueueOverflow:   "queue-overflow",
+	RouteError:      "route",
+	PacketState:     "packet-state",
+	Liveness:        "liveness",
+	LinkQuarantined: "link-quarantined",
 }
 
 func (k Kind) String() string {

@@ -73,11 +73,114 @@ func (e Event) String() string {
 	return fmt.Sprintf("%s@%dps:%s:%d", e.Op, e.At, e.Target, e.Param)
 }
 
-// A Plan is a deterministic schedule of fault events. Two campaigns armed
-// with equal plans on equal networks produce identical simulations.
+// A Plan is a deterministic schedule of fault events, optionally combined
+// with sustained per-link fault rates. Two campaigns armed with equal
+// plans on equal networks produce identical simulations.
 type Plan struct {
 	Seed   int64
 	Events []Event
+	// Rates applies sustained random faults for the whole run, on top of
+	// (or instead of) the scheduled events.
+	Rates []RateRule
+}
+
+// A RateRule subjects every link whose name contains Target (every link
+// when Target is empty) to sustained random transient faults for the whole
+// run. Each matching link draws from its own RNG, seeded from the plan
+// seed and the link name, so outcomes are independent of worker count and
+// of how many other links are faulted.
+type RateRule struct {
+	Target string
+	// BitFlip is the per-phit probability that one random bit of a
+	// payload or padding phit's data word is inverted in transit. Header
+	// phits are spared: a flipped route would turn a data fault into a
+	// misrouting fault, which the scheduled corrupt op covers separately.
+	BitFlip float64
+	// Drop is the per-flit probability that a whole 3-phit flit is
+	// replaced by idle cycles in transit.
+	Drop float64
+}
+
+// Validate rejects rates outside [0,1].
+func (r RateRule) Validate() error {
+	if r.BitFlip < 0 || r.BitFlip > 1 {
+		return fmt.Errorf("fault: bit-flip rate %g outside [0,1]", r.BitFlip)
+	}
+	if r.Drop < 0 || r.Drop > 1 {
+		return fmt.Errorf("fault: drop rate %g outside [0,1]", r.Drop)
+	}
+	return nil
+}
+
+// ParseRateSpec parses a sustained-rate fault specification:
+// semicolon-separated rules of the form
+//
+//	kind:RATE[:target]
+//
+// where kind is bitflip|drop, RATE is a probability in [0,1] (per
+// payload/padding phit for bitflip, per flit for drop) and target is an
+// optional substring selecting the faulted links (all links when omitted).
+// Listing the same kind twice for one target is an error — the rates would
+// silently sum.
+func ParseRateSpec(spec string) ([]RateRule, error) {
+	var out []RateRule
+	seen := make(map[string]bool)
+	byTarget := make(map[string]int)
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.SplitN(part, ":", 3)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("fault: rate rule %q: want kind:RATE[:target]", part)
+		}
+		kind := fields[0]
+		if kind != "bitflip" && kind != "drop" {
+			return nil, fmt.Errorf("fault: unknown rate kind %q in %q", kind, part)
+		}
+		rate, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad rate %q in %q", fields[1], part)
+		}
+		target := ""
+		if len(fields) == 3 {
+			target = fields[2]
+		}
+		key := kind + "\x00" + target
+		if seen[key] {
+			return nil, fmt.Errorf("fault: duplicate %s rate for link target %q", kind, target)
+		}
+		seen[key] = true
+		i, ok := byTarget[target]
+		if !ok {
+			out = append(out, RateRule{Target: target})
+			i = len(out) - 1
+			byTarget[target] = i
+		}
+		if kind == "bitflip" {
+			out[i].BitFlip = rate
+		} else {
+			out[i].Drop = rate
+		}
+		if err := out[i].Validate(); err != nil {
+			return nil, fmt.Errorf("%v (in %q)", err, part)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fault: empty rate spec")
+	}
+	return out, nil
+}
+
+// fnv64 hashes a link name (FNV-1a) into a per-link RNG seed component.
+func fnv64(s string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(h)
 }
 
 // ParseSpec parses a campaign specification string: semicolon-separated
@@ -209,6 +312,7 @@ type Campaign struct {
 
 	injected []InjectedFault
 	hooks    map[*sim.Wire[phit.Phit]]*LinkHook
+	rated    []*LinkHook // hooks carrying rate rules, in link-target order
 }
 
 // NewCampaign pairs a plan with a collector. A nil collector arms the
@@ -283,6 +387,41 @@ func (c *Campaign) Arm(eng *sim.Engine, t Targets) error {
 		}
 	}
 	sort.SliceStable(c.injected, func(i, j int) bool { return c.injected[i].Event.At < c.injected[j].Event.At })
+	return c.armRates(t)
+}
+
+// armRates installs the plan's sustained-rate rules on every matching link.
+// Each faulted link gets its own RNG, seeded from the plan seed and the
+// link name, so a link's fault stream is a pure function of the plan — not
+// of worker count, arming order or the fate of other links.
+func (c *Campaign) armRates(t Targets) error {
+	for _, r := range c.Plan.Rates {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		matched := 0
+		for _, lt := range t.Links {
+			if r.Target != "" && !strings.Contains(lt.Name, r.Target) {
+				continue
+			}
+			matched++
+			h := c.hooks[lt.Wire]
+			if h == nil {
+				h = NewLinkHook(lt.Name)
+				h.Attach(lt.Wire)
+				c.hooks[lt.Wire] = h
+			}
+			if h.rng == nil {
+				h.rng = rand.New(rand.NewSource(c.Plan.Seed ^ fnv64(lt.Name)))
+				c.rated = append(c.rated, h)
+			}
+			h.bitRate += r.BitFlip
+			h.dropRate += r.Drop
+		}
+		if matched == 0 {
+			return fmt.Errorf("fault: rate rule matches no link (target %q)", r.Target)
+		}
+	}
 	return nil
 }
 
@@ -392,9 +531,18 @@ type LinkHook struct {
 	replay        phit.Phit
 	replayPending bool
 
-	Dropped    int64
-	Corrupted  int64
-	Duplicated int64
+	// Sustained-rate fault state (rng nil when no rate rule matched).
+	rng      *rand.Rand
+	bitRate  float64
+	dropRate float64
+	flitPos  int // word index within the current valid-phit run
+	dropRun  int // phits left to erase of a flit being dropped whole
+
+	Dropped      int64
+	Corrupted    int64
+	Duplicated   int64
+	BitsFlipped  int64
+	FlitsDropped int64
 }
 
 // NewLinkHook returns an idle hook; Attach installs it on a wire.
@@ -422,7 +570,28 @@ func (h *LinkHook) intercept(v phit.Phit, driven bool) phit.Phit {
 		return h.replay
 	}
 	if !driven || !v.Valid {
+		h.flitPos, h.dropRun = 0, 0
 		return v
+	}
+	pos := h.flitPos
+	h.flitPos = (h.flitPos + 1) % phit.FlitWords
+	if h.rng != nil {
+		if pos == 0 {
+			h.dropRun = 0
+			if h.dropRate > 0 && h.rng.Float64() < h.dropRate {
+				h.dropRun = phit.FlitWords
+				h.FlitsDropped++
+			}
+		}
+		if h.dropRun > 0 {
+			h.dropRun--
+			return phit.IdlePhit
+		}
+		if h.bitRate > 0 && (v.Kind == phit.Payload || v.Kind == phit.Padding) &&
+			h.rng.Float64() < h.bitRate {
+			v.Data ^= phit.Word(1) << uint(h.rng.Intn(32))
+			h.BitsFlipped++
+		}
 	}
 	switch {
 	case h.drop > 0:
@@ -447,10 +616,18 @@ func (h *LinkHook) intercept(v phit.Phit, driven bool) phit.Phit {
 type Summary struct {
 	Faults     []InjectedFault
 	Latency    []clock.Duration // detection latency per fault, NoDetection if none
+	RateLinks  []RateOutcome    // per-link sustained-rate outcomes, target order
 	Total      int64
 	ByKind     map[Kind]int64
 	Kinds      []Kind
 	Violations []Violation // stored subset, detection order
+}
+
+// A RateOutcome is the sustained-rate fault tally of one link.
+type RateOutcome struct {
+	Name         string
+	BitsFlipped  int64
+	FlitsDropped int64
 }
 
 // NoDetection marks a fault with no violation detected at or after it.
@@ -475,6 +652,11 @@ func (c *Campaign) Summarize() *Summary {
 		}
 		s.Latency = append(s.Latency, lat)
 	}
+	for _, h := range c.rated {
+		s.RateLinks = append(s.RateLinks, RateOutcome{
+			Name: h.name, BitsFlipped: h.BitsFlipped, FlitsDropped: h.FlitsDropped,
+		})
+	}
 	return s
 }
 
@@ -490,6 +672,21 @@ func (s *Summary) Write(w io.Writer) {
 			}
 			fmt.Fprintf(w, "%10.1f %8s %-28s %10d %12s\n",
 				float64(f.Event.At)/float64(clock.Nanosecond), f.Event.Op, f.Target, f.Event.Param, det)
+		}
+	}
+	if len(s.RateLinks) > 0 {
+		var bits, flits int64
+		for _, r := range s.RateLinks {
+			bits += r.BitsFlipped
+			flits += r.FlitsDropped
+		}
+		fmt.Fprintf(w, "rate faults: %d links, %d bits flipped, %d flits dropped\n",
+			len(s.RateLinks), bits, flits)
+		for _, r := range s.RateLinks {
+			if r.BitsFlipped == 0 && r.FlitsDropped == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-34s %8d bitflips %8d drops\n", r.Name, r.BitsFlipped, r.FlitsDropped)
 		}
 	}
 	if len(s.Kinds) > 0 {

@@ -1,32 +1,3 @@
-// Package ni implements the aelite Network Interface (NI).
-//
-// The NI is where all intelligence of the GS-only network lives (the
-// routers have none, by design):
-//
-//   - TDM injection: a slot table of the network-wide size regulates when
-//     each connection may inject a flit (paper Section III). Slots are one
-//     flit cycle (3 cycles) long.
-//   - Packetisation: the first word of a packet is a header carrying the
-//     source route, the destination queue id and piggybacked end-to-end
-//     credits. A packet is extended into the next slot (header elision,
-//     3 payload words instead of 2) only when the same connection owns
-//     that next slot — otherwise the packet is closed with an
-//     End-of-Packet marker so the routers' port-hold logic stays correct.
-//     Used slots always carry whole 3-word flits (padded if necessary) so
-//     mesochronous link FSMs can forward fixed-size flits.
-//   - End-to-end flow control: credit-based. A sender holds credits equal
-//     to the free space (in words) of the remote receive queue and blocks
-//     when they run out, so receive queues can never overflow and an
-//     oversubscribing application only slows itself down (paper Section
-//     IV.A). Credits are returned piggybacked in headers of the paired
-//     reverse connection, or in credit-only packets when that connection
-//     has no data of its own.
-//   - GALS edge: IPs reach the NI through bi-synchronous FIFOs, so IP
-//     clocks are unconstrained.
-//
-// The receive side is self-describing (headers carry the queue id), so
-// only injection needs slot knowledge — routers and receive paths are
-// TDM-oblivious.
 package ni
 
 import (
@@ -35,6 +6,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/fault"
 	"repro/internal/phit"
+	"repro/internal/reliable"
 	"repro/internal/sim"
 	"repro/internal/slots"
 	"repro/internal/stats"
@@ -150,6 +122,13 @@ type NI struct {
 	// tr, when non-nil, receives this NI's flit-lifecycle events
 	// (injection, send, slot builds, ejection, credits, back-pressure).
 	tr *trace.Emitter
+
+	// rel, when non-nil, is the end-to-end reliability shell wrapped
+	// around this NI's kernel ports: flits are CRC-stamped and windowed on
+	// the way out and verified, filtered and acked on the way in. Nil (the
+	// default) keeps the baseline protocol; the hot-path cost is then one
+	// pointer test per phit.
+	rel *reliable.Endpoint
 }
 
 // New builds an NI clocked by clk with the given header layout and slot
@@ -273,12 +252,60 @@ func (n *NI) mustIn(conn phit.ConnID) *inConn {
 }
 
 // SetReporter routes the NI's envelope checks to r; nil restores the
-// fail-fast panics.
-func (n *NI) SetReporter(r fault.Reporter) { n.rep = r }
+// fail-fast panics. An installed reliability endpoint follows the NI's
+// reporter.
+func (n *NI) SetReporter(r fault.Reporter) {
+	n.rep = r
+	if n.rel != nil {
+		n.rel.SetReporter(r)
+	}
+}
 
 // SetTracer installs the NI's lifecycle-event emitter; nil disables
 // tracing (the default, and free: every emission site is a pointer test).
-func (n *NI) SetTracer(e *trace.Emitter) { n.tr = e }
+// An installed reliability endpoint follows the NI's emitter.
+func (n *NI) SetTracer(e *trace.Emitter) {
+	n.tr = e
+	if n.rel != nil {
+		n.rel.SetTracer(e)
+	}
+}
+
+// SetReliable installs the end-to-end reliability endpoint around this
+// NI's kernel ports (nil restores the baseline protocol). The endpoint
+// inherits the NI's reporter and tracer and returns acked words through
+// the NI's credit counters.
+func (n *NI) SetReliable(ep *reliable.Endpoint) {
+	n.rel = ep
+	if ep != nil {
+		ep.SetReporter(n.rep)
+		ep.SetTracer(n.tr)
+		ep.BindCredit(n.ackCredits)
+	}
+}
+
+// Reliable returns the installed reliability endpoint (nil when off).
+func (n *NI) Reliable() *reliable.Endpoint { return n.rel }
+
+// ackCredits returns cumulative-ack progress to a sender's end-to-end
+// credit counter — the reliable-mode replacement for the in-header credit
+// field (whose incremental deltas a lossy link could destroy).
+func (n *NI) ackCredits(now clock.Time, conn phit.ConnID, words int) {
+	oc := n.mustOut(conn)
+	oc.credits += words
+	if oc.credits > oc.cfg.InitialCredits {
+		fault.Report(n.rep, fault.Violation{
+			Kind: fault.CreditError, Component: "ni " + n.name, Time: now, Slot: fault.NoSlot,
+			Detail: fmt.Sprintf("connection %d ack credits %d exceed capacity %d, clamped",
+				conn, oc.credits, oc.cfg.InitialCredits),
+		})
+		oc.credits = oc.cfg.InitialCredits
+	}
+	if n.tr != nil {
+		n.tr.Emit(trace.Event{Time: now, Kind: trace.Credit, Conn: conn,
+			Arg: int64(words), Slot: trace.NoSlot})
+	}
+}
 
 // Name implements sim.Component.
 func (n *NI) Name() string { return n.name }
@@ -304,7 +331,7 @@ func (n *NI) Update(now clock.Time) {
 	if !ok {
 		panic(fmt.Sprintf("ni %s: update off-edge at %d ps", n.name, now))
 	}
-	n.receivePhit(now, n.sampled)
+	n.receive(now, n.sampled)
 	w := int(edge % phit.FlitWords)
 	if w == 0 {
 		slot := int((edge / phit.FlitWords) % int64(n.table.Size()))
@@ -331,7 +358,7 @@ func (n *NI) Update(now clock.Time) {
 func (n *NI) StepFlit(now clock.Time, in phit.Flit) phit.Flit {
 	n.wrapped = true
 	for _, p := range in {
-		n.receivePhit(now, p)
+		n.receive(now, p)
 	}
 	slot := int(n.flitIndex % int64(n.table.Size()))
 	n.buildFlit(now, slot)
@@ -339,6 +366,25 @@ func (n *NI) StepFlit(now clock.Time, in phit.Flit) phit.Flit {
 	var out phit.Flit
 	copy(out[:], n.flitBuf[:])
 	return out
+}
+
+// receive dispatches one arriving phit. In baseline mode it goes straight
+// to the protocol engine; in reliable mode the reliability endpoint first
+// reassembles, CRC-verifies and sequence-filters whole flits, and only the
+// phits of clean in-order flits reach the protocol engine — exactly the
+// stream the baseline would have seen on a fault-free network.
+func (n *NI) receive(now clock.Time, p phit.Phit) {
+	if n.rel == nil {
+		n.receivePhit(now, p)
+		return
+	}
+	f, ok := n.rel.Accept(now, p)
+	if !ok {
+		return
+	}
+	for _, q := range f {
+		n.receivePhit(now, q)
+	}
 }
 
 // receivePhit processes one arriving phit. With a reporter set, every
@@ -483,6 +529,10 @@ func (n *NI) buildFlit(now clock.Time, slot int) {
 		return
 	}
 	oc := n.mustOut(owner)
+	if n.rel != nil {
+		n.buildFlitReliable(now, slot, owner, oc)
+		return
+	}
 	continuing := n.openConn == owner
 	if n.openConn != phit.None && !continuing {
 		fault.Report(n.rep, fault.Violation{
@@ -582,4 +632,69 @@ func (n *NI) buildFlit(now clock.Time, slot int) {
 		n.openConn = phit.None
 		n.flitBuf[phit.FlitWords-1].EoP = true
 	}
+}
+
+// buildFlitReliable is the reliable-mode flit builder. It differs from the
+// baseline in three deliberate ways: header elision is disabled (every
+// flit is self-contained — own header, CRC and EoP — so a lost flit never
+// poisons its neighbour and go-back-N can rebuild any flit from its window
+// entry alone); the header's credit field stays zero (cumulative acks on
+// the sideband replace the lossy incremental credit returns); and due
+// retransmissions pre-empt fresh payload in the connection's own reserved
+// slots, so recovery consumes no other connection's bandwidth.
+func (n *NI) buildFlitReliable(now clock.Time, slot int, owner phit.ConnID, oc *outConn) {
+	if n.rel.Quarantined(owner) {
+		return // quarantined: the reserved slots fall idle
+	}
+	hdr := n.headerFor(oc, slot)
+	if f, words, ok := n.rel.Resend(now, owner, hdr); ok {
+		copy(n.flitBuf[:], f[:])
+		if n.tr != nil {
+			n.tr.Emit(trace.Event{Time: now, Kind: trace.SlotStart, Conn: owner,
+				Slot: int32(slot), Arg: int64(words)})
+		}
+		return
+	}
+	if n.rel.Quarantined(owner) {
+		return // Resend exhausted the retry budget just now
+	}
+	avail := 0
+	for avail < phit.FlitWords-1 && avail < oc.credits && oc.queue.ValidAt(now, avail) {
+		avail++
+	}
+	if oc.queue.Valid(now) && oc.credits == 0 {
+		oc.blocked++
+		if n.tr != nil {
+			n.tr.Emit(trace.Event{Time: now, Kind: trace.Blocked, Conn: owner, Slot: int32(slot)})
+		}
+	}
+	if avail == 0 && !n.rel.WantAck(owner) {
+		return // idle slot: nothing to send, no ack owed
+	}
+	kind := phit.Header
+	if avail == 0 {
+		kind = phit.CreditOnly
+	}
+	n.flitBuf[0] = phit.Phit{Valid: true, Kind: kind, Data: hdr, Meta: phit.Meta{Conn: owner}}
+	word := 1
+	for ; word <= avail; word++ {
+		meta := oc.queue.Pop(now)
+		meta.Sent = now
+		n.flitBuf[word] = phit.Phit{Valid: true, Kind: phit.Payload, Data: phit.Word(meta.Seq), Meta: meta}
+		if n.tr != nil {
+			n.tr.Emit(trace.Event{Time: now, Ref: meta.Injected, Kind: trace.Send,
+				Conn: owner, Seq: meta.Seq, Slot: int32(slot)})
+		}
+	}
+	oc.credits -= avail
+	oc.sent += int64(avail)
+	for ; word < phit.FlitWords; word++ {
+		n.flitBuf[word] = phit.Phit{Valid: true, Kind: phit.Padding, Meta: phit.Meta{Conn: owner}}
+	}
+	n.flitBuf[phit.FlitWords-1].EoP = true
+	if n.tr != nil {
+		n.tr.Emit(trace.Event{Time: now, Kind: trace.SlotStart, Conn: owner,
+			Slot: int32(slot), Arg: int64(avail)})
+	}
+	n.rel.FinishTx(now, owner, (*phit.Flit)(&n.flitBuf), avail)
 }

@@ -96,6 +96,15 @@ type Phit struct {
 	Kind  Kind
 	Data  Word
 	Meta  Meta
+	// SB is the reliability sideband word (see sideband.go), carried on
+	// the first phit of a flit when the end-to-end reliability layer is
+	// active and zero otherwise. Like the valid and EoP bits it models
+	// extra link wires: routers, link stages and wrappers forward it
+	// untouched, and the transient-fault model never flips its bits (the
+	// CRC it carries protects the data wires, and real deployments would
+	// protect the sideband separately, e.g. with a stronger code or
+	// triplication).
+	SB Word
 }
 
 // IdlePhit is the value of an undriven link.

@@ -1,0 +1,133 @@
+package phit
+
+// The reliability sideband (one extra word of link wiring, modelled by
+// Phit.SB) carries everything the end-to-end reliability layer of
+// internal/reliable needs per flit:
+//
+//	bit  63     present (distinguishes a stamped flit from SB == 0)
+//	bits 56     ack-valid
+//	bits 32..55 cumulative ack: count of in-order flits accepted, mod 2^24
+//	bits  8..31 flit sequence number, mod 2^24
+//	bits  0..7  CRC-8 over the flit's three phits and the seq/ack fields
+//
+// Sequence numbers and acks use 24-bit serial-number arithmetic
+// (SeqDelta), so they never overflow in practice and compare correctly
+// across the wrap. The CRC is CRC-8/ATM (polynomial x^8+x^2+x+1, 0x07),
+// computed over each phit's data word and control bits plus the sideband's
+// own sequence and ack fields — a corrupted data bit, control bit or a
+// flit truncated by a dropped phit all fail the check.
+
+// SeqMask bounds the sideband's sequence and ack fields.
+const SeqMask uint32 = 1<<24 - 1
+
+const (
+	sbPresent  Word = 1 << 63
+	sbAckValid Word = 1 << 56
+)
+
+// A Sideband is the decoded reliability sideband of one flit.
+type Sideband struct {
+	Seq      uint32 // flit sequence number, 24 bits
+	Ack      uint32 // cumulative in-order flits accepted, 24 bits
+	AckValid bool
+}
+
+// crcTable is the CRC-8/ATM lookup table (polynomial 0x07).
+var crcTable = func() (t [256]uint8) {
+	for i := range t {
+		c := uint8(i)
+		for b := 0; b < 8; b++ {
+			if c&0x80 != 0 {
+				c = c<<1 ^ 0x07
+			} else {
+				c <<= 1
+			}
+		}
+		t[i] = c
+	}
+	return
+}()
+
+func crcWord(crc uint8, w Word) uint8 {
+	for shift := 56; shift >= 0; shift -= 8 {
+		crc = crcTable[crc^uint8(w>>uint(shift))]
+	}
+	return crc
+}
+
+// FlitCRC computes the CRC-8 protecting a stamped flit: every phit's
+// control bits (valid, EoP, kind), every payload and padding phit's data
+// word, and the sideband's sequence and ack fields. Header and
+// credit-only phits contribute only their control bits: routers shift the
+// consumed hop out of the path field at every stage, so the header word
+// the destination sees legitimately differs from the one the source
+// stamped. (The fault model spares header words for the same reason — a
+// flipped route is a misroute, detected by the slot checkers, not a data
+// error.) Meta is simulation bookkeeping and excluded; so is the SB word
+// itself (it carries the result).
+func FlitCRC(f *Flit, sb Sideband) uint8 {
+	var crc uint8
+	for i := range f {
+		if f[i].Kind != Header && f[i].Kind != CreditOnly {
+			crc = crcWord(crc, f[i].Data)
+		}
+		flags := uint8(f[i].Kind) & 0x0f
+		if f[i].Valid {
+			flags |= 0x10
+		}
+		if f[i].EoP {
+			flags |= 0x20
+		}
+		crc = crcTable[crc^flags]
+	}
+	crc = crcWord(crc, Word(sb.Seq&SeqMask))
+	av := Word(sb.Ack & SeqMask)
+	if sb.AckValid {
+		av |= 1 << 24
+	}
+	return crcWord(crc, av)
+}
+
+// StampSideband computes the flit's CRC and packs sb into the first phit's
+// sideband word.
+func StampSideband(f *Flit, sb Sideband) {
+	w := sbPresent |
+		Word(sb.Seq&SeqMask)<<8 |
+		Word(sb.Ack&SeqMask)<<32 |
+		Word(FlitCRC(f, sb))
+	if sb.AckValid {
+		w |= sbAckValid
+	}
+	f[0].SB = w
+}
+
+// SidebandOf decodes the first phit's sideband word. present is false when
+// the flit was never stamped (a sender outside the reliability layer).
+func SidebandOf(f *Flit) (sb Sideband, present bool) {
+	w := f[0].SB
+	if w&sbPresent == 0 {
+		return Sideband{}, false
+	}
+	return Sideband{
+		Seq:      uint32(w>>8) & SeqMask,
+		Ack:      uint32(w>>32) & SeqMask,
+		AckValid: w&sbAckValid != 0,
+	}, true
+}
+
+// CheckSideband decodes and verifies a flit's sideband. ok is true only
+// when the sideband is present and the stored CRC matches the flit's
+// contents.
+func CheckSideband(f *Flit) (sb Sideband, present, ok bool) {
+	sb, present = SidebandOf(f)
+	if !present {
+		return sb, false, false
+	}
+	return sb, true, uint8(f[0].SB) == FlitCRC(f, sb)
+}
+
+// SeqDelta returns the signed serial-number distance a-b of two 24-bit
+// sequence values: positive when a is ahead of b, negative when behind.
+func SeqDelta(a, b uint32) int32 {
+	return int32(((a-b)&SeqMask)<<8) >> 8
+}

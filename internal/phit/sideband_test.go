@@ -1,0 +1,80 @@
+package phit
+
+import "testing"
+
+func testFlit() Flit {
+	return Flit{
+		{Valid: true, Kind: Header, Data: 0x1234, Meta: Meta{Conn: 3}},
+		{Valid: true, Kind: Payload, Data: 42, Meta: Meta{Conn: 3, Seq: 42}},
+		{Valid: true, Kind: Payload, Data: 43, EoP: true, Meta: Meta{Conn: 3, Seq: 43}},
+	}
+}
+
+func TestSidebandRoundTrip(t *testing.T) {
+	f := testFlit()
+	in := Sideband{Seq: 0xabcdef, Ack: 0x123456, AckValid: true}
+	StampSideband(&f, in)
+	sb, present, ok := CheckSideband(&f)
+	if !present || !ok {
+		t.Fatalf("stamped flit: present=%v ok=%v", present, ok)
+	}
+	if sb != in {
+		t.Fatalf("round trip: got %+v want %+v", sb, in)
+	}
+}
+
+func TestSidebandAbsent(t *testing.T) {
+	f := testFlit()
+	if _, present, _ := CheckSideband(&f); present {
+		t.Fatal("unstamped flit reported a sideband")
+	}
+}
+
+// TestSidebandDetectsCorruption: any single-bit payload flip, control-bit
+// flip or phit truncation must fail the CRC check. The header word is
+// exempt — routers rewrite it in flight (see FlitCRC).
+func TestSidebandDetectsCorruption(t *testing.T) {
+	stamped := testFlit()
+	StampSideband(&stamped, Sideband{Seq: 7})
+	for w := 0; w < FlitWords; w++ {
+		for bit := 0; bit < 64; bit++ {
+			f := stamped
+			f[w].Data ^= Word(1) << uint(bit)
+			_, _, ok := CheckSideband(&f)
+			if header := f[w].Kind == Header; ok != header {
+				t.Fatalf("flip of word %d bit %d: ok=%v (header=%v)", w, bit, ok, header)
+			}
+		}
+		f := stamped
+		f[w].EoP = !f[w].EoP
+		if _, _, ok := CheckSideband(&f); ok {
+			t.Fatalf("EoP flip on word %d went undetected", w)
+		}
+		f = stamped
+		f[w] = IdlePhit
+		f[0].SB = stamped[0].SB
+		if _, _, ok := CheckSideband(&f); ok {
+			t.Fatalf("truncation at word %d went undetected", w)
+		}
+	}
+}
+
+func TestSeqDelta(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want int32
+	}{
+		{5, 5, 0},
+		{6, 5, 1},
+		{5, 6, -1},
+		{0, SeqMask, 1},  // wraparound forward
+		{SeqMask, 0, -1}, // wraparound backward
+		{100, 0, 100},
+		{0, 100, -100},
+	}
+	for _, c := range cases {
+		if got := SeqDelta(c.a, c.b); got != c.want {
+			t.Errorf("SeqDelta(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Package reliable is the end-to-end reliability shell around the NI
+// kernel ports: CRC-protected flits, go-back-N retransmission with a
+// per-connection timeout derived from the slot-table round trip, and link
+// quarantine after a bounded retry budget.
+//
+// The aelite network of the paper is guaranteed-service-only and assumes
+// fault-free links; this layer is what a real deployment bolts on top to
+// survive transient data faults without giving up composability. Every
+// recovery mechanism rides exclusively on resources the connection already
+// reserved:
+//
+//   - each outgoing flit is stamped with a 24-bit sequence number and a
+//     CRC-8 over its three phits, carried in a sideband word
+//     (phit.Sideband) that routers and link stages forward untouched;
+//   - the receive side verifies the CRC and accepts flits strictly in
+//     sequence order — corrupted, truncated, duplicated or gapped flits
+//     are dropped whole, so the IP-visible stream is exactly the sent
+//     stream;
+//   - cumulative acks (count of in-order flits accepted) piggyback on the
+//     sideband of the paired reverse connection — the same channel the
+//     baseline protocol uses for credits — and replace the in-header
+//     credit field, whose incremental deltas a lossy link could destroy;
+//     the sender's end-to-end credits replenish from ack progress, which
+//     is idempotent under ack loss;
+//   - unacked flits stay in a retransmission window (bounded by the
+//     receive buffer capacity, because fresh sends consume credits); a
+//     timeout sized to the worst-case forward latency bound plus the
+//     reverse channel's slot round trip triggers a go-back-N resend of the
+//     window in the connection's own reserved slots, with exponential
+//     backoff on repeated rounds;
+//   - a connection that exhausts its retry budget is quarantined: it stops
+//     transmitting and a fault.LinkQuarantined violation is reported once,
+//     while every healthy connection keeps its guarantees (graceful
+//     degradation, not global abort — and composability means the healthy
+//     connections' timing is untouched by the quarantined one).
+//
+// An Endpoint holds the per-NI state; the NI calls it on its send path
+// (Resend, FinishTx) and receive path (Accept) so the shell adds zero
+// components, zero wires and zero timing shift to the simulation. With no
+// endpoint installed the NI hot path is a single nil test.
+package reliable

@@ -1,0 +1,358 @@
+package reliable
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/fault"
+	"repro/internal/phit"
+	"repro/internal/trace"
+)
+
+const (
+	connD   phit.ConnID = 1 // data direction
+	connRev phit.ConnID = 2 // reverse (ack/credit) direction
+	timeout             = 100 * clock.Nanosecond
+)
+
+// pair builds the two endpoints of one bidirectional connection: src sends
+// data on connD and receives acks on connRev; dst mirrors it.
+func pair(t *testing.T) (src, dst *Endpoint) {
+	t.Helper()
+	src = NewEndpoint("src")
+	src.RegisterTx(connD, TxConfig{Windowed: true, PairedIn: connRev, Timeout: timeout})
+	src.RegisterRx(connRev, RxConfig{AckFor: connD})
+	dst = NewEndpoint("dst")
+	dst.RegisterRx(connD, RxConfig{Tracked: true})
+	dst.RegisterTx(connRev, TxConfig{PairedIn: connD})
+	return src, dst
+}
+
+// dataFlit builds one sealed data flit with the given payload word count.
+func dataFlit(t *testing.T, src *Endpoint, now clock.Time, words int) phit.Flit {
+	t.Helper()
+	var f phit.Flit
+	f[0] = phit.Phit{Valid: true, Kind: phit.Header, Data: 0xbeef, Meta: phit.Meta{Conn: connD}}
+	w := 1
+	for i := 0; i < words; i++ {
+		f[w] = phit.Phit{Valid: true, Kind: phit.Payload, Data: phit.Word(100 + i), Meta: phit.Meta{Conn: connD, Seq: int64(100 + i)}}
+		w++
+	}
+	for ; w < phit.FlitWords; w++ {
+		f[w] = phit.Phit{Valid: true, Kind: phit.Padding, Meta: phit.Meta{Conn: connD}}
+	}
+	f[phit.FlitWords-1].EoP = true
+	src.FinishTx(now, connD, &f, words)
+	return f
+}
+
+// ackFlit builds one sealed credit-only flit carrying dst's cumulative ack.
+func ackFlit(t *testing.T, dst *Endpoint, now clock.Time) phit.Flit {
+	t.Helper()
+	var f phit.Flit
+	f[0] = phit.Phit{Valid: true, Kind: phit.CreditOnly, Meta: phit.Meta{Conn: connRev}}
+	for w := 1; w < phit.FlitWords; w++ {
+		f[w] = phit.Phit{Valid: true, Kind: phit.Padding, Meta: phit.Meta{Conn: connRev}}
+	}
+	f[phit.FlitWords-1].EoP = true
+	dst.FinishTx(now, connRev, &f, 0)
+	return f
+}
+
+// deliver feeds every phit of a flit into an endpoint's receive path and
+// returns the flits that came out clean.
+func deliver(ep *Endpoint, now clock.Time, f phit.Flit) []phit.Flit {
+	var out []phit.Flit
+	for _, p := range f {
+		if g, ok := ep.Accept(now, p); ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func TestCleanDelivery(t *testing.T) {
+	src, dst := pair(t)
+	credits := 0
+	src.BindCredit(func(_ clock.Time, conn phit.ConnID, words int) {
+		if conn != connD {
+			t.Fatalf("credit for connection %d, want %d", conn, connD)
+		}
+		credits += words
+	})
+
+	for i := 0; i < 5; i++ {
+		now := clock.Time(i) * 10 * clock.Nanosecond
+		f := dataFlit(t, src, now, 2)
+		got := deliver(dst, now, f)
+		if len(got) != 1 {
+			t.Fatalf("flit %d: delivered %d flits, want 1", i, len(got))
+		}
+		if !dst.WantAck(connRev) {
+			t.Fatalf("flit %d: dst owes no ack after accepting", i)
+		}
+		ack := ackFlit(t, dst, now)
+		if dst.WantAck(connRev) {
+			t.Fatalf("flit %d: ack flit did not clear the owed ack", i)
+		}
+		if got := deliver(src, now, ack); len(got) != 1 {
+			t.Fatalf("flit %d: ack flit rejected", i)
+		}
+	}
+	if credits != 10 {
+		t.Fatalf("credits returned = %d, want 10", credits)
+	}
+	ts, _ := src.TxStatsOf(connD)
+	if ts.FreshFlits != 5 || ts.AckedFlits != 5 || ts.Outstanding != 0 || ts.Retransmits != 0 {
+		t.Fatalf("tx stats = %+v, want 5 fresh, 5 acked, 0 outstanding, 0 retransmits", ts)
+	}
+	rs, _ := dst.RxStatsOf(connD)
+	if rs.Accepted != 5 || rs.CRCDrops+rs.GapDrops+rs.DupDrops+rs.TruncDrops != 0 {
+		t.Fatalf("rx stats = %+v, want 5 accepted, 0 drops", rs)
+	}
+}
+
+func TestCorruptionDroppedAndRetransmitted(t *testing.T) {
+	src, dst := pair(t)
+	f0 := dataFlit(t, src, 0, 2)
+	f1 := dataFlit(t, src, 0, 2)
+
+	// Corrupt a payload bit of flit 0 in transit.
+	f0[1].Data ^= 1 << 7
+	if got := deliver(dst, 0, f0); len(got) != 0 {
+		t.Fatalf("corrupted flit delivered")
+	}
+	// Flit 1 now arrives with a sequence gap and must be dropped too.
+	if got := deliver(dst, 0, f1); len(got) != 0 {
+		t.Fatalf("gapped flit delivered")
+	}
+	rs, _ := dst.RxStatsOf(connD)
+	if rs.CRCDrops != 1 || rs.GapDrops != 1 || rs.Accepted != 0 {
+		t.Fatalf("rx stats = %+v, want 1 crc drop, 1 gap drop", rs)
+	}
+
+	// Nothing resends before the timeout...
+	if _, _, ok := src.Resend(clock.Time(timeout)-1, connD, 0xbeef); ok {
+		t.Fatalf("resend before the timeout")
+	}
+	// ...then the whole window goes back out, oldest first.
+	r0, w0, ok := src.Resend(clock.Time(timeout), connD, 0xbeef)
+	if !ok || w0 != 2 {
+		t.Fatalf("first resend: ok=%v words=%d, want ok 2", ok, w0)
+	}
+	r1, _, ok := src.Resend(clock.Time(timeout), connD, 0xbeef)
+	if !ok {
+		t.Fatalf("second resend missing")
+	}
+	if _, _, ok := src.Resend(clock.Time(timeout), connD, 0xbeef); ok {
+		t.Fatalf("resend round did not stop at the window end")
+	}
+
+	// The resent flits deliver in order and heal the stall.
+	if got := deliver(dst, clock.Time(timeout), r0); len(got) != 1 {
+		t.Fatalf("resent flit 0 rejected")
+	}
+	if got := deliver(dst, clock.Time(timeout), r1); len(got) != 1 {
+		t.Fatalf("resent flit 1 rejected")
+	}
+	rs, _ = dst.RxStatsOf(connD)
+	if rs.Accepted != 2 || rs.Recovered != 1 {
+		t.Fatalf("rx stats = %+v, want 2 accepted, 1 recovery", rs)
+	}
+
+	// The ack clears the window and restores the credits for both flits.
+	credits := 0
+	src.BindCredit(func(_ clock.Time, _ phit.ConnID, words int) { credits += words })
+	deliver(src, clock.Time(timeout), ackFlit(t, dst, clock.Time(timeout)))
+	ts, _ := src.TxStatsOf(connD)
+	if ts.Outstanding != 0 || ts.AckedFlits != 2 || ts.Retransmits != 2 || ts.Retries != 0 {
+		t.Fatalf("tx stats = %+v, want empty window, 2 acked, 2 retransmits, retries reset", ts)
+	}
+	if credits != 4 {
+		t.Fatalf("credits = %d, want 4", credits)
+	}
+}
+
+func TestResentFlitMatchesOriginal(t *testing.T) {
+	src, _ := pair(t)
+	orig := dataFlit(t, src, 0, 2)
+	re, words, ok := src.Resend(clock.Time(timeout), connD, 0xbeef)
+	if !ok || words != 2 {
+		t.Fatalf("resend: ok=%v words=%d", ok, words)
+	}
+	if re != orig {
+		t.Fatalf("resent flit differs from the original:\n  orig %+v\n  re   %+v", orig, re)
+	}
+}
+
+func TestDuplicateDropSchedulesAck(t *testing.T) {
+	src, dst := pair(t)
+	f := dataFlit(t, src, 0, 2)
+	if got := deliver(dst, 0, f); len(got) != 1 {
+		t.Fatalf("first copy rejected")
+	}
+	ackFlit(t, dst, 0) // consume the owed ack (flit lost in transit, say)
+	if dst.WantAck(connRev) {
+		t.Fatalf("ack owed after sending one")
+	}
+	// The duplicate (a go-back-N resend overlap) is dropped but re-arms
+	// the ack so the sender can stop resending.
+	if got := deliver(dst, 0, f); len(got) != 0 {
+		t.Fatalf("duplicate delivered")
+	}
+	if !dst.WantAck(connRev) {
+		t.Fatalf("duplicate did not schedule a fresh ack")
+	}
+	rs, _ := dst.RxStatsOf(connD)
+	if rs.DupDrops != 1 {
+		t.Fatalf("rx stats = %+v, want 1 duplicate drop", rs)
+	}
+}
+
+func TestTruncationDrops(t *testing.T) {
+	src, dst := pair(t)
+	f0 := dataFlit(t, src, 0, 2)
+	f1 := dataFlit(t, src, 0, 2)
+
+	// Flit 0 loses its tail: its head is flushed when flit 1 begins.
+	for _, p := range f0[:1] {
+		dst.Accept(0, p)
+	}
+	if got := deliver(dst, 0, f1); len(got) != 0 {
+		t.Fatalf("flit after truncation delivered despite the gap-free filter")
+	}
+	rs, _ := dst.RxStatsOf(connD)
+	if rs.TruncDrops == 0 {
+		t.Fatalf("rx stats = %+v, want truncation drops", rs)
+	}
+
+	// A stray mid-flit phit with no open assembly is dropped too.
+	f2 := dataFlit(t, src, 0, 2)
+	dst.Accept(0, f2[1])
+	rs2, _ := dst.RxStatsOf(connD)
+	if rs2.TruncDrops != rs.TruncDrops+1 {
+		t.Fatalf("stray phit not counted: %+v -> %+v", rs, rs2)
+	}
+}
+
+func TestBackoffAndQuarantine(t *testing.T) {
+	src, _ := pair(t)
+	col := fault.NewCollector()
+	src.SetReporter(col)
+	bus := trace.NewBus()
+	m := trace.NewMetrics(bus)
+	src.SetTracer(bus.Emitter("src"))
+
+	src.RegisterTx(3, TxConfig{Windowed: true, Timeout: timeout, RetryBudget: 2})
+	var f phit.Flit
+	f[0] = phit.Phit{Valid: true, Kind: phit.Header, Meta: phit.Meta{Conn: 3}}
+	src.FinishTx(0, 3, &f, 0)
+
+	now := clock.Time(0)
+	rounds := 0
+	for i := 0; i < 10 && !src.Quarantined(3); i++ {
+		now += clock.Time(8 * timeout) // far past any backoff deadline
+		if _, _, ok := src.Resend(now, 3, 0); ok {
+			rounds++
+		}
+	}
+	if !src.Quarantined(3) {
+		t.Fatalf("connection not quarantined after retry budget")
+	}
+	if rounds != 2 {
+		t.Fatalf("resend rounds before quarantine = %d, want 2 (the budget)", rounds)
+	}
+	if src.Quarantined(connD) {
+		t.Fatalf("healthy connection quarantined too")
+	}
+	vs := col.Violations()
+	if len(vs) != 1 || vs[0].Kind != fault.LinkQuarantined {
+		t.Fatalf("violations = %v, want one LinkQuarantined", vs)
+	}
+	if !strings.Contains(vs[0].Component, "src") {
+		t.Fatalf("violation component = %q, want the endpoint name", vs[0].Component)
+	}
+	if m.Count(trace.Quarantine) != 1 {
+		t.Fatalf("quarantine events = %d, want 1", m.Count(trace.Quarantine))
+	}
+	// Resend never offers flits for a quarantined connection.
+	if _, _, ok := src.Resend(now+clock.Time(timeout)*100, 3, 0); ok {
+		t.Fatalf("quarantined connection still resending")
+	}
+}
+
+func TestQuarantineStrictModePanics(t *testing.T) {
+	src, _ := pair(t)
+	src.RegisterTx(3, TxConfig{Windowed: true, Timeout: timeout, RetryBudget: 1})
+	var f phit.Flit
+	f[0] = phit.Phit{Valid: true, Kind: phit.Header, Meta: phit.Meta{Conn: 3}}
+	src.FinishTx(0, 3, &f, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("quarantine in strict mode did not panic")
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		src.Resend(clock.Time(i+1)*8*clock.Time(timeout), 3, 0)
+	}
+}
+
+func TestBackoffDoublesDeadline(t *testing.T) {
+	src, _ := pair(t)
+	dataFlit(t, src, 0, 1)
+	// Round 1 fires at the base timeout.
+	if _, _, ok := src.Resend(clock.Time(timeout), connD, 0); !ok {
+		t.Fatalf("round 1 did not fire")
+	}
+	// After one round the deadline is now + 2*timeout.
+	if _, _, ok := src.Resend(clock.Time(timeout)+clock.Time(timeout)*2-1, connD, 0); ok {
+		t.Fatalf("round 2 fired before the backed-off deadline")
+	}
+	if _, _, ok := src.Resend(clock.Time(timeout)+clock.Time(timeout)*2, connD, 0); !ok {
+		t.Fatalf("round 2 did not fire at the backed-off deadline")
+	}
+}
+
+func TestStaleAckIgnored(t *testing.T) {
+	src, dst := pair(t)
+	f := dataFlit(t, src, 0, 2)
+	deliver(dst, 0, f)
+	ack := ackFlit(t, dst, 0)
+	if got := deliver(src, 0, ack); len(got) != 1 {
+		t.Fatalf("ack flit rejected")
+	}
+	// The same cumulative ack again (reverse flits repeat it) is a no-op.
+	ack2 := ackFlit(t, dst, 0)
+	deliver(src, 0, ack2)
+	ts, _ := src.TxStatsOf(connD)
+	if ts.AckedFlits != 1 || ts.Outstanding != 0 {
+		t.Fatalf("tx stats after repeated ack = %+v, want 1 acked", ts)
+	}
+}
+
+func TestSequenceWraparound(t *testing.T) {
+	src := NewEndpoint("src")
+	src.RegisterTx(connD, TxConfig{Windowed: true, Timeout: timeout})
+	// Jump the sequence space to just below the wrap point.
+	src.tx[connD].nextSeq = phit.SeqMask - 1
+	src.tx[connD].base = phit.SeqMask - 1
+	dst := NewEndpoint("dst")
+	dst.RegisterRx(connD, RxConfig{Tracked: true})
+	dst.rx[connD].expected = phit.SeqMask - 1
+	dst.RegisterTx(connRev, TxConfig{PairedIn: connD})
+	src.RegisterRx(connRev, RxConfig{AckFor: connD})
+
+	for i := 0; i < 4; i++ {
+		f := dataFlit(t, src, 0, 1)
+		if got := deliver(dst, 0, f); len(got) != 1 {
+			t.Fatalf("flit %d across the wrap rejected", i)
+		}
+		ack := ackFlit(t, dst, 0)
+		deliver(src, 0, ack)
+	}
+	ts, _ := src.TxStatsOf(connD)
+	if ts.AckedFlits != 4 || ts.Outstanding != 0 {
+		t.Fatalf("tx stats across wrap = %+v, want 4 acked, empty window", ts)
+	}
+}

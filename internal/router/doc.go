@@ -1,0 +1,25 @@
+// Package router implements the aelite router (paper Section IV).
+//
+// The router is deliberately minimal — that minimality is the paper's
+// point. It has:
+//
+//   - three pipeline stages, matching the 3-word flit: an input register,
+//     a Header Parsing Unit (HPU) per input, and a switch;
+//   - no routing table: the output port comes from the source route in the
+//     packet header, and the HPU shifts the path field one hop per router;
+//   - no arbiter: TDM slot allocation guarantees no two flits ever want
+//     the same output in the same cycle. The switch *asserts* this; a
+//     collision means the allocation (or a model) is broken and the
+//     simulation halts rather than silently arbitrating;
+//   - no link-level flow control and a single one-word buffer per input
+//     (the input register): GS-only operation means a flit that enters a
+//     router always has a reserved slot downstream;
+//   - explicit sideband valid and End-of-Packet bits, so the HPU never
+//     decodes data and stays off the critical path;
+//   - parameters only for data width (the header layout) and arity.
+//
+// Core is the cycle-exact state machine; Component adapts it to the
+// simulation engine for synchronous and mesochronous operation. The
+// asynchronous wrapper (package wrapper) reuses the same Core at flit
+// granularity, so there is a single source of truth for router behaviour.
+package router

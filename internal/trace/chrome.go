@@ -126,6 +126,16 @@ func eventArgs(ev Event) string {
 		s += fmt.Sprintf(`,"stalled":%d`, ev.Arg)
 	case Inject:
 		s += fmt.Sprintf(`,"seq":%d`, ev.Seq)
+	case CRCDrop:
+		s += fmt.Sprintf(`,"reason":%d,"seq":%d`, ev.Arg, ev.Seq)
+	case Retransmit:
+		s += fmt.Sprintf(`,"seq":%d,"round":%d`, ev.Seq, ev.Arg)
+	case AckAdvance:
+		s += fmt.Sprintf(`,"base":%d,"words":%d`, ev.Seq, ev.Arg)
+	case Recovered:
+		s += fmt.Sprintf(`,"stall_ps":%d`, ev.Arg)
+	case Quarantine:
+		s += fmt.Sprintf(`,"unacked":%d`, ev.Arg)
 	}
 	return s
 }

@@ -38,6 +38,15 @@ type ConnMetrics struct {
 	Credits   int64 // credit words returned to this connection's sender
 	// Latency is the inject-to-eject latency per delivered word, ns.
 	Latency stats.Histogram
+
+	// Reliability-layer aggregates (all zero without the shell).
+	CRCDrops    int64 // flits/phits dropped by the receive-side checks
+	Retransmits int64 // flits re-sent by go-back-N rounds
+	Acks        int64 // cumulative-ack window advances
+	Quarantined int64 // quarantine transitions (0 or 1 per run)
+	// Recovery is the head-of-line stall per recovered loss, ns: the
+	// span from the first drop to the in-order delivery that healed it.
+	Recovery stats.Histogram
 }
 
 // CompMetrics aggregates one component's activity.
@@ -107,6 +116,16 @@ func (m *Metrics) Event(ev Event) {
 		cm.Blocked++
 	case Credit:
 		cm.Credits += ev.Arg
+	case CRCDrop:
+		cm.CRCDrops++
+	case Retransmit:
+		cm.Retransmits++
+	case AckAdvance:
+		cm.Acks++
+	case Recovered:
+		cm.Recovery.Add(float64(ev.Arg) / float64(clock.Nanosecond))
+	case Quarantine:
+		cm.Quarantined++
 	}
 }
 
@@ -159,6 +178,17 @@ type ConnReport struct {
 	LatMeanNs float64 `json:"lat_mean_ns"`
 	LatP99Ns  float64 `json:"lat_p99_ns"`
 	LatMaxNs  float64 `json:"lat_max_ns"`
+
+	// Reliability-layer fields (zero without the shell).
+	CRCDrops    int64   `json:"crc_drops"`
+	Retransmits int64   `json:"retransmits"`
+	Acks        int64   `json:"acks"`
+	Quarantined int64   `json:"quarantined"`
+	Recovered   int64   `json:"recovered"`
+	RecMinNs    float64 `json:"rec_min_ns"`
+	RecMeanNs   float64 `json:"rec_mean_ns"`
+	RecP99Ns    float64 `json:"rec_p99_ns"`
+	RecMaxNs    float64 `json:"rec_max_ns"`
 }
 
 // CompReport is one component's aggregate.
@@ -198,6 +228,17 @@ func (m *Metrics) Report(windowPs, periodPs int64) *Report {
 			cr.LatP99Ns = cm.Latency.Percentile(99)
 			cr.LatMaxNs = cm.Latency.Max()
 		}
+		cr.CRCDrops = cm.CRCDrops
+		cr.Retransmits = cm.Retransmits
+		cr.Acks = cm.Acks
+		cr.Quarantined = cm.Quarantined
+		cr.Recovered = cm.Recovery.N()
+		if cm.Recovery.N() > 0 {
+			cr.RecMinNs = cm.Recovery.Min()
+			cr.RecMeanNs = cm.Recovery.Mean()
+			cr.RecP99Ns = cm.Recovery.Percentile(99)
+			cr.RecMaxNs = cm.Recovery.Max()
+		}
 		r.Conns = append(r.Conns, cr)
 	}
 	totalCycles := float64(0)
@@ -231,19 +272,27 @@ func (r *Report) WriteJSON(w io.Writer) error {
 }
 
 // WriteCSV renders the report as two CSV sections: connections, then
-// components. Latency columns are empty (not 0) for connections that
-// delivered nothing, so an absent measurement cannot be mistaken for a
-// real zero-nanosecond latency.
+// components. Latency and recovery-latency columns are empty (not 0) for
+// connections that measured nothing, so an absent measurement cannot be
+// mistaken for a real zero-nanosecond latency.
 func (r *Report) WriteCSV(w io.Writer) error {
 	cw := &countWriter{w: w}
-	cw.printf("section,conn,injected,sent,delivered,blocked,credits,lat_min_ns,lat_mean_ns,lat_p99_ns,lat_max_ns\n")
+	cw.printf("section,conn,injected,sent,delivered,blocked,credits," +
+		"lat_min_ns,lat_mean_ns,lat_p99_ns,lat_max_ns," +
+		"crc_drops,retransmits,acks,quarantined,recovered," +
+		"rec_min_ns,rec_mean_ns,rec_p99_ns,rec_max_ns\n")
 	for _, c := range r.Conns {
 		lat := ",,," // four empty latency cells: no delivery, no measurement
 		if c.Delivered > 0 {
 			lat = fmt.Sprintf("%s,%s,%s,%s", csvF(c.LatMinNs), csvF(c.LatMeanNs), csvF(c.LatP99Ns), csvF(c.LatMaxNs))
 		}
-		cw.printf("conn,%d,%d,%d,%d,%d,%d,%s\n",
-			c.Conn, c.Injected, c.Sent, c.Delivered, c.Blocked, c.Credits, lat)
+		rec := ",,," // likewise for recovery stalls: no recovery, no measurement
+		if c.Recovered > 0 {
+			rec = fmt.Sprintf("%s,%s,%s,%s", csvF(c.RecMinNs), csvF(c.RecMeanNs), csvF(c.RecP99Ns), csvF(c.RecMaxNs))
+		}
+		cw.printf("conn,%d,%d,%d,%d,%d,%d,%s,%d,%d,%d,%d,%d,%s\n",
+			c.Conn, c.Injected, c.Sent, c.Delivered, c.Blocked, c.Credits, lat,
+			c.CRCDrops, c.Retransmits, c.Acks, c.Quarantined, c.Recovered, rec)
 	}
 	cw.printf("section,component,events,busy_cycles,utilisation,max_occupancy\n")
 	for _, c := range r.Comps {

@@ -46,8 +46,27 @@ const (
 	// WrapperFire: an asynchronous wrapper completed one dataflow
 	// iteration (Arg = cycles it spent stalled since the previous fire).
 	WrapperFire
+	// CRCDrop: the reliability layer discarded an arriving flit or phit
+	// (Arg = drop reason, see reliable.Drop*; Seq = the flit's sideband
+	// sequence number, or the phit count for truncation drops).
+	CRCDrop
+	// Retransmit: a windowed sender re-sent one unacked flit in a
+	// go-back-N round (Seq = the flit's sequence number, Arg = the
+	// consecutive timeout-round count).
+	Retransmit
+	// AckAdvance: a cumulative ack advanced a sender's retransmission
+	// window (Seq = the new window base, Arg = payload words returned to
+	// the credit counter).
+	AckAdvance
+	// Recovered: in-order delivery resumed on a tracked connection after
+	// loss (Arg = the head-of-line stall in picoseconds — the recovery
+	// latency the histograms aggregate).
+	Recovered
+	// Quarantine: a connection exhausted its retry budget and stopped
+	// transmitting (Arg = flits left unacked).
+	Quarantine
 
-	kindCount = int(WrapperFire) + 1
+	kindCount = int(Quarantine) + 1
 )
 
 var kindNames = [kindCount]string{
@@ -61,6 +80,11 @@ var kindNames = [kindCount]string{
 	Blocked:       "blocked",
 	Occupancy:     "occupancy",
 	WrapperFire:   "fire",
+	CRCDrop:       "crcdrop",
+	Retransmit:    "rexmit",
+	AckAdvance:    "ack",
+	Recovered:     "recovered",
+	Quarantine:    "quarantine",
 }
 
 func (k Kind) String() string {

@@ -14,6 +14,7 @@
 //	aelite-exp power       schedule-driven router sleep study (extension)
 //	aelite-exp hetero      HSDF model of the wrapped NoC (extension)
 //	aelite-exp recovery    bit-flip recovery campaign (reliability layer)
+//	aelite-exp conformance guarantee-conformance sweep (audit layer)
 //	aelite-exp all         everything above
 //
 // Flags:
@@ -62,7 +63,7 @@ func main() {
 
 	known := map[string]bool{"all": true, "fig5": true, "fig6a": true, "fig6b": true,
 		"links": true, "throughput": true, "sec7": true, "scan": true,
-		"power": true, "hetero": true, "recovery": true}
+		"power": true, "hetero": true, "recovery": true, "conformance": true}
 	if !known[cmd] {
 		fmt.Fprintf(os.Stderr, "aelite-exp: unknown experiment %q\n", cmd)
 		flag.Usage()
@@ -110,6 +111,13 @@ func main() {
 		fmt.Fprintf(out, "Bit-flip recovery campaign: %d points, bitflip %.4f drop %.4f per link\n",
 			cfg.Points, cfg.BitFlip, cfg.Drop)
 		return experiments.WriteRecovery(out, cfg, j)
+	})
+	run("conformance", func() error {
+		cfg := experiments.DefaultConformanceConfig()
+		cfg.Seed = *seed
+		fmt.Fprintf(out, "Guarantee-conformance sweep: tables %v under all clocking modes, every flit audited\n",
+			cfg.TableSizes)
+		return experiments.WriteConformance(out, cfg, j)
 	})
 	run("scan", func() error {
 		points, crossover, err := experiments.FrequencyScan(*seed, nil, *measure, j)

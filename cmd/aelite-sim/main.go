@@ -35,6 +35,12 @@
 //	               summaries in seed order (requires -faults)
 //	-j N           parallel workers for -runs sweeps (default all CPUs;
 //	               output is byte-identical at every worker count)
+//	-audit         attach the guarantee-conformance auditor: every flit is
+//	               checked against the connection's analytical worst-case
+//	               latency and throughput contract, slot ownership and
+//	               in-order delivery; violations print one-line diagnostics
+//	               and exit non-zero (with -strict the first one fails
+//	               fast); aelite only, single runs only
 //	-trace-out F   write a Chrome trace-event JSON of every flit lifecycle
 //	               event (load in Perfetto or chrome://tracing); aelite only
 //	-metrics-out F write aggregated per-connection/per-component metrics;
@@ -57,6 +63,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/parallel"
@@ -89,6 +96,7 @@ type options struct {
 	skewPS    int64
 	runs      int
 	jobs      int
+	audit     bool
 
 	traceOut   string
 	metricsOut string
@@ -159,6 +167,12 @@ func (o *options) validate() error {
 	if (o.traceOut != "" || o.metricsOut != "") && o.backend != "aelite" {
 		return fmt.Errorf("-trace-out/-metrics-out need the aelite backend (got %q)", o.backend)
 	}
+	if o.audit && o.backend != "aelite" {
+		return fmt.Errorf("-audit checks aelite's analytical contracts and needs the aelite backend (got %q)", o.backend)
+	}
+	if o.audit && o.runs > 1 {
+		return fmt.Errorf("-audit attaches to a single run and cannot serve a -runs sweep")
+	}
 	if o.runs < 1 {
 		return fmt.Errorf("-runs %d must be at least 1", o.runs)
 	}
@@ -200,6 +214,7 @@ func main() {
 	flag.Int64Var(&o.skewPS, "skew-ps", 0, "mesochronous tile-skew override in ps")
 	flag.IntVar(&o.runs, "runs", 1, "fault-campaign sweep: campaigns with consecutive fault seeds")
 	flag.IntVar(&o.jobs, "j", runtime.NumCPU(), "parallel workers for -runs sweeps")
+	flag.BoolVar(&o.audit, "audit", false, "check every flit against the analytical guarantee contracts")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write Chrome trace-event JSON to this file")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write aggregated metrics to this file (.csv selects CSV)")
 	flag.StringVar(&o.pprofOut, "pprof", "", "write a CPU profile to this file")
@@ -312,10 +327,13 @@ func run(o options) (code int) {
 		return fail(err)
 	}
 
-	// Tracing: one bus feeds both the Chrome sink and the metrics sink.
+	// Tracing: one bus feeds the Chrome sink, the metrics sink and the
+	// conformance auditor alike.
 	var chrome *trace.Chrome
 	var metrics *trace.Metrics
-	if o.traceOut != "" || o.metricsOut != "" {
+	var auditor *audit.Auditor
+	var auditCol *fault.Collector
+	if o.traceOut != "" || o.metricsOut != "" || o.audit {
 		bus := trace.NewBus()
 		if o.traceOut != "" {
 			chrome = trace.NewChrome(bus)
@@ -323,6 +341,18 @@ func run(o options) (code int) {
 		}
 		if o.metricsOut != "" {
 			metrics = trace.NewMetrics(bus)
+		}
+		if o.audit {
+			// The auditor's reporter is kept separate from the campaign
+			// collector: expected fault-campaign violations must never be
+			// mixed with guarantee breaches. -strict keeps the fail-fast
+			// nil reporter.
+			var audRep fault.Reporter
+			if !o.strict {
+				auditCol = fault.NewCollector()
+				audRep = auditCol
+			}
+			auditor = audit.Attach(n, bus, audRep, audit.Options{})
 		}
 		n.AttachTracer(bus)
 	}
@@ -355,12 +385,32 @@ func run(o options) (code int) {
 			return fail(err)
 		}
 	}
+	auditFailed := false
+	if auditor != nil {
+		fmt.Println()
+		auditor.WriteSummary(os.Stdout)
+		if auditor.Violations() > 0 {
+			for _, v := range auditCol.Violations() {
+				fmt.Fprintln(os.Stderr, "aelite-sim: audit:", v)
+			}
+			auditFailed = true
+		}
+	}
 	if summary != nil {
 		fmt.Println()
 		summary.Write(os.Stdout)
+		if auditFailed {
+			return 1
+		}
 		return 0
 	}
-	return verdict(rep)
+	if code := verdict(rep); code != 0 {
+		return code
+	}
+	if auditFailed {
+		return 1
+	}
+	return 0
 }
 
 // buildUseCase assembles the mesh and use case from the flags. A nil use

@@ -12,14 +12,24 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/phit"
 	"repro/internal/spec"
 	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+var (
+	auditOn = flag.Bool("audit", false, "check every aelite flit against the analytical guarantee contracts")
+	strict  = flag.Bool("strict", false, "with -audit: fail fast on the first violation")
 )
 
 func buildSpec() (*topology.Mesh, *spec.UseCase) {
@@ -44,6 +54,21 @@ func aeliteArrivals(withOthers, hostile bool) map[phit.ConnID][]clock.Time {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var auditor *audit.Auditor
+	var auditCol *fault.Collector
+	if *auditOn {
+		bus := trace.NewBus()
+		var rep fault.Reporter
+		if !*strict {
+			auditCol = fault.NewCollector()
+			rep = auditCol
+		}
+		// The hostile phase *deliberately* oversubscribes application 1:
+		// tolerate the breach of contract, but keep every other check —
+		// slot ownership, exclusivity, app 0's bounds — armed.
+		auditor = audit.Attach(net, bus, rep, audit.Options{TolerateOversubscription: hostile})
+		net.AttachTracer(bus)
+	}
 	for _, c := range uc.Connections {
 		if c.App != 0 {
 			if !withOthers {
@@ -57,6 +82,13 @@ func aeliteArrivals(withOthers, hostile bool) map[phit.ConnID][]clock.Time {
 		}
 	}
 	net.Run(0, 40000)
+	if auditor != nil && auditor.Violations() > 0 {
+		for _, v := range auditCol.Violations() {
+			fmt.Fprintln(os.Stderr, "audit:", v)
+		}
+		log.Fatalf("audit: %d guarantee violations (withOthers=%v hostile=%v)",
+			auditor.Violations(), withOthers, hostile)
+	}
 	out := map[phit.ConnID][]clock.Time{}
 	for _, c := range uc.Connections {
 		if c.App == 0 {
@@ -119,6 +151,7 @@ func compare(alone, shared map[phit.ConnID][]clock.Time) (words int, identical b
 }
 
 func main() {
+	flag.Parse()
 	fmt.Println("== aelite: application 0 alone vs alongside application 1 ==")
 	alone := aeliteArrivals(false, false)
 	shared := aeliteArrivals(true, false)

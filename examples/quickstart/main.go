@@ -23,7 +23,9 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/phit"
 	"repro/internal/spec"
 	"repro/internal/topology"
@@ -32,6 +34,8 @@ import (
 
 func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of every flit lifecycle event")
+	auditOn := flag.Bool("audit", false, "check every flit against the analytical guarantee contracts")
+	strict := flag.Bool("strict", false, "with -audit: fail fast on the first violation")
 	flag.Parse()
 
 	// A 2x1 mesh: two routers, one NI each — the shape of Fig. 1.
@@ -81,10 +85,22 @@ func main() {
 	}
 
 	var chrome *trace.Chrome
-	if *traceOut != "" {
+	var auditor *audit.Auditor
+	var auditCol *fault.Collector
+	if *traceOut != "" || *auditOn {
 		bus := trace.NewBus()
-		chrome = trace.NewChrome(bus)
-		chrome.SetFlitCycle(phit.FlitWords * int64(net.BaseClock().Period))
+		if *traceOut != "" {
+			chrome = trace.NewChrome(bus)
+			chrome.SetFlitCycle(phit.FlitWords * int64(net.BaseClock().Period))
+		}
+		if *auditOn {
+			var rep fault.Reporter
+			if !*strict {
+				auditCol = fault.NewCollector()
+				rep = auditCol
+			}
+			auditor = audit.Attach(net, bus, rep, audit.Options{})
+		}
 		net.AttachTracer(bus)
 	}
 
@@ -104,6 +120,16 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwrote %d trace events to %s (open in https://ui.perfetto.dev)\n", chrome.Len(), *traceOut)
+	}
+	if auditor != nil {
+		fmt.Println()
+		auditor.WriteSummary(os.Stdout)
+		if auditor.Violations() > 0 {
+			for _, v := range auditCol.Violations() {
+				fmt.Fprintln(os.Stderr, "audit:", v)
+			}
+			os.Exit(1)
+		}
 	}
 	if rep.AllMet() && rep.AllWithinBound() {
 		fmt.Println("\nevery requirement met and every measured latency within its bound")

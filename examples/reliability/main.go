@@ -29,13 +29,22 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/spec"
 	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+var (
+	auditOn = flag.Bool("audit", false, "check every flit against the analytical guarantee contracts")
+	strict  = flag.Bool("strict", false, "with -audit: fail fast on the first violation")
 )
 
 // build assembles a mesochronous 3x2 mesh with the reliability shell on
@@ -61,14 +70,36 @@ func build(col *fault.Collector, retryBudget int) *core.Network {
 }
 
 // campaign arms the given rate rules, runs for measureNs, and prints one
-// line per connection: payload accounting and recovery work.
+// line per connection: payload accounting and recovery work. With -audit,
+// the conformance auditor rides along on its own collector — the expected
+// campaign violations (link-quarantined) stay in col, while a breach of a
+// *guarantee* (bound past the recovery allowance, slot misuse, reordering)
+// fails the example.
 func campaign(col *fault.Collector, net *core.Network, rules []fault.RateRule, measureNs float64) {
+	var auditor *audit.Auditor
+	var auditCol *fault.Collector
+	if *auditOn {
+		bus := trace.NewBus()
+		var rep fault.Reporter
+		if !*strict {
+			auditCol = fault.NewCollector()
+			rep = auditCol
+		}
+		auditor = audit.Attach(net, bus, rep, audit.Options{})
+		net.AttachTracer(bus)
+	}
 	plan := &fault.Plan{Seed: 42, Rates: rules}
 	c := fault.NewCampaign(plan, col)
 	if err := c.Arm(net.Engine(), net.FaultTargets()); err != nil {
 		log.Fatal(err)
 	}
 	rep := net.Run(0, measureNs)
+	if auditor != nil && auditor.Violations() > 0 {
+		for _, v := range auditCol.Violations() {
+			fmt.Fprintln(os.Stderr, "audit:", v)
+		}
+		log.Fatalf("audit: %d guarantee violations under faults", auditor.Violations())
+	}
 	var flips, drops int64
 	for _, o := range c.Summarize().RateLinks {
 		flips += o.BitsFlipped
@@ -91,6 +122,7 @@ func campaign(col *fault.Collector, net *core.Network, rules []fault.RateRule, m
 }
 
 func main() {
+	flag.Parse()
 	fmt.Println("soft faults: every link flips 1% of phits and drops 0.1% of flits")
 	col := fault.NewCollector()
 	campaign(col, build(col, 0), []fault.RateRule{{BitFlip: 0.01, Drop: 0.001}}, 30000)

@@ -8,7 +8,13 @@
 // at most 2 payload words when it opens a packet (header + 2) and 3 when
 // it extends one. All bandwidth math conservatively assumes 2 payload
 // words per slot, so measured throughput with header elision can exceed
-// the guarantee but never fall short.
+// the guarantee but never fall short. With the end-to-end reliability
+// shell the accounting is one word tighter still: the sideband word
+// (sequence, cumulative ack, CRC) occupies one of the three link words in
+// a hardware-faithful budget, leaving 1 guaranteed payload word per slot.
+// The simulator carries the sideband on dedicated extra wires, so a
+// reliable connection over-delivers against this guarantee — the
+// conformance auditor (internal/audit) checks exactly that direction.
 package analysis
 
 import (
@@ -21,21 +27,36 @@ import (
 )
 
 // PayloadWordsPerSlot is the guaranteed payload capacity of one reserved
-// slot (header + 2 payload words of the 3-word flit).
+// slot under the baseline protocol (header + 2 payload words of the
+// 3-word flit).
 const PayloadWordsPerSlot = phit.FlitWords - 1
+
+// PayloadWordsPerSlotReliable is the guaranteed payload capacity of one
+// reserved slot with the reliability shell: the sideband word is counted
+// in-band, so only one word per flit is guaranteed payload.
+const PayloadWordsPerSlotReliable = phit.FlitWords - 2
+
+// SlotPayloadWords returns the guaranteed payload words one reserved slot
+// carries under the selected protocol shell.
+func SlotPayloadWords(reliable bool) int {
+	if reliable {
+		return PayloadWordsPerSlotReliable
+	}
+	return PayloadWordsPerSlot
+}
 
 // SlotBandwidthMBps returns the guaranteed bandwidth, in Mbyte/s, of one
 // reserved slot in a table of tableSize slots at fMHz with wordBytes-wide
-// links: 2 payload words every table revolution.
-func SlotBandwidthMBps(fMHz float64, wordBytes, tableSize int) float64 {
+// links: SlotPayloadWords(reliable) words every table revolution.
+func SlotBandwidthMBps(fMHz float64, wordBytes, tableSize int, reliable bool) float64 {
 	revolutionsPerSec := fMHz * 1e6 / float64(phit.FlitWords*tableSize)
-	return revolutionsPerSec * PayloadWordsPerSlot * float64(wordBytes) / 1e6
+	return revolutionsPerSec * float64(SlotPayloadWords(reliable)) * float64(wordBytes) / 1e6
 }
 
 // SlotsForBandwidth returns the number of slots needed to guarantee
 // rateMBps. It returns an error when the rate exceeds the link capacity.
-func SlotsForBandwidth(rateMBps, fMHz float64, wordBytes, tableSize int) (int, error) {
-	per := SlotBandwidthMBps(fMHz, wordBytes, tableSize)
+func SlotsForBandwidth(rateMBps, fMHz float64, wordBytes, tableSize int, reliable bool) (int, error) {
+	per := SlotBandwidthMBps(fMHz, wordBytes, tableSize, reliable)
 	n := int(math.Ceil(rateMBps / per))
 	if n < 1 {
 		n = 1
@@ -75,11 +96,25 @@ func FixedPathCycles(p *route.Path) int {
 //
 // Decomposition: a word that just misses a slot decision waits at most
 // MaxGap slots for the next owned slot (3·MaxGap cycles), plus one slot of
-// decision granularity, plus the fixed path delay.
+// decision granularity, plus the fixed path delay. For a single-slot
+// reservation MaxGap is the whole table revolution regardless of where the
+// slot sits — a reservation at slot S-1 whose per-link shift wraps to slot
+// 0 waits exactly as long as one at slot 0 (TestLatencyBoundBruteForce
+// pins this against a cycle-level slot walk).
 func LatencyBoundNs(p *route.Path, slotSet []int, tableSize int, fMHz float64) float64 {
 	gap := slots.MaxGap(slotSet, tableSize)
 	cycles := phit.FlitWords*(gap+1) + FixedPathCycles(p)
 	return float64(cycles) * 1e3 / fMHz
+}
+
+// EvenSlots returns k slot positions spread as evenly as the table allows
+// — the placement the inverse sizing functions assume.
+func EvenSlots(k, tableSize int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i * tableSize / k
+	}
+	return out
 }
 
 // SlotsForLatency returns the minimum evenly-spread slot count that meets
@@ -92,27 +127,39 @@ func SlotsForLatency(budgetNs float64, p *route.Path, tableSize int, fMHz float6
 		return 0, fmt.Errorf("analysis: fixed path delay %.1f ns exceeds budget %.1f ns (%d routers, %d total shift)",
 			fixed, budgetNs, p.Hops(), p.TotalShift)
 	}
-	// Need 3*gap cycles <= budget - fixed; evenly spread k slots give
-	// gap <= ceil(S/k).
-	maxGap := (budgetNs - fixed) / (float64(phit.FlitWords) * cycleNs)
-	if maxGap < 1 {
-		maxGap = 1
+	// Need 3*gap cycles <= budget - fixed. The tolerable gap is a whole
+	// number of slots and must be floored: rounding the fractional gap up
+	// (the historical behaviour) undercounted the revolution wait by up
+	// to one flit cycle — evenly spread k = ceil(S/gap) slots realise a
+	// MaxGap of ceil(S/k), which only stays within a *floored* gap.
+	gap := int((budgetNs - fixed) / (float64(phit.FlitWords) * cycleNs))
+	if gap < 1 {
+		// Even a fully-owned table has a service gap of one slot; a
+		// budget that tolerates less is infeasible at any slot count
+		// (clamping here used to hide a bound violation of up to one
+		// flit cycle).
+		return 0, fmt.Errorf("analysis: budget %.1f ns tolerates under one slot of wait (fixed delay %.1f ns); infeasible at any slot count", budgetNs, fixed)
 	}
-	k := int(math.Ceil(float64(tableSize) / maxGap))
+	k := (tableSize + gap - 1) / gap
 	if k < 1 {
 		k = 1
 	}
-	if k > tableSize {
-		return 0, fmt.Errorf("analysis: budget %.1f ns needs %d slots but the table has %d", budgetNs, k, tableSize)
+	// Defensive exactness: advance k until the realised even-spread bound
+	// meets the budget (at most tableSize steps).
+	for ; k <= tableSize; k++ {
+		if slots.MaxGap(EvenSlots(k, tableSize), tableSize) <= gap {
+			return k, nil
+		}
 	}
-	return k, nil
+	return 0, fmt.Errorf("analysis: budget %.1f ns needs more than %d slots", budgetNs, tableSize)
 }
 
 // BurstSlotTimes returns the number of owned-slot service times a whole
-// transaction of txWords words needs (header + 2 payload words per slot,
-// conservatively ignoring header elision).
-func BurstSlotTimes(txWords int) int {
-	m := (txWords + PayloadWordsPerSlot - 1) / PayloadWordsPerSlot
+// transaction of txWords words needs under the selected protocol shell
+// (conservatively ignoring header elision).
+func BurstSlotTimes(txWords int, reliable bool) int {
+	per := SlotPayloadWords(reliable)
+	m := (txWords + per - 1) / per
 	if m < 1 {
 		m = 1
 	}
@@ -124,30 +171,48 @@ func BurstSlotTimes(txWords int) int {
 // transaction takes at most the worst window of BurstSlotTimes(txWords)
 // consecutive reservation gaps (slots.MaxGapWindow), plus one slot of
 // decision granularity and the fixed path delay.
-func LatencyBoundBurstNs(p *route.Path, slotSet []int, tableSize int, fMHz float64, txWords int) float64 {
-	w := slots.MaxGapWindow(slotSet, tableSize, BurstSlotTimes(txWords))
+func LatencyBoundBurstNs(p *route.Path, slotSet []int, tableSize int, fMHz float64, txWords int, reliable bool) float64 {
+	w := slots.MaxGapWindow(slotSet, tableSize, BurstSlotTimes(txWords, reliable))
 	cycles := phit.FlitWords*(w+1) + FixedPathCycles(p)
 	return float64(cycles) * 1e3 / fMHz
 }
 
 // SlotsForBurstLatency returns the minimum evenly-spread slot count whose
 // worst BurstSlotTimes-gap window meets the budget, or an error when even
-// a full table cannot.
-func SlotsForBurstLatency(budgetNs float64, txWords int, p *route.Path, tableSize int, fMHz float64) (int, error) {
+// a full table cannot. The analytic seed k = ceil(m*S/w) assumes perfectly
+// uniform gaps; real even spreads mix floor and ceil gaps, so the window
+// is re-checked and k advanced until the realised placement fits —
+// without the re-check the window could undercount by one flit cycle per
+// uneven gap.
+func SlotsForBurstLatency(budgetNs float64, txWords int, p *route.Path, tableSize int, fMHz float64, reliable bool) (int, error) {
 	w, err := WindowSlotsForBudget(budgetNs, p, fMHz)
 	if err != nil {
 		return 0, err
 	}
-	m := BurstSlotTimes(txWords)
-	// Evenly spread k slots give an m-gap window of ~m*S/k.
-	k := int(math.Ceil(float64(m*tableSize) / float64(w)))
+	m := BurstSlotTimes(txWords, reliable)
+	k := (m*tableSize + w - 1) / w
 	if k < 1 {
 		k = 1
 	}
-	if k > tableSize {
-		return 0, fmt.Errorf("analysis: burst budget %.1f ns needs %d slots but the table has %d", budgetNs, k, tableSize)
+	for ; k <= tableSize; k++ {
+		if slots.MaxGapWindow(EvenSlots(k, tableSize), tableSize, m) <= w {
+			return k, nil
+		}
 	}
-	return k, nil
+	return 0, fmt.Errorf("analysis: burst budget %.1f ns needs more than %d slots", budgetNs, tableSize)
+}
+
+// SourceWaitBudgetNs splits a connection's latency bound at the source
+// NI's output: the deterministic network transit (path shift plus
+// delivery registration) is subtracted, leaving the longest a word may
+// legitimately sit at the source — waiting for its slot and, in
+// transactional mode, behind its own transaction. A word that waits
+// longer was offered out of contract (the queue ahead of it could only
+// build if the IP exceeded its allocation), which is how the conformance
+// auditor tells self-inflicted queueing from a fabric fault.
+func SourceWaitBudgetNs(boundNs float64, p *route.Path, fMHz float64) float64 {
+	transit := float64(phit.FlitWords*p.TotalShift+deliveryCycles) * 1e3 / fMHz
+	return boundNs - transit
 }
 
 // WindowSlotsForBudget converts a latency budget into the largest
@@ -160,15 +225,61 @@ func WindowSlotsForBudget(budgetNs float64, p *route.Path, fMHz float64) (int, e
 	}
 	w := int((budgetNs - fixed) / (float64(phit.FlitWords) * cycleNs))
 	if w < 1 {
-		w = 1
+		return 0, fmt.Errorf("analysis: budget %.1f ns tolerates under one slot of service window (fixed delay %.1f ns)", budgetNs, fixed)
 	}
 	return w, nil
 }
 
 // ThroughputGuaranteeMBps returns the guaranteed bandwidth of a slot
 // assignment.
-func ThroughputGuaranteeMBps(slotCount int, fMHz float64, wordBytes, tableSize int) float64 {
-	return float64(slotCount) * SlotBandwidthMBps(fMHz, wordBytes, tableSize)
+func ThroughputGuaranteeMBps(slotCount int, fMHz float64, wordBytes, tableSize int, reliable bool) float64 {
+	return float64(slotCount) * SlotBandwidthMBps(fMHz, wordBytes, tableSize, reliable)
+}
+
+// Mode captures the protocol options that shape a connection's analytical
+// contract.
+type Mode struct {
+	// Reliable selects the reliability shell's in-band sideband
+	// accounting (1 guaranteed payload word per slot instead of 2).
+	Reliable bool
+	// Transactional selects the burst latency bound over the per-word
+	// bound; TxWords is then the transaction size in words.
+	Transactional bool
+	TxWords       int
+}
+
+// Bounds is the derived worst-case contract of one connection: what the
+// conformance auditor holds every simulated flit against.
+type Bounds struct {
+	// GuaranteeMBps is the guaranteed sustained throughput; measured
+	// delivery of a saturating sender never falls below it.
+	GuaranteeMBps float64
+	// LatencyNs is the worst-case injection-to-delivery latency of any
+	// word, valid while the connection's offered load stays within its
+	// allocation.
+	LatencyNs float64
+	// MaxGapSlots is the reservation's worst service gap, in slots.
+	MaxGapSlots int
+	// SlotCount is the number of reserved slots.
+	SlotCount int
+}
+
+// ConnectionBounds derives the full analytical contract of a connection
+// from its slot reservation and path — the single entry point Build and
+// the audit layer share, so the checked bound and the built bound cannot
+// drift apart.
+func ConnectionBounds(p *route.Path, slotSet []int, tableSize int, fMHz float64, wordBytes int, m Mode) Bounds {
+	b := Bounds{
+		GuaranteeMBps: ThroughputGuaranteeMBps(len(slotSet), fMHz, wordBytes, tableSize, m.Reliable),
+		MaxGapSlots:   slots.MaxGap(slotSet, tableSize),
+		SlotCount:     len(slotSet),
+	}
+	if m.Transactional {
+		b.LatencyNs = LatencyBoundBurstNs(p, slotSet, tableSize, fMHz, m.TxWords, m.Reliable)
+	} else {
+		b.LatencyNs = LatencyBoundNs(p, slotSet, tableSize, fMHz)
+	}
+	return b
 }
 
 // CreditRoundTripSlots bounds, in slots, the time from a payload word

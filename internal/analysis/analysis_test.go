@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/phit"
 	"repro/internal/route"
 	"repro/internal/slots"
 )
@@ -13,23 +14,40 @@ import (
 func TestSlotBandwidth(t *testing.T) {
 	// 500 MHz, 4-byte words, 32 slots: one slot = 2 words per
 	// revolution of 96 cycles = 500e6/96 * 8 B ≈ 41.7 MB/s.
-	got := SlotBandwidthMBps(500, 4, 32)
+	got := SlotBandwidthMBps(500, 4, 32, false)
 	if math.Abs(got-41.67) > 0.1 {
 		t.Errorf("SlotBandwidthMBps = %v", got)
 	}
-	n, err := SlotsForBandwidth(500, 500, 4, 32)
+	// Reliable accounting charges the sideband word: 1 payload word per
+	// slot, exactly half the baseline guarantee.
+	if rel := SlotBandwidthMBps(500, 4, 32, true); math.Abs(rel-got/2) > 1e-9 {
+		t.Errorf("reliable SlotBandwidthMBps = %v, want %v", rel, got/2)
+	}
+	n, err := SlotsForBandwidth(500, 500, 4, 32, false)
 	if err != nil || n != 12 {
 		t.Errorf("SlotsForBandwidth(500) = %d, %v", n, err)
 	}
-	n, err = SlotsForBandwidth(1, 500, 4, 32)
+	// The same rate under reliable accounting needs twice the slots.
+	n, err = SlotsForBandwidth(500, 500, 4, 32, true)
+	if err != nil || n != 24 {
+		t.Errorf("reliable SlotsForBandwidth(500) = %d, %v", n, err)
+	}
+	n, err = SlotsForBandwidth(1, 500, 4, 32, false)
 	if err != nil || n != 1 {
 		t.Errorf("SlotsForBandwidth(1) = %d, %v", n, err)
 	}
-	if _, err := SlotsForBandwidth(5000, 500, 4, 32); err == nil {
+	if _, err := SlotsForBandwidth(5000, 500, 4, 32, false); err == nil {
 		t.Error("accepted a rate above link capacity")
 	}
-	if got := ThroughputGuaranteeMBps(12, 500, 4, 32); got < 500 {
+	// A rate that fits baseline capacity can exceed reliable capacity.
+	if _, err := SlotsForBandwidth(1200, 500, 4, 32, true); err == nil {
+		t.Error("accepted a rate above reliable link capacity")
+	}
+	if got := ThroughputGuaranteeMBps(12, 500, 4, 32, false); got < 500 {
 		t.Errorf("guarantee for 12 slots = %v < 500", got)
+	}
+	if base, rel := ThroughputGuaranteeMBps(12, 500, 4, 32, false), ThroughputGuaranteeMBps(12, 500, 4, 32, true); math.Abs(rel-base/2) > 1e-9 {
+		t.Errorf("reliable guarantee = %v, want half of %v", rel, base)
 	}
 }
 
@@ -44,6 +62,78 @@ func TestLatencyBound(t *testing.T) {
 	}
 }
 
+// bruteForceWorstLatencyCycles walks every arrival cycle of one table
+// revolution under the TDM service model — a word arriving at cycle a is
+// visible to the slot decision at the next flit-cycle boundary strictly
+// after a, departs at the start of the first owned slot from that
+// boundary on, then pays up to 2 cycles of in-flit serialisation, the
+// path shift, and the delivery registration — and returns the worst
+// injection-to-delivery latency in cycles.
+func bruteForceWorstLatencyCycles(set []int, tableSize int, p *route.Path) int {
+	owned := make(map[int]bool, len(set))
+	for _, s := range set {
+		owned[s] = true
+	}
+	worst := 0
+	for a := 0; a < phit.FlitWords*tableSize; a++ {
+		d := a + 1
+		if r := d % phit.FlitWords; r != 0 {
+			d += phit.FlitWords - r
+		}
+		dep := d
+		for !owned[(dep/phit.FlitWords)%tableSize] {
+			dep += phit.FlitWords
+		}
+		lat := (dep - a) + 2 + phit.FlitWords*p.TotalShift + deliveryCycles
+		if lat > worst {
+			worst = lat
+		}
+	}
+	return worst
+}
+
+// TestLatencyBoundBruteForce pins LatencyBoundNs against a cycle-level
+// slot walk: the analytical bound must never undercount the worst
+// arrival phase, for single-slot reservations at every table position
+// (including slot S-1, whose per-hop shift wraps to slot 0), wrap pairs,
+// and random sets.
+func TestLatencyBoundBruteForce(t *testing.T) {
+	const fMHz = 500
+	cycleNs := 1e3 / fMHz
+	rng := rand.New(rand.NewSource(7))
+	check := func(set []int, tableSize int, p *route.Path) {
+		t.Helper()
+		brute := bruteForceWorstLatencyCycles(set, tableSize, p)
+		bound := int(math.Round(LatencyBoundNs(p, set, tableSize, fMHz) / cycleNs))
+		if bound < brute {
+			t.Errorf("set %v table %d shift %d: bound %d cycles undercuts brute-force %d",
+				set, tableSize, p.TotalShift, bound, brute)
+		}
+		// The model constants leave exactly two flit cycles of analytic
+		// slack (decision granularity + injection margin); more would
+		// mean the bound went soft.
+		if bound-brute > 2*phit.FlitWords {
+			t.Errorf("set %v table %d: bound %d cycles is %d above brute-force %d",
+				set, tableSize, bound, bound-brute, brute)
+		}
+	}
+	for _, tableSize := range []int{8, 16, 32} {
+		for _, shift := range []int{1, 3, 6} {
+			p := &route.Path{TotalShift: shift}
+			for s := 0; s < tableSize; s++ {
+				check([]int{s}, tableSize, p) // every position incl. S-1
+			}
+			check([]int{0, tableSize - 1}, tableSize, p) // wrap pair
+			check([]int{tableSize - 2, tableSize - 1}, tableSize, p)
+			for i := 0; i < 8; i++ {
+				k := 1 + rng.Intn(tableSize-1)
+				set := rng.Perm(tableSize)[:k]
+				check(set, tableSize, p)
+			}
+		}
+	}
+}
+
 func TestSlotsForLatencyInvertsBound(t *testing.T) {
 	p := &route.Path{TotalShift: 4}
 	for _, budget := range []float64{150, 250, 400} {
@@ -51,14 +141,7 @@ func TestSlotsForLatencyInvertsBound(t *testing.T) {
 		if err != nil {
 			t.Fatalf("budget %v: %v", budget, err)
 		}
-		// Evenly spread k slots: gap = ceil(32/k); bound must fit.
-		gap := (32 + k - 1) / k
-		slotsEven := make([]int, k)
-		for i := range slotsEven {
-			slotsEven[i] = i * 32 / k
-		}
-		_ = gap
-		if got := LatencyBoundNs(p, slotsEven, 32, 500); got > budget {
+		if got := LatencyBoundNs(p, EvenSlots(k, 32), 32, 500); got > budget {
 			t.Errorf("budget %v: k=%d gives bound %v", budget, k, got)
 		}
 	}
@@ -67,11 +150,66 @@ func TestSlotsForLatencyInvertsBound(t *testing.T) {
 	}
 }
 
+// TestSlotsForLatencyFlooredGap is the regression for the revolution-wait
+// undercount: with a fractional tolerable gap the historical sizing took
+// k = ceil(S/gap) on the *fractional* gap, but an even spread of k slots
+// realises a MaxGap of ceil(S/k), which can exceed the fractional gap and
+// blow the budget by one flit cycle. Budget 37.2 ns on a one-shift path
+// at S=8 tolerates gap 1.2: the old answer k=7 realises MaxGap 2
+// (bound 42 ns > budget); the floored sizing returns k=8 (36 ns).
+func TestSlotsForLatencyFlooredGap(t *testing.T) {
+	p := &route.Path{TotalShift: 1}
+	const budget = 37.2
+	k, err := SlotsForLatency(budget, p, 8, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 8 {
+		t.Errorf("SlotsForLatency(%v) = %d, want 8", budget, k)
+	}
+	if got := LatencyBoundNs(p, EvenSlots(k, 8), 8, 500); got > budget {
+		t.Errorf("k=%d realises bound %v > budget %v", k, got, budget)
+	}
+	// The historical answer violates the budget — keep the counterexample
+	// honest in case the constants drift.
+	if old := LatencyBoundNs(p, EvenSlots(7, 8), 8, 500); old <= budget {
+		t.Errorf("counterexample went stale: k=7 bound %v fits budget %v", old, budget)
+	}
+}
+
+// TestSlotsForLatencyQuick: the slot count returned by SlotsForLatency,
+// spread evenly, always satisfies the budget it was sized for — across
+// small tables where fractional gaps bite hardest.
+func TestSlotsForLatencyQuick(t *testing.T) {
+	f := func(rawBudget uint16, rawShift, rawTable uint8) bool {
+		tables := []int{4, 8, 12, 16, 32, 64}
+		tableSize := tables[int(rawTable)%len(tables)]
+		p := &route.Path{TotalShift: 1 + int(rawShift%6)}
+		budget := 30 + float64(rawBudget%1000)/2
+		k, err := SlotsForLatency(budget, p, tableSize, 500)
+		if err != nil {
+			return true // infeasible budgets may error
+		}
+		return LatencyBoundNs(p, EvenSlots(k, tableSize), tableSize, 500) <= budget+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 4000, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBurstSlotTimes(t *testing.T) {
 	cases := []struct{ tx, want int }{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {16, 8}, {0, 1}}
 	for _, c := range cases {
-		if got := BurstSlotTimes(c.tx); got != c.want {
+		if got := BurstSlotTimes(c.tx, false); got != c.want {
 			t.Errorf("BurstSlotTimes(%d) = %d, want %d", c.tx, got, c.want)
+		}
+	}
+	// Reliable: one payload word per slot, so slot times equal words.
+	relCases := []struct{ tx, want int }{{1, 1}, {2, 2}, {4, 4}, {16, 16}, {0, 1}}
+	for _, c := range relCases {
+		if got := BurstSlotTimes(c.tx, true); got != c.want {
+			t.Errorf("BurstSlotTimes(%d, reliable) = %d, want %d", c.tx, got, c.want)
 		}
 	}
 }
@@ -81,37 +219,67 @@ func TestBurstBoundUsesWindow(t *testing.T) {
 	// Slots 0,2,5 in table 8: windows. For tx=4 words (m=2), worst
 	// 2-gap window = 6.
 	set := []int{0, 2, 5}
-	b := LatencyBoundBurstNs(p, set, 8, 500, 4)
+	b := LatencyBoundBurstNs(p, set, 8, 500, 4, false)
 	want := float64(3*(6+1)+FixedPathCycles(p)) * 2
 	if b != want {
 		t.Errorf("burst bound = %v, want %v", b, want)
 	}
 	// m=1 matches the plain bound.
-	if got, plain := LatencyBoundBurstNs(p, set, 8, 500, 2), LatencyBoundNs(p, set, 8, 500); got != plain {
+	if got, plain := LatencyBoundBurstNs(p, set, 8, 500, 2, false), LatencyBoundNs(p, set, 8, 500); got != plain {
 		t.Errorf("m=1 burst bound %v != plain %v", got, plain)
+	}
+	// Reliable accounting widens the service window (4 words need 4
+	// slot times, not 2), never narrows it.
+	if rel := LatencyBoundBurstNs(p, set, 8, 500, 4, true); rel < b {
+		t.Errorf("reliable burst bound %v < baseline %v", rel, b)
 	}
 }
 
 // TestBurstSizingQuick: the slot count returned by SlotsForBurstLatency,
-// spread evenly, always satisfies the budget it was sized for.
+// spread evenly, always satisfies the budget it was sized for — in both
+// accounting modes and down to small tables.
 func TestBurstSizingQuick(t *testing.T) {
-	f := func(rawBudget uint16, rawTx, rawShift uint8) bool {
+	f := func(rawBudget uint16, rawTx, rawShift, rawTable uint8) bool {
+		tables := []int{8, 16, 32, 64}
+		tableSize := tables[int(rawTable)%len(tables)]
 		p := &route.Path{TotalShift: 1 + int(rawShift%6)}
 		tx := 1 + int(rawTx%32)
 		budget := 100 + float64(rawBudget%2000)
-		k, err := SlotsForBurstLatency(budget, tx, p, 64, 500)
+		reliable := rawTx%2 == 0
+		k, err := SlotsForBurstLatency(budget, tx, p, tableSize, 500, reliable)
 		if err != nil {
 			return true // infeasible budgets may error
 		}
-		even := make([]int, k)
-		for i := range even {
-			even[i] = i * 64 / k
-		}
-		return LatencyBoundBurstNs(p, even, 64, 500, tx) <= budget+1e-9
+		return LatencyBoundBurstNs(p, EvenSlots(k, tableSize), tableSize, 500, tx, reliable) <= budget+1e-9
 	}
 	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(9))}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestConnectionBounds(t *testing.T) {
+	p := &route.Path{TotalShift: 3}
+	set := []int{0, 8}
+	b := ConnectionBounds(p, set, 16, 500, 4, Mode{})
+	if b.SlotCount != 2 || b.MaxGapSlots != 8 {
+		t.Errorf("bounds = %+v", b)
+	}
+	if want := LatencyBoundNs(p, set, 16, 500); b.LatencyNs != want {
+		t.Errorf("LatencyNs = %v, want %v", b.LatencyNs, want)
+	}
+	if want := ThroughputGuaranteeMBps(2, 500, 4, 16, false); b.GuaranteeMBps != want {
+		t.Errorf("GuaranteeMBps = %v, want %v", b.GuaranteeMBps, want)
+	}
+	// Transactional mode uses the window bound; reliable mode halves
+	// the guarantee.
+	tb := ConnectionBounds(p, set, 16, 500, 4, Mode{Transactional: true, TxWords: 4})
+	if want := LatencyBoundBurstNs(p, set, 16, 500, 4, false); tb.LatencyNs != want {
+		t.Errorf("transactional LatencyNs = %v, want %v", tb.LatencyNs, want)
+	}
+	rb := ConnectionBounds(p, set, 16, 500, 4, Mode{Reliable: true})
+	if math.Abs(rb.GuaranteeMBps-b.GuaranteeMBps/2) > 1e-9 {
+		t.Errorf("reliable GuaranteeMBps = %v, want half of %v", rb.GuaranteeMBps, b.GuaranteeMBps)
 	}
 }
 

@@ -1,0 +1,488 @@
+package audit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/phit"
+	"repro/internal/reliable"
+	"repro/internal/route"
+	"repro/internal/trace"
+)
+
+// Options tunes an Auditor without weakening its defaults.
+type Options struct {
+	// TolerateOversubscription suppresses InjectionRate violations for
+	// connections that offer more than their guarantee (used when the
+	// scenario *deliberately* oversubscribes, e.g. a hostile-interferer
+	// composability run). Oversubscribed connections still lose their
+	// bound checks — the analytical bound does not cover them.
+	TolerateOversubscription bool
+	// SlackNs widens the latency check by a fixed margin. Zero (the
+	// default) checks the analytical bound exactly.
+	SlackNs float64
+	// BucketWords overrides the injection token-bucket depth (default
+	// 128 words, enough for the largest built-in burst of 64 words plus
+	// scheduling margin).
+	BucketWords int
+	// MaxReports caps the violations reported per connection and kind
+	// (default 8); the per-kind counters keep counting past the cap so
+	// the summary stays exact while a pathological run cannot flood the
+	// collector.
+	MaxReports int
+}
+
+// connAudit is the per-connection contract plus running check state.
+type connAudit struct {
+	id      phit.ConnID
+	srcName string
+	dstName string
+
+	boundPs       float64 // checked latency ceiling, ps (bound + allowance + slack)
+	waitBudgetPs  float64 // source-NI wait past which the source is out of contract
+	rawBoundNs    float64 // the analytical bound as built
+	guaranteeMBps float64
+
+	// Injection token bucket, in words.
+	rate   float64 // refill, words per ps
+	depth  float64
+	tokens float64
+	primed bool
+	lastPs clock.Time
+
+	unregulated bool // offered load exceeded the guarantee (sticky)
+	quarantined bool // reliability layer gave up on this connection
+
+	nextSeq   int64
+	injected  int64
+	delivered int64
+	maxLatPs  clock.Time
+
+	reported map[fault.Kind]int
+}
+
+// flitWindow counts one connection's flit starts inside the current
+// table revolution (the network-side injection-regulation check).
+type flitWindow struct {
+	bucket int64
+	count  int
+}
+
+// activity keys the slot-exclusivity check: one TDM resource is a
+// component (NI, link stage) or a router output port.
+type activity struct {
+	comp trace.CompID
+	port int64
+}
+
+type lastUse struct {
+	time clock.Time
+	conn phit.ConnID
+}
+
+// An Auditor checks every traced event against the analytical contracts
+// of a built network. It implements trace.Sink.
+type Auditor struct {
+	rep  fault.Reporter
+	bus  *trace.Bus
+	opts Options
+
+	conns map[phit.ConnID]*connAudit
+	order []phit.ConnID
+
+	// Allocation-side injection tables keyed by NI component name,
+	// resolved lazily per CompID. Deliberately snapshotted from
+	// Network.Alloc, not from the live NI tables, so corruption of the
+	// latter is caught.
+	allocTables map[string][]phit.ConnID
+	ownership   map[trace.CompID][]phit.ConnID
+
+	// Network-side injection regulation: per-connection slot quota
+	// (data and reverse channels alike) and per-revolution flit counts.
+	slotQuota    map[phit.ConnID]int
+	flitWin      map[phit.ConnID]*flitWindow
+	revolutionPs clock.Time
+
+	last           map[activity]lastUse
+	checkExclusive bool
+	flitCyclePs    clock.Time
+
+	total  int64
+	byKind map[fault.Kind]int64
+}
+
+// Attach builds an Auditor for the network and subscribes it to the bus.
+// The reporter receives every violation (nil = strict fail-fast); it
+// should be a collector distinct from any fault-campaign collector, so
+// expected campaign violations are never mixed with guarantee breaches.
+func Attach(n *core.Network, bus *trace.Bus, rep fault.Reporter, opts Options) *Auditor {
+	if opts.BucketWords <= 0 {
+		opts.BucketWords = 128
+	}
+	if opts.MaxReports <= 0 {
+		opts.MaxReports = 8
+	}
+	a := &Auditor{
+		rep:  rep,
+		bus:  bus,
+		opts: opts,
+
+		conns:       make(map[phit.ConnID]*connAudit),
+		allocTables: make(map[string][]phit.ConnID),
+		ownership:   make(map[trace.CompID][]phit.ConnID),
+		slotQuota:   make(map[phit.ConnID]int),
+		flitWin:     make(map[phit.ConnID]*flitWindow),
+		last:        make(map[activity]lastUse),
+		// Plesiochronous clocks make sub-flit-cycle spacing between
+		// *different* resources' events legitimate; ownership checks
+		// still run in every mode.
+		checkExclusive: n.Cfg.Mode != core.Asynchronous,
+		flitCyclePs:    clock.Time(phit.FlitWords) * clock.Time(clock.PeriodFromMHz(n.Cfg.FreqMHz)),
+		byKind:         make(map[fault.Kind]int64),
+	}
+
+	allowancePs := recoveryAllowancePs(n)
+	// Plesiochronous drift stretches the wall-clock spacing of a
+	// generator's nominally compliant injections.
+	rateMargin := 1.0 + 1e-6
+	if n.Cfg.Mode == core.Asynchronous {
+		rateMargin += 2 * n.Cfg.PPM / 1e6
+	}
+	for _, id := range n.Connections() {
+		info, err := n.Info(id)
+		if err != nil {
+			continue
+		}
+		p := &route.Path{TotalShift: info.TotalShift}
+		ca := &connAudit{
+			id:            id,
+			srcName:       n.Mesh.Node(info.SrcNI).Name,
+			dstName:       n.Mesh.Node(info.DstNI).Name,
+			rawBoundNs:    info.BoundNs,
+			guaranteeMBps: info.GuaranteedMBps,
+			boundPs:       (info.BoundNs+opts.SlackNs)*1e3 + allowancePs,
+			waitBudgetPs:  analysis.SourceWaitBudgetNs(info.BoundNs+opts.SlackNs, p, n.Cfg.FreqMHz)*1e3 + allowancePs,
+			rate:          info.GuaranteedMBps * 1e6 / float64(n.Cfg.WordBytes) / 1e12 * rateMargin,
+			depth:         float64(opts.BucketWords),
+			nextSeq:       0,
+			reported:      make(map[fault.Kind]int),
+		}
+		ca.tokens = ca.depth
+		a.conns[id] = ca
+		a.order = append(a.order, id)
+	}
+
+	for _, nid := range n.Mesh.NIs() {
+		name := n.Mesh.Node(nid).Name
+		a.allocTables[name] = append([]phit.ConnID(nil), n.Alloc.NITable(nid).Slots...)
+	}
+	for c, as := range n.Alloc.ByConn {
+		a.slotQuota[c] = len(as.Slots)
+	}
+	a.revolutionPs = a.flitCyclePs * clock.Time(n.Alloc.TableSize)
+
+	bus.Attach(a)
+	return a
+}
+
+// recoveryAllowancePs bounds the extra delivery delay the reliability
+// shell may legitimately add before quarantine: every go-back-N round
+// waits one timeout, the timeout doubles per silent round up to the
+// backoff cap, and the budget bounds the rounds. Without Reliable the
+// allowance is zero and the analytical bound is checked exactly.
+func recoveryAllowancePs(n *core.Network) float64 {
+	if !n.Cfg.Reliable {
+		return 0
+	}
+	budget := n.Cfg.RetryBudget
+	if budget <= 0 {
+		budget = reliable.DefaultRetryBudget
+	}
+	var worstBound float64
+	for _, id := range n.Connections() {
+		if info, err := n.Info(id); err == nil {
+			// Mirror core.wireReliable's timeout derivation.
+			timeoutPs := info.BoundNs*1e3 +
+				float64(info.AckRTSlots+n.Alloc.TableSize)*float64(phit.FlitWords)*float64(clock.PeriodFromMHz(n.Cfg.FreqMHz))
+			backoff, sum := 1.0, 0.0
+			for r := 0; r <= budget; r++ {
+				sum += backoff
+				if backoff < float64(reliable.DefaultBackoffCap) {
+					backoff *= 2
+				}
+			}
+			if w := timeoutPs * sum; w > worstBound {
+				worstBound = w
+			}
+		}
+	}
+	return worstBound
+}
+
+// Event implements trace.Sink.
+func (a *Auditor) Event(ev trace.Event) {
+	switch ev.Kind {
+	case trace.Inject:
+		a.onInject(ev)
+	case trace.Send:
+		a.onSend(ev)
+	case trace.Eject:
+		a.onEject(ev)
+	case trace.SlotStart:
+		a.onSlotStart(ev)
+		a.onActivity(ev, 0)
+	case trace.RouterForward:
+		a.onActivity(ev, ev.Arg)
+	case trace.LinkForward:
+		a.onActivity(ev, 0)
+	case trace.Quarantine:
+		if ca := a.conns[ev.Conn]; ca != nil {
+			ca.quarantined = true
+		}
+	}
+}
+
+func (a *Auditor) onInject(ev trace.Event) {
+	ca := a.conns[ev.Conn]
+	if ca == nil {
+		return
+	}
+	ca.injected++
+	if !ca.primed {
+		ca.primed = true
+		ca.lastPs = ev.Time
+	}
+	ca.tokens += float64(ev.Time-ca.lastPs) * ca.rate
+	ca.lastPs = ev.Time
+	if ca.tokens > ca.depth {
+		ca.tokens = ca.depth
+	}
+	ca.tokens--
+	if ca.tokens < 0 && !ca.unregulated {
+		ca.unregulated = true
+		if !a.opts.TolerateOversubscription {
+			a.report(ca, fault.Violation{
+				Kind:      fault.InjectionRate,
+				Component: a.bus.ComponentName(ev.Comp),
+				Time:      ev.Time,
+				Slot:      fault.NoSlot,
+				Detail: fmt.Sprintf("connection %d offers more than its %.1f Mbyte/s guarantee (word %d overdraws the allocation bucket); its bounds are no longer checked",
+					ca.id, ca.guaranteeMBps, ev.Seq),
+			})
+		}
+	}
+}
+
+// onSend checks a word's dwell time at the source NI. A word of a
+// compliant connection never waits longer than the bound minus the
+// deterministic transit; a longer wait means the queue ahead of it could
+// only have been offered out of contract, so the connection's bound
+// checks are withdrawn (the paper's oversubscriber only slows itself
+// down) and the breach of contract is reported once. Every e2e bound
+// violation caused by source-side backlog trips this check at the word's
+// Send, before its Eject — so it surfaces as injection-rate, while a
+// delay inside the fabric still surfaces as latency-bound.
+func (a *Auditor) onSend(ev trace.Event) {
+	ca := a.conns[ev.Conn]
+	if ca == nil || ca.unregulated || ca.quarantined {
+		return
+	}
+	if wait := float64(ev.Time - ev.Ref); wait > ca.waitBudgetPs {
+		ca.unregulated = true
+		if !a.opts.TolerateOversubscription {
+			a.report(ca, fault.Violation{
+				Kind:      fault.InjectionRate,
+				Component: a.bus.ComponentName(ev.Comp),
+				Time:      ev.Time,
+				Slot:      fault.NoSlot,
+				Detail: fmt.Sprintf("connection %d word %d waited %.1f ns at the source NI (contract allows %.1f ns): offered load exceeds the allocation; bounds no longer checked",
+					ca.id, ev.Seq, wait/1e3, ca.waitBudgetPs/1e3),
+			})
+		}
+	}
+}
+
+func (a *Auditor) onEject(ev trace.Event) {
+	ca := a.conns[ev.Conn]
+	if ca == nil {
+		return
+	}
+	ca.delivered++
+	if ev.Seq != ca.nextSeq {
+		a.report(ca, fault.Violation{
+			Kind:      fault.DeliveryOrder,
+			Component: a.bus.ComponentName(ev.Comp),
+			Time:      ev.Time,
+			Slot:      fault.NoSlot,
+			Detail: fmt.Sprintf("connection %d delivered word %d, expected %d",
+				ca.id, ev.Seq, ca.nextSeq),
+		})
+	}
+	ca.nextSeq = ev.Seq + 1
+	lat := ev.Time - ev.Ref
+	if lat > ca.maxLatPs {
+		ca.maxLatPs = lat
+	}
+	if float64(lat) > ca.boundPs && !ca.unregulated && !ca.quarantined {
+		a.report(ca, fault.Violation{
+			Kind:      fault.LatencyBound,
+			Component: a.bus.ComponentName(ev.Comp),
+			Time:      ev.Time,
+			Slot:      fault.NoSlot,
+			Detail: fmt.Sprintf("connection %d word %d took %.1f ns, analytical worst case %.1f ns",
+				ca.id, ev.Seq, float64(lat)/1e3, ca.boundPs/1e3),
+		})
+	}
+}
+
+func (a *Auditor) onSlotStart(ev trace.Event) {
+	if ev.Slot < 0 {
+		return
+	}
+	table, ok := a.ownership[ev.Comp]
+	if !ok {
+		table = a.allocTables[a.bus.ComponentName(ev.Comp)]
+		a.ownership[ev.Comp] = table
+	}
+	if table == nil {
+		return
+	}
+	slot := int(ev.Slot) % len(table)
+	if owner := table[slot]; owner != ev.Conn {
+		a.report(a.conns[ev.Conn], fault.Violation{
+			Kind:      fault.SlotOwnership,
+			Component: a.bus.ComponentName(ev.Comp),
+			Time:      ev.Time,
+			Slot:      slot,
+			Detail: fmt.Sprintf("connection %d sent in a slot the allocation assigns to %s",
+				ev.Conn, ownerName(owner)),
+		})
+	}
+
+	// Network-side injection regulation: a connection owning q slots can
+	// start at most q flits per table revolution; one extra is tolerated
+	// for bucket-boundary alignment (and plesiochronous drift).
+	q := a.slotQuota[ev.Conn]
+	if q == 0 || a.revolutionPs == 0 {
+		return
+	}
+	w := a.flitWin[ev.Conn]
+	if w == nil {
+		w = &flitWindow{bucket: -1}
+		a.flitWin[ev.Conn] = w
+	}
+	if b := int64(ev.Time / a.revolutionPs); b != w.bucket {
+		w.bucket, w.count = b, 0
+	}
+	w.count++
+	if w.count > q+1 {
+		a.report(a.conns[ev.Conn], fault.Violation{
+			Kind:      fault.InjectionRate,
+			Component: a.bus.ComponentName(ev.Comp),
+			Time:      ev.Time,
+			Slot:      slot,
+			Detail: fmt.Sprintf("connection %d started %d flits in one table revolution but owns %d slots",
+				ev.Conn, w.count, q),
+		})
+	}
+}
+
+func ownerName(c phit.ConnID) string {
+	if c == phit.None {
+		return "no one"
+	}
+	return fmt.Sprintf("connection %d", c)
+}
+
+// onActivity enforces per-resource slot exclusivity: two different
+// connections may not use the same NI, router output port, or link stage
+// within one flit cycle (the TDM slot is reserved end to end).
+func (a *Auditor) onActivity(ev trace.Event, port int64) {
+	if !a.checkExclusive {
+		return
+	}
+	key := activity{comp: ev.Comp, port: port}
+	prev, ok := a.last[key]
+	a.last[key] = lastUse{time: ev.Time, conn: ev.Conn}
+	if !ok || prev.conn == ev.Conn {
+		return
+	}
+	if ev.Time-prev.time < a.flitCyclePs-1 {
+		a.report(a.conns[ev.Conn], fault.Violation{
+			Kind:      fault.SlotContention,
+			Component: a.bus.ComponentName(ev.Comp),
+			Time:      ev.Time,
+			Slot:      int(ev.Slot),
+			Detail: fmt.Sprintf("connections %d and %d used the same resource %.1f ns apart (flit cycle %.1f ns)",
+				prev.conn, ev.Conn, float64(ev.Time-prev.time)/1e3, float64(a.flitCyclePs)/1e3),
+		})
+	}
+}
+
+// report counts v and forwards it to the reporter unless the per-conn,
+// per-kind cap is exhausted. ca may be nil (reverse channels have no
+// audited word contract); the cap then does not apply.
+func (a *Auditor) report(ca *connAudit, v fault.Violation) {
+	a.total++
+	a.byKind[v.Kind]++
+	if ca != nil {
+		if ca.reported[v.Kind] >= a.opts.MaxReports {
+			return
+		}
+		ca.reported[v.Kind]++
+	}
+	fault.Report(a.rep, v)
+}
+
+// Violations returns the total number of violations detected (including
+// any suppressed past the per-connection reporting cap).
+func (a *Auditor) Violations() int64 { return a.total }
+
+// ByKind returns the per-kind violation totals.
+func (a *Auditor) ByKind() map[fault.Kind]int64 {
+	out := make(map[fault.Kind]int64, len(a.byKind))
+	for k, n := range a.byKind {
+		out[k] = n
+	}
+	return out
+}
+
+// WriteSummary renders the per-connection audit verdicts and the
+// violation totals, one line per connection, deterministically ordered.
+func (a *Auditor) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "audit: %d connections, %d violations\n", len(a.order), a.total)
+	fmt.Fprintf(w, "%6s %12s %10s %9s %9s %8s  %s\n",
+		"conn", "route", "delivered", "maxlat", "bound", "margin", "verdict")
+	for _, id := range a.order {
+		ca := a.conns[id]
+		verdict := "ok"
+		switch {
+		case ca.quarantined:
+			verdict = "quarantined"
+		case ca.unregulated:
+			verdict = "oversubscribed"
+		case len(ca.reported) > 0:
+			verdict = "VIOLATED"
+		}
+		maxNs := float64(ca.maxLatPs) / 1e3
+		boundNs := ca.boundPs / 1e3
+		fmt.Fprintf(w, "%6d %12s %10d %8.1fn %8.1fn %7.1f%%  %s\n",
+			id, ca.srcName+">"+ca.dstName, ca.delivered, maxNs, boundNs,
+			100*(1-maxNs/boundNs), verdict)
+	}
+	if a.total > 0 {
+		kinds := make([]fault.Kind, 0, len(a.byKind))
+		for k := range a.byKind {
+			kinds = append(kinds, k)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+		for _, k := range kinds {
+			fmt.Fprintf(w, "audit: %8d x %s\n", a.byKind[k], k)
+		}
+	}
+}

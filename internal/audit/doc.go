@@ -1,0 +1,41 @@
+// Package audit closes the loop between the paper's two headline claims
+// and what the simulator actually does.
+//
+// Aelite promises predictable services — a worst-case latency and a
+// guaranteed throughput computable from nothing but the TDM slot
+// reservation and the path (paper Section VII) — and composable services
+// — one connection's observable behaviour is bit-independent of every
+// other connection's traffic (Section III). Both claims live in
+// internal/analysis as formulas; this package holds every simulated flit
+// to them.
+//
+// An Auditor is a trace.Sink: attach it to the event bus of a built
+// network and it derives each connection's contract (via
+// analysis.ConnectionBounds, the same entry point Build itself uses, so
+// the checked bound and the built bound cannot drift apart) and asserts,
+// event by event:
+//
+//   - injection regulation: a token bucket at the connection's guaranteed
+//     rate polices every Inject — the GS contract only binds the bounds
+//     while the source stays inside its allocation, so an oversubscribing
+//     connection is flagged once and its bound checks withdrawn (it only
+//     ever slows itself down);
+//   - bound compliance: every Eject's injection-to-delivery latency is
+//     checked against the analytical worst case (plus the retransmission
+//     allowance in reliable mode);
+//   - in-order delivery: Eject sequence numbers must advance by exactly
+//     one;
+//   - slot conformance: every SlotStart must occur in a slot the
+//     *allocation* assigns to that connection (catching live-table
+//     corruption), and no two connections may use the same NI, router
+//     output port, or link stage within one flit cycle.
+//
+// Violations flow through the fault.Reporter machinery: a nil reporter
+// fails fast on the first violation (strict mode), a fault.Collector
+// records them all with one-line diagnostics.
+//
+// The composability claim needs two runs, not one: Isolation re-executes
+// a scenario with the *other* connections' traffic perturbed and diffs
+// the audited connections' delivery timelines for byte identity, fanning
+// the paired runs over internal/parallel.
+package audit

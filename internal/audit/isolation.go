@@ -1,0 +1,79 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/parallel"
+	"repro/internal/phit"
+)
+
+// Timelines maps each audited connection to its per-word delivery
+// instants (typically ni.Arrivals after a run with RecordArrivals on).
+type Timelines map[phit.ConnID][]clock.Time
+
+// IsolationResult is the outcome of one composability diff.
+type IsolationResult struct {
+	// Conns and Words count the compared connections and delivery
+	// instants (of the baseline run).
+	Conns int
+	Words int
+	// Identical is the composability verdict: every audited connection
+	// delivered the same words at the same picoseconds in both runs.
+	Identical bool
+	// FirstDiff describes the earliest divergence when not identical.
+	FirstDiff string
+}
+
+// Isolation runs the paired composability experiment: run(false) executes
+// the scenario as given, run(true) executes it with the *interfering*
+// connections' traffic perturbed, and the audited connections' delivery
+// timelines are diffed for byte identity — the paper's composability
+// claim is that the perturbation must be invisible. The two runs fan out
+// over the parallel sweep runner; each call must build a private network
+// and engine.
+func Isolation(jobs int, run func(perturbed bool) (Timelines, error)) (IsolationResult, error) {
+	outs, err := parallel.Map(parallel.Jobs(jobs), 2, func(i int) (Timelines, error) {
+		return run(i == 1)
+	})
+	if err != nil {
+		return IsolationResult{}, err
+	}
+	return Diff(outs[0], outs[1]), nil
+}
+
+// Diff compares two delivery timelines for byte identity.
+func Diff(base, perturbed Timelines) IsolationResult {
+	ids := make([]phit.ConnID, 0, len(base))
+	for id := range base {
+		ids = append(ids, id)
+	}
+	for id := range perturbed {
+		if _, ok := base[id]; !ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	res := IsolationResult{Conns: len(ids), Identical: true}
+	for _, id := range ids {
+		b, p := base[id], perturbed[id]
+		res.Words += len(b)
+		if res.FirstDiff != "" {
+			continue
+		}
+		if len(b) != len(p) {
+			res.Identical = false
+			res.FirstDiff = fmt.Sprintf("connection %d delivered %d words vs %d under perturbation", id, len(b), len(p))
+			continue
+		}
+		for i := range b {
+			if b[i] != p[i] {
+				res.Identical = false
+				res.FirstDiff = fmt.Sprintf("connection %d word %d arrived at %d ps vs %d ps under perturbation", id, i, b[i], p[i])
+				break
+			}
+		}
+	}
+	return res
+}

@@ -347,13 +347,9 @@ func allocate(m *topology.Mesh, uc *spec.UseCase, cfg Config, tableSize int) (*s
 		info.slotSet = as.Slots
 		info.revPath = usedWorstPath(ras)
 		info.revSlots = ras.Slots
-		info.guaranteeMBps = analysis.ThroughputGuaranteeMBps(len(as.Slots), cfg.FreqMHz, cfg.WordBytes, tableSize)
-		if cfg.Transactional {
-			info.boundNs = analysis.LatencyBoundBurstNs(info.path, as.Slots, tableSize, cfg.FreqMHz,
-				TxWordsForRate(info.spec.BandwidthMBps))
-		} else {
-			info.boundNs = analysis.LatencyBoundNs(info.path, as.Slots, tableSize, cfg.FreqMHz)
-		}
+		b := analysis.ConnectionBounds(info.path, as.Slots, tableSize, cfg.FreqMHz, cfg.WordBytes, analysisMode(cfg, info.spec.BandwidthMBps))
+		info.guaranteeMBps = b.GuaranteeMBps
+		info.boundNs = b.LatencyNs
 		rt := analysis.CreditRoundTripSlots(ras.Slots, info.revPath, tableSize)
 		info.ackRTSlots = rt
 		info.recvCap = analysis.RecvCapacityWords(len(as.Slots), rt, tableSize)

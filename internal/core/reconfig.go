@@ -158,13 +158,11 @@ func (n *Network) OpenConnection(c spec.Connection) error {
 	info.slotSet = as.Slots
 	info.revPath = usedWorstPath(ras)
 	info.revSlots = ras.Slots
-	info.guaranteeMBps = analysis.ThroughputGuaranteeMBps(len(as.Slots), cfg.FreqMHz, cfg.WordBytes, tableSize)
-	if cfg.Transactional {
-		info.boundNs = analysis.LatencyBoundBurstNs(info.path, as.Slots, tableSize, cfg.FreqMHz, TxWordsForRate(c.BandwidthMBps))
-	} else {
-		info.boundNs = analysis.LatencyBoundNs(info.path, as.Slots, tableSize, cfg.FreqMHz)
-	}
+	b := analysis.ConnectionBounds(info.path, as.Slots, tableSize, cfg.FreqMHz, cfg.WordBytes, analysisMode(cfg, c.BandwidthMBps))
+	info.guaranteeMBps = b.GuaranteeMBps
+	info.boundNs = b.LatencyNs
 	rt := analysis.CreditRoundTripSlots(ras.Slots, info.revPath, tableSize)
+	info.ackRTSlots = rt
 	info.recvCap = analysis.RecvCapacityWords(len(as.Slots), rt, tableSize)
 
 	// Queue ids and NI registration.
@@ -214,17 +212,27 @@ func (n *Network) OpenConnection(c spec.Connection) error {
 	return nil
 }
 
+// analysisMode maps a network configuration (and a connection's rate,
+// which selects the transaction size) onto the analytical protocol mode.
+func analysisMode(cfg Config, rateMBps float64) analysis.Mode {
+	return analysis.Mode{
+		Reliable:      cfg.Reliable,
+		Transactional: cfg.Transactional,
+		TxWords:       TxWordsForRate(rateMBps),
+	}
+}
+
 // sizeConnection converts one connection's requirements into a slot
 // count, service-window target and window size (shared by Build and
 // OpenConnection).
 func sizeConnection(cfg Config, c spec.Connection, worst *route.Path, tableSize int) (count, windowTarget, m int, err error) {
-	bwSlots, err := analysis.SlotsForBandwidth(c.BandwidthMBps, cfg.FreqMHz, cfg.WordBytes, tableSize)
+	bwSlots, err := analysis.SlotsForBandwidth(c.BandwidthMBps, cfg.FreqMHz, cfg.WordBytes, tableSize, cfg.Reliable)
 	if err != nil {
 		return 0, 0, 0, fmt.Errorf("core: connection %d: %w", c.ID, err)
 	}
 	var latSlots int
 	if cfg.Transactional {
-		latSlots, err = analysis.SlotsForBurstLatency(c.MaxLatencyNs, TxWordsForRate(c.BandwidthMBps), worst, tableSize, cfg.FreqMHz)
+		latSlots, err = analysis.SlotsForBurstLatency(c.MaxLatencyNs, TxWordsForRate(c.BandwidthMBps), worst, tableSize, cfg.FreqMHz, cfg.Reliable)
 	} else {
 		latSlots, err = analysis.SlotsForLatency(c.MaxLatencyNs, worst, tableSize, cfg.FreqMHz)
 	}
@@ -235,7 +243,7 @@ func sizeConnection(cfg Config, c spec.Connection, worst *route.Path, tableSize 
 	m = 1
 	if cfg.Transactional {
 		tx := TxWordsForRate(c.BandwidthMBps)
-		m = analysis.BurstSlotTimes(tx)
+		m = analysis.BurstSlotTimes(tx, cfg.Reliable)
 		wordsPerCycle := c.BandwidthMBps * 1e6 / float64(cfg.WordBytes) / (cfg.FreqMHz * 1e6)
 		periodCycles := float64(tx) / wordsPerCycle
 		windowPeriod = int(periodCycles / float64(phit.FlitWords))

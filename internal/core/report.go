@@ -8,6 +8,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/phit"
 	"repro/internal/spec"
+	"repro/internal/topology"
 )
 
 // A ConnReport pairs one connection's requirements and analytical
@@ -166,12 +167,16 @@ func (n *Network) report(measureNs float64) *Report {
 // connection.
 type ConnectionInfo struct {
 	Conn           phit.ConnID
+	SrcNI          topology.NodeID
+	DstNI          topology.NodeID
 	Slots          []int
 	PathHops       int
 	TotalShift     int
 	GuaranteedMBps float64
+	RequiredMBps   float64
 	BoundNs        float64
 	RecvCapacity   int
+	AckRTSlots     int
 }
 
 // Info returns the allocation-derived facts of a data connection.
@@ -182,11 +187,25 @@ func (n *Network) Info(c phit.ConnID) (ConnectionInfo, error) {
 	}
 	return ConnectionInfo{
 		Conn:           c,
+		SrcNI:          info.srcNI,
+		DstNI:          info.dstNI,
 		Slots:          append([]int(nil), info.slotSet...),
 		PathHops:       info.path.Hops(),
 		TotalShift:     info.path.TotalShift,
 		GuaranteedMBps: info.guaranteeMBps,
+		RequiredMBps:   info.spec.BandwidthMBps,
 		BoundNs:        info.boundNs,
 		RecvCapacity:   info.recvCap,
+		AckRTSlots:     info.ackRTSlots,
 	}, nil
+}
+
+// Connections returns the ids of all data connections, ascending.
+func (n *Network) Connections() []phit.ConnID {
+	out := make([]phit.ConnID, 0, len(n.conns))
+	for id := range n.conns {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestConformancePoint runs one sweep point end to end: zero violations,
+// byte-identical timelines under 8x interference.
+func TestConformancePoint(t *testing.T) {
+	cfg := DefaultConformanceConfig()
+	line, err := conformancePoint(cfg, 16, core.Synchronous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, "0 violations") || !strings.Contains(line, "identical") {
+		t.Errorf("verdict line = %q", line)
+	}
+}
+
+// TestConformanceSweepDeterministic: the full sweep passes and renders
+// byte-identically at every worker count.
+func TestConformanceSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 9-point sweep")
+	}
+	cfg := DefaultConformanceConfig()
+	serial, err := ConformanceSweep(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(cfg.TableSizes)*len(cfg.Modes) {
+		t.Fatalf("sweep returned %d points", len(serial))
+	}
+	par, err := ConformanceSweep(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Errorf("point %d diverges across worker counts:\n%q\n%q", i, serial[i], par[i])
+		}
+	}
+}

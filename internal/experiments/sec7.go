@@ -114,13 +114,13 @@ func Sec7UseCase(m *topology.Mesh, seed int64) (*spec.UseCase, error) {
 		// 35-500 ns range meaningful for the heavy connections and
 		// relaxing only low-rate ones. See EXPERIMENTS.md.
 		fixed := float64(analysis.FixedPathCycles(&route.Path{TotalShift: worst})) * cycleNs
-		bwSlots, err := analysis.SlotsForBandwidth(c.BandwidthMBps, fMHz, 4, Sec7TableSize)
+		bwSlots, err := analysis.SlotsForBandwidth(c.BandwidthMBps, fMHz, 4, Sec7TableSize, false)
 		if err != nil {
 			return nil, err
 		}
 		kCap := bwSlots + 1
 		gapMin := (Sec7TableSize + kCap - 1) / kCap
-		m := analysis.BurstSlotTimes(core.TxWordsForRate(c.BandwidthMBps))
+		m := analysis.BurstSlotTimes(core.TxWordsForRate(c.BandwidthMBps), false)
 		minNs := fixed*1.15 + float64(3*(gapMin*m+1))*cycleNs
 		if c.MaxLatencyNs < minNs {
 			c.MaxLatencyNs = minNs

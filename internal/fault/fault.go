@@ -54,6 +54,23 @@ const (
 	// budget and stopped transmitting — its path is treated as failed
 	// while every other connection keeps its guarantees.
 	LinkQuarantined
+	// LatencyBound: a delivered word exceeded its connection's
+	// analytical worst-case latency (paper Section VII) — raised by the
+	// conformance auditor, never by the fabric itself.
+	LatencyBound
+	// DeliveryOrder: a connection delivered words out of sequence — the
+	// in-order property every TDM connection carries by construction.
+	DeliveryOrder
+	// InjectionRate: an IP offered sustained load above its allocated
+	// guarantee. Not a fabric fault — the GS contract only binds the
+	// bounds while the source stays within its allocation — but the
+	// auditor flags it so an out-of-contract run is never mistaken for
+	// a conforming one.
+	InjectionRate
+	// IsolationBreach: a connection's delivery timeline changed when
+	// *other* connections' traffic was perturbed — the composability
+	// claim (paper Section III) broken.
+	IsolationBreach
 )
 
 var kindNames = map[Kind]string{
@@ -72,6 +89,10 @@ var kindNames = map[Kind]string{
 	PacketState:     "packet-state",
 	Liveness:        "liveness",
 	LinkQuarantined: "link-quarantined",
+	LatencyBound:    "latency-bound",
+	DeliveryOrder:   "delivery-order",
+	InjectionRate:   "injection-rate",
+	IsolationBreach: "isolation",
 }
 
 func (k Kind) String() string {

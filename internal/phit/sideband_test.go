@@ -1,6 +1,10 @@
 package phit
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
 
 func testFlit() Flit {
 	return Flit{
@@ -76,5 +80,55 @@ func TestSeqDelta(t *testing.T) {
 		if got := SeqDelta(c.a, c.b); got != c.want {
 			t.Errorf("SeqDelta(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
 		}
+	}
+}
+
+// TestSeqDeltaQuick: for any base and any in-window distance, stepping the
+// base by d and comparing against the original recovers d exactly — in
+// particular across the 2^24 wrap, where unsigned subtraction alone would
+// report a distance of millions.
+func TestSeqDeltaQuick(t *testing.T) {
+	const half = int32(1) << 23 // serial-number comparison window
+	f := func(base uint32, raw int32) bool {
+		b := base & SeqMask
+		d := raw % half // any representable forward/backward distance
+		a := uint32(int64(b)+int64(d)) & SeqMask
+		return SeqDelta(a, b) == d
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(24))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSidebandSeqWrap walks the sequence number across the SeqMask
+// boundary: each stamped value must round-trip unmasked bits away, and
+// consecutive steps must always compare as exactly one apart.
+func TestSidebandSeqWrap(t *testing.T) {
+	prev := SeqMask - 3
+	for i := uint32(0); i < 8; i++ {
+		seq := (SeqMask - 3 + i) & SeqMask
+		f := testFlit()
+		StampSideband(&f, Sideband{Seq: seq, Ack: seq, AckValid: true})
+		sb, present, ok := CheckSideband(&f)
+		if !present || !ok {
+			t.Fatalf("seq %#x: present=%v ok=%v", seq, present, ok)
+		}
+		if sb.Seq != seq || sb.Ack != seq {
+			t.Fatalf("seq %#x round-tripped as %#x/%#x", seq, sb.Seq, sb.Ack)
+		}
+		if i > 0 {
+			if d := SeqDelta(sb.Seq, prev); d != 1 {
+				t.Fatalf("step %#x -> %#x compared as %d, want 1", prev, sb.Seq, d)
+			}
+		}
+		prev = sb.Seq
+	}
+	// Bits above the 24-bit field are masked off at stamp time, so an
+	// unmasked counter wraps identically to a masked one.
+	f := testFlit()
+	StampSideband(&f, Sideband{Seq: SeqMask + 5})
+	if sb, _, _ := CheckSideband(&f); sb.Seq != 4 {
+		t.Fatalf("overflowed seq stamped as %#x, want 4", sb.Seq)
 	}
 }

@@ -219,6 +219,48 @@ func TestBuckets(t *testing.T) {
 	}
 }
 
+// TestHistogramDegenerate pins the total behaviour of percentile and
+// bucket queries on empty and single-sample histograms — the shapes every
+// undelivered or single-word connection produces in a short run.
+func TestHistogramDegenerate(t *testing.T) {
+	var empty Histogram
+	for _, p := range []float64{-5, 0, 50, 99, 100, 150} {
+		if got := empty.Percentile(p); !math.IsNaN(got) {
+			t.Errorf("empty P%.0f = %v, want NaN", p, got)
+		}
+	}
+	for _, n := range []int{1, 3, 7} {
+		b := empty.Buckets(n)
+		if len(b) != n {
+			t.Fatalf("empty Buckets(%d) has %d bins", n, len(b))
+		}
+		for i, c := range b {
+			if c != 0 {
+				t.Errorf("empty Buckets(%d)[%d] = %d", n, i, c)
+			}
+		}
+	}
+
+	var one Histogram
+	one.Add(-3.5)
+	for _, p := range []float64{-5, 0, 50, 99, 100, 150} {
+		if got := one.Percentile(p); got != -3.5 {
+			t.Errorf("single-sample P%.0f = %v, want -3.5", p, got)
+		}
+	}
+	for _, n := range []int{1, 4} {
+		b := one.Buckets(n)
+		if b[0] != 1 {
+			t.Errorf("single-sample Buckets(%d) = %v, want all mass in bin 0", n, b)
+		}
+		for i := 1; i < n; i++ {
+			if b[i] != 0 {
+				t.Errorf("single-sample Buckets(%d)[%d] = %d", n, i, b[i])
+			}
+		}
+	}
+}
+
 // TestHistogramStaleSortWindow: interleaving Buckets, Percentile and Add
 // must neither reorder the stored samples nor serve a stale sorted view.
 func TestHistogramStaleSortWindow(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 
 	"repro/internal/clock"
 	"repro/internal/phit"
@@ -297,9 +298,19 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	cw.printf("section,component,events,busy_cycles,utilisation,max_occupancy\n")
 	for _, c := range r.Comps {
 		cw.printf("comp,%s,%d,%d,%s,%d\n",
-			c.Component, c.Events, c.BusyCycles, csvF(c.Utilisation), c.MaxOccupancy)
+			csvCell(c.Component), c.Events, c.BusyCycles, csvF(c.Utilisation), c.MaxOccupancy)
 	}
 	return cw.err
+}
+
+// csvCell escapes a free-form string for one CSV cell (RFC 4180).
+// Component names come straight from user specs, so a name containing a
+// comma or quote must not shift every column after it.
+func csvCell(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }
 
 // csvF formats a float deterministically for CSV cells.

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/csv"
 	"encoding/json"
 	"math"
 	"strings"
@@ -242,6 +243,59 @@ func TestMetricsAggregation(t *testing.T) {
 	// Connection 1 has real latency figures.
 	if !strings.Contains(lines[1], "8.000") {
 		t.Errorf("delivered conn row = %q", lines[1])
+	}
+}
+
+// TestCSVHostileComponentName round-trips a report whose component name
+// contains every character CSV treats as structure. The row must parse
+// back to exactly the original name without shifting any column.
+func TestCSVHostileComponentName(t *testing.T) {
+	hostile := `ni "a,b",x` + "\n" + `y`
+	b := NewBus()
+	m := NewMetrics(b)
+	em := b.Emitter(hostile)
+	em.Emit(Event{Time: 1000, Kind: SlotStart, Conn: 1, Slot: 0, Arg: 2})
+	rep := m.Report(10000, 1000)
+
+	var csvBuf bytes.Buffer
+	if err := rep.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	rd := csv.NewReader(&csvBuf)
+	rd.FieldsPerRecord = -1 // the two sections have different widths
+	rows, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("CSV with hostile name unparseable: %v\n%s", err, csvBuf.String())
+	}
+	var comp []string
+	for _, row := range rows {
+		if row[0] == "comp" {
+			comp = row
+		}
+	}
+	if comp == nil {
+		t.Fatalf("no comp row parsed:\n%s", csvBuf.String())
+	}
+	if len(comp) != 6 {
+		t.Fatalf("hostile name shifted columns: %d cells %q", len(comp), comp)
+	}
+	if comp[1] != hostile {
+		t.Errorf("name round-trip: got %q, want %q", comp[1], hostile)
+	}
+	if comp[2] != "1" {
+		t.Errorf("events cell after hostile name = %q, want 1", comp[2])
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := rep.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var round Report
+	if err := json.Unmarshal(jsonBuf.Bytes(), &round); err != nil {
+		t.Fatalf("JSON with hostile name invalid: %v", err)
+	}
+	if round.Comps[0].Component != hostile {
+		t.Errorf("JSON name round-trip: got %q", round.Comps[0].Component)
 	}
 }
 

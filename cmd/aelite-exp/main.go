@@ -15,6 +15,8 @@
 //	aelite-exp hetero      HSDF model of the wrapped NoC (extension)
 //	aelite-exp recovery    bit-flip recovery campaign (reliability layer)
 //	aelite-exp conformance guarantee-conformance sweep (audit layer)
+//	aelite-exp reconfig    online-reconfiguration study (admission control,
+//	                       undisturbed service, self-healing reroute)
 //	aelite-exp all         everything above
 //
 // Flags:
@@ -25,6 +27,8 @@
 //	-j N          parallel sweep workers (default all CPUs; results are
 //	              byte-identical at every worker count)
 //	-verbose      print the full 200-connection report tables
+//	-out FILE     write the reconfig study's JSON summary to FILE (the CI
+//	              artifact); only meaningful with the reconfig experiment
 package main
 
 import (
@@ -42,6 +46,7 @@ func main() {
 	freq := flag.Float64("freq", 500, "frequency in MHz for the sec7 comparison")
 	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all CPUs)")
 	verbose := flag.Bool("verbose", false, "print full per-connection reports")
+	jsonOut := flag.String("out", "", "write the reconfig JSON summary to this file")
 	flag.Parse()
 	j := parallel.Jobs(*jobs)
 
@@ -63,7 +68,8 @@ func main() {
 
 	known := map[string]bool{"all": true, "fig5": true, "fig6a": true, "fig6b": true,
 		"links": true, "throughput": true, "sec7": true, "scan": true,
-		"power": true, "hetero": true, "recovery": true, "conformance": true}
+		"power": true, "hetero": true, "recovery": true, "conformance": true,
+		"reconfig": true}
 	if !known[cmd] {
 		fmt.Fprintf(os.Stderr, "aelite-exp: unknown experiment %q\n", cmd)
 		flag.Usage()
@@ -111,6 +117,31 @@ func main() {
 		fmt.Fprintf(out, "Bit-flip recovery campaign: %d points, bitflip %.4f drop %.4f per link\n",
 			cfg.Points, cfg.BitFlip, cfg.Drop)
 		return experiments.WriteRecovery(out, cfg, j)
+	})
+	run("reconfig", func() error {
+		cfg := experiments.DefaultReconfigConfig()
+		cfg.Seed = *seed
+		sum, err := experiments.ReconfigStudy(cfg, j)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.RenderReconfig(sum))
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := experiments.WriteReconfigJSON(f, sum); err != nil {
+				return err
+			}
+		}
+		// The artifact is written before gating so a failing run still
+		// leaves the evidence behind.
+		if sum.Violations > 0 {
+			return fmt.Errorf("%d violations: %s", sum.Violations, sum.Failures[0])
+		}
+		return nil
 	})
 	run("conformance", func() error {
 		cfg := experiments.DefaultConformanceConfig()

@@ -35,6 +35,18 @@
 //	               summaries in seed order (requires -faults)
 //	-j N           parallel workers for -runs sweeps (default all CPUs;
 //	               output is byte-identical at every worker count)
+//	-reconfig S    run-time reconfiguration script: semicolon-separated
+//	               actions, each close@TIMEns:CONN or
+//	               open@TIMEns:SRCIP:DSTIP:MBPS:LATNS, applied inside the
+//	               measurement window (TIME is relative to its start). A
+//	               close drains and releases the connection; an open runs
+//	               admission control and either admits the request with its
+//	               full guarantees under a fresh connection id or prints the
+//	               typed rejection reason (no-path, no-slots,
+//	               bound-infeasible, ...) and changes nothing. Running
+//	               connections are never disturbed either way. With -audit
+//	               the auditor is resynchronised after every action. aelite
+//	               only, single runs, not asynchronous mode
 //	-audit         attach the guarantee-conformance auditor: every flit is
 //	               checked against the connection's analytical worst-case
 //	               latency and throughput contract, slot ownership and
@@ -97,6 +109,7 @@ type options struct {
 	runs      int
 	jobs      int
 	audit     bool
+	reconfig  string
 
 	traceOut   string
 	metricsOut string
@@ -179,6 +192,20 @@ func (o *options) validate() error {
 	if o.jobs < 1 {
 		return fmt.Errorf("-j %d must be at least 1", o.jobs)
 	}
+	if o.reconfig != "" {
+		if o.backend != "aelite" {
+			return fmt.Errorf("-reconfig needs the aelite backend (got %q)", o.backend)
+		}
+		if o.mode == "asynchronous" {
+			return fmt.Errorf("-reconfig cannot serve asynchronous mode (slot counters are token-indexed)")
+		}
+		if o.runs > 1 {
+			return fmt.Errorf("-reconfig scripts one run and cannot serve a -runs sweep")
+		}
+		if _, err := parseReconfigScript(o.reconfig); err != nil {
+			return fmt.Errorf("-reconfig: %w", err)
+		}
+	}
 	if o.runs > 1 {
 		if o.faults == "" && !o.rateFaults() {
 			return fmt.Errorf("-runs %d sweeps fault seeds and needs -faults, -bitflip-rate or -drop-rate", o.runs)
@@ -215,6 +242,7 @@ func main() {
 	flag.IntVar(&o.runs, "runs", 1, "fault-campaign sweep: campaigns with consecutive fault seeds")
 	flag.IntVar(&o.jobs, "j", runtime.NumCPU(), "parallel workers for -runs sweeps")
 	flag.BoolVar(&o.audit, "audit", false, "check every flit against the analytical guarantee contracts")
+	flag.StringVar(&o.reconfig, "reconfig", "", "run-time reconfiguration script (close@TIMEns:CONN;open@TIMEns:SRC:DST:MBPS:LATNS;...)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write Chrome trace-event JSON to this file")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write aggregated metrics to this file (.csv selects CSV)")
 	flag.StringVar(&o.pprofOut, "pprof", "", "write a CPU profile to this file")
@@ -357,21 +385,43 @@ func run(o options) (code int) {
 		n.AttachTracer(bus)
 	}
 
+	var reconfigActs []core.TimedAction
+	if o.reconfig != "" {
+		steps, err := parseReconfigScript(o.reconfig)
+		if err != nil {
+			return fail(err)
+		}
+		reconfigActs = reconfigActions(steps, auditor)
+	}
+
 	var rep *core.Report
 	var summary *fault.Summary
+	runNet := func() error {
+		if len(reconfigActs) == 0 {
+			rep = n.Run(o.warmup, o.measure)
+			return nil
+		}
+		var err error
+		rep, err = n.RunTimed(o.warmup, o.measure, reconfigActs)
+		return err
+	}
 	if campaignMode {
 		plan, err := o.faultPlan(o.faultSeed)
 		if err != nil {
 			return fail(err)
 		}
+		var runErr error
 		summary, err = fault.Execute(plan, collector, n, func() {
-			rep = n.Run(o.warmup, o.measure)
+			runErr = runNet()
 		})
 		if err != nil {
 			return fail(err)
 		}
-	} else {
-		rep = n.Run(o.warmup, o.measure)
+		if runErr != nil {
+			return fail(runErr)
+		}
+	} else if err := runNet(); err != nil {
+		return fail(err)
 	}
 	rep.Write(os.Stdout)
 	if chrome != nil {

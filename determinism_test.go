@@ -151,3 +151,35 @@ func TestRecoverySweepDeterminism(t *testing.T) {
 		t.Errorf("-j 1 and -j 8 recovery sweeps diverge:\n%s\nvs\n%s", r1, r8)
 	}
 }
+
+// reconfigRender runs the full online-reconfiguration study — paired
+// isolation runs with a mid-run close + admission, the typed-rejection
+// battery and the quarantine-heal scenario — at the given worker count
+// and returns the rendered summary.
+func reconfigRender(t *testing.T, jobs int) []byte {
+	t.Helper()
+	sum, err := experiments.ReconfigStudy(experiments.DefaultReconfigConfig(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Violations != 0 {
+		t.Fatalf("reconfig study violated its own gates: %v", sum.Failures)
+	}
+	return []byte(experiments.RenderReconfig(sum))
+}
+
+// TestReconfigStudyDeterminism: mid-run connection closes and admissions
+// change the event population, so they are the part of the study most
+// likely to leak worker count or map order into results. The rendered
+// summary — survivor word counts, rejection details, heal latencies —
+// must be byte-identical across same-config reruns and across -j 1 / -j 8.
+func TestReconfigStudyDeterminism(t *testing.T) {
+	r1 := reconfigRender(t, 1)
+	if rerun := reconfigRender(t, 1); !bytes.Equal(r1, rerun) {
+		t.Errorf("same-config reruns diverge:\n%s\nvs\n%s", r1, rerun)
+	}
+	r8 := reconfigRender(t, 8)
+	if !bytes.Equal(r1, r8) {
+		t.Errorf("-j 1 and -j 8 reconfig studies diverge:\n%s\nvs\n%s", r1, r8)
+	}
+}

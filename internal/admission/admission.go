@@ -1,0 +1,183 @@
+// Package admission implements run-time admission control for a live
+// aelite network: the question "can connection C be opened now?" answered
+// by an incremental slot/path search over only the currently-free slots,
+// with the would-be allocation's analytical bounds checked against the
+// requested budget before anything is committed.
+//
+// This is the online half of the contract the paper's design flow
+// establishes offline (reference [16]): a request either receives the
+// full guaranteed service it asked for, or it is rejected with a typed,
+// machine-readable reason — it is never admitted in a degraded form, and
+// running connections are never disturbed by the attempt, because the
+// probe works on a clone of the slot allocation and the commit claims
+// only free slots.
+package admission
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/phit"
+	"repro/internal/slots"
+	"repro/internal/spec"
+	"repro/internal/topology"
+)
+
+// Reason classifies an admission decision.
+type Reason int
+
+const (
+	// Admitted: the request fits; the decision carries the guarantees it
+	// would (or did) receive.
+	Admitted Reason = iota
+	// NoPath: no route between the endpoints survives the header hop
+	// limit and the avoid set.
+	NoPath
+	// NoSlots: routes exist, but the live slot table has no
+	// contention-free placement left for the sized request.
+	NoSlots
+	// BoundInfeasible: the requested bandwidth or latency cannot be met
+	// on this network even with every slot free (rate above link
+	// capacity, budget below the path's fixed delay).
+	BoundInfeasible
+	// DuplicateID: the connection id is already open, or was closed and
+	// retired (queue RAM stays registered; reuse would collide).
+	DuplicateID
+	// UnknownEndpoint: an endpoint IP is not part of the use case.
+	UnknownEndpoint
+	// SharedNI: both endpoints sit on one NI; local traffic bypasses the
+	// NoC.
+	SharedNI
+	// ModeUnsupported: the network mode cannot reconfigure at run time
+	// (asynchronous wrappers index slots by token count).
+	ModeUnsupported
+	// QueueExhausted: an involved NI has no queue ids left.
+	QueueExhausted
+	// Internal: an unclassified failure (a bug, not a resource shortage).
+	Internal
+)
+
+var reasonNames = map[Reason]string{
+	Admitted:        "admitted",
+	NoPath:          "no-path",
+	NoSlots:         "no-slots",
+	BoundInfeasible: "bound-infeasible",
+	DuplicateID:     "duplicate-id",
+	UnknownEndpoint: "unknown-endpoint",
+	SharedNI:        "shared-ni",
+	ModeUnsupported: "mode-unsupported",
+	QueueExhausted:  "queue-exhausted",
+	Internal:        "internal",
+}
+
+func (r Reason) String() string {
+	if n, ok := reasonNames[r]; ok {
+		return n
+	}
+	return fmt.Sprintf("Reason(%d)", int(r))
+}
+
+// A Decision is the machine-readable outcome of one admission question.
+type Decision struct {
+	Conn       phit.ConnID `json:"conn"`
+	Admissible bool        `json:"admissible"`
+	Reason     string      `json:"reason"`
+	Detail     string      `json:"detail,omitempty"`
+
+	// Guarantees of the (would-be) allocation, set when admissible.
+	GuaranteeMBps  float64 `json:"guarantee_mbps,omitempty"`
+	LatencyBoundNs float64 `json:"latency_bound_ns,omitempty"`
+	DataSlots      int     `json:"data_slots,omitempty"`
+	RevSlots       int     `json:"rev_slots,omitempty"`
+	PathHops       int     `json:"path_hops,omitempty"`
+
+	reason Reason
+}
+
+// Why returns the typed reason behind the decision.
+func (d Decision) Why() Reason { return d.reason }
+
+// Options tunes one admission question.
+type Options struct {
+	// Avoid lists links no slot of the new connection (data or credit
+	// direction) may ride — the quarantined path of a reroute.
+	Avoid []topology.LinkID
+}
+
+// Probe answers "could connection c be opened now?" without changing
+// anything: the plan runs against the live network, the slot search runs
+// on a clone of the live allocation, and the resulting bounds are checked
+// against the request. The network is untouched whatever the answer.
+func Probe(n *core.Network, c spec.Connection, opts Options) Decision {
+	plan, err := n.PlanAdmission(c, opts.Avoid)
+	if err != nil {
+		return classify(c.ID, err)
+	}
+	trial := n.Alloc.Clone()
+	if err := slots.AllocateInto(trial, plan.Requests); err != nil {
+		return decide(c.ID, NoSlots, err.Error())
+	}
+	out := n.TrialOutcome(plan, trial)
+	// The sizing already aimed for these bounds; checking the realised
+	// placement is the admission *proof* — a request is admitted only
+	// with the full service it asked for.
+	if out.GuaranteeMBps < c.BandwidthMBps*(1-1e-9) {
+		return decide(c.ID, BoundInfeasible, fmt.Sprintf(
+			"placement guarantees %.1f MB/s of the %.1f MB/s requested", out.GuaranteeMBps, c.BandwidthMBps))
+	}
+	if out.LatencyBoundNs > c.MaxLatencyNs*(1+1e-9) {
+		return decide(c.ID, BoundInfeasible, fmt.Sprintf(
+			"placement bounds latency at %.1f ns, budget is %.1f ns", out.LatencyBoundNs, c.MaxLatencyNs))
+	}
+	return Decision{
+		Conn: c.ID, Admissible: true, Reason: Admitted.String(),
+		GuaranteeMBps: out.GuaranteeMBps, LatencyBoundNs: out.LatencyBoundNs,
+		DataSlots: out.DataSlots, RevSlots: out.RevSlots, PathHops: out.PathHops,
+	}
+}
+
+// Admit is Probe followed by the actual open when admissible. A
+// non-admissible request is NOT an error — the typed decision is the
+// answer; the error return is reserved for a commit that failed after a
+// positive probe (which would be a bug, since both run under the same
+// single-threaded engine).
+func Admit(n *core.Network, c spec.Connection, opts Options) (Decision, error) {
+	d := Probe(n, c, opts)
+	if !d.Admissible {
+		return d, nil
+	}
+	if err := n.OpenConnectionAvoiding(c, opts.Avoid); err != nil {
+		return classify(c.ID, err), fmt.Errorf("admission: probe admitted connection %d but commit failed: %w", c.ID, err)
+	}
+	return d, nil
+}
+
+func decide(id phit.ConnID, r Reason, detail string) Decision {
+	return Decision{Conn: id, Reason: r.String(), Detail: detail, reason: r}
+}
+
+// classify maps core's typed admission errors onto Reasons.
+func classify(id phit.ConnID, err error) Decision {
+	var placement *slots.PlacementError
+	switch {
+	case errors.Is(err, core.ErrNoRoute):
+		return decide(id, NoPath, err.Error())
+	case errors.Is(err, core.ErrNoSlots), errors.As(err, &placement):
+		return decide(id, NoSlots, err.Error())
+	case errors.Is(err, core.ErrInfeasible):
+		return decide(id, BoundInfeasible, err.Error())
+	case errors.Is(err, core.ErrDuplicate):
+		return decide(id, DuplicateID, err.Error())
+	case errors.Is(err, core.ErrUnknownEndpoint):
+		return decide(id, UnknownEndpoint, err.Error())
+	case errors.Is(err, core.ErrSharedNI):
+		return decide(id, SharedNI, err.Error())
+	case errors.Is(err, core.ErrModeUnsupported):
+		return decide(id, ModeUnsupported, err.Error())
+	case errors.Is(err, core.ErrQueueExhausted):
+		return decide(id, QueueExhausted, err.Error())
+	default:
+		return decide(id, Internal, err.Error())
+	}
+}

@@ -146,6 +146,17 @@ func Attach(n *core.Network, bus *trace.Bus, rep fault.Reporter, opts Options) *
 		byKind:         make(map[fault.Kind]int64),
 	}
 
+	a.snapshot(n)
+
+	bus.Attach(a)
+	return a
+}
+
+// snapshot (re)builds the auditor's view of the network's contracts:
+// per-connection bounds and token buckets for connections it has not met
+// yet, plus the allocation-side slot tables and quotas. Attach calls it
+// once; Resync calls it again after run-time reconfiguration.
+func (a *Auditor) snapshot(n *core.Network) {
 	allowancePs := recoveryAllowancePs(n)
 	// Plesiochronous drift stretches the wall-clock spacing of a
 	// generator's nominally compliant injections.
@@ -154,6 +165,9 @@ func Attach(n *core.Network, bus *trace.Bus, rep fault.Reporter, opts Options) *
 		rateMargin += 2 * n.Cfg.PPM / 1e6
 	}
 	for _, id := range n.Connections() {
+		if a.conns[id] != nil {
+			continue
+		}
 		info, err := n.Info(id)
 		if err != nil {
 			continue
@@ -165,10 +179,10 @@ func Attach(n *core.Network, bus *trace.Bus, rep fault.Reporter, opts Options) *
 			dstName:       n.Mesh.Node(info.DstNI).Name,
 			rawBoundNs:    info.BoundNs,
 			guaranteeMBps: info.GuaranteedMBps,
-			boundPs:       (info.BoundNs+opts.SlackNs)*1e3 + allowancePs,
-			waitBudgetPs:  analysis.SourceWaitBudgetNs(info.BoundNs+opts.SlackNs, p, n.Cfg.FreqMHz)*1e3 + allowancePs,
+			boundPs:       (info.BoundNs+a.opts.SlackNs)*1e3 + allowancePs,
+			waitBudgetPs:  analysis.SourceWaitBudgetNs(info.BoundNs+a.opts.SlackNs, p, n.Cfg.FreqMHz)*1e3 + allowancePs,
 			rate:          info.GuaranteedMBps * 1e6 / float64(n.Cfg.WordBytes) / 1e12 * rateMargin,
-			depth:         float64(opts.BucketWords),
+			depth:         float64(a.opts.BucketWords),
 			nextSeq:       0,
 			reported:      make(map[fault.Kind]int),
 		}
@@ -181,13 +195,28 @@ func Attach(n *core.Network, bus *trace.Bus, rep fault.Reporter, opts Options) *
 		name := n.Mesh.Node(nid).Name
 		a.allocTables[name] = append([]phit.ConnID(nil), n.Alloc.NITable(nid).Slots...)
 	}
+	// Slot quotas are rebuilt from scratch: closed connections lose
+	// theirs (a flit of a closed connection has no quota to hide under).
+	a.slotQuota = make(map[phit.ConnID]int, len(n.Alloc.ByConn))
 	for c, as := range n.Alloc.ByConn {
 		a.slotQuota[c] = len(as.Slots)
 	}
 	a.revolutionPs = a.flitCyclePs * clock.Time(n.Alloc.TableSize)
+}
 
-	bus.Attach(a)
-	return a
+// Resync refreshes the auditor after a run-time reconfiguration: newly
+// admitted connections gain contracts (bound, token bucket, slot quota),
+// closed connections lose their slot quotas, and the allocation-side
+// injection-table snapshot — deliberately held apart from the live NI
+// tables — is retaken so the slot-ownership check enforces the *new*
+// schedule. Call it after every OpenConnection/CloseConnection batch; an
+// auditor left stale would flag the new owner's legitimate slots as
+// ownership violations.
+func (a *Auditor) Resync(n *core.Network) {
+	a.snapshot(n)
+	// The lazily resolved CompID -> table cache points at the old
+	// snapshots; drop it so the next event re-resolves.
+	a.ownership = make(map[trace.CompID][]phit.ConnID)
 }
 
 // recoveryAllowancePs bounds the extra delivery delay the reliability

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/clock"
+	"repro/internal/fault"
 	"repro/internal/parallel"
 	"repro/internal/phit"
 )
@@ -41,6 +42,59 @@ func Isolation(jobs int, run func(perturbed bool) (Timelines, error)) (Isolation
 		return IsolationResult{}, err
 	}
 	return Diff(outs[0], outs[1]), nil
+}
+
+// SurvivorTimelines filters a timeline set down to the given connections
+// — the ones that stay open across a reconfiguration event and whose
+// service must therefore be undisturbed.
+func SurvivorTimelines(t Timelines, survivors []phit.ConnID) Timelines {
+	out := make(Timelines, len(survivors))
+	for _, id := range survivors {
+		if tl, ok := t[id]; ok {
+			out[id] = tl
+		}
+	}
+	return out
+}
+
+// IsolationAcrossReconfig runs the paired undisturbed-service proof
+// across a reconfiguration event: run(false) executes the scenario with
+// the connection population fixed, run(true) executes the same scenario
+// but opens and/or closes connections mid-run, and the *surviving*
+// connections' delivery timelines are diffed for byte identity. This is
+// the run-time extension of the paper's composability claim — reference
+// [16]'s "undisrupted quality-of-service during reconfiguration of
+// multiple applications": slot ownership is the only state connections
+// share, a close only surrenders slots and an admission only claims free
+// ones, so every survivor's flit timeline must be bit-identical whether
+// or not the reconfiguration happened. Each call must build a private
+// network and engine.
+func IsolationAcrossReconfig(jobs int, survivors []phit.ConnID, run func(reconfig bool) (Timelines, error)) (IsolationResult, error) {
+	outs, err := parallel.Map(parallel.Jobs(jobs), 2, func(i int) (Timelines, error) {
+		return run(i == 1)
+	})
+	if err != nil {
+		return IsolationResult{}, err
+	}
+	return Diff(SurvivorTimelines(outs[0], survivors), SurvivorTimelines(outs[1], survivors)), nil
+}
+
+// ReportReconfig converts a failed cross-reconfiguration diff into a
+// ReconfigDisturbance fault on the reporter (strict mode: a nil reporter
+// panics, failing the run fast). It returns the number of violations
+// reported — 0 when the result is identical.
+func ReportReconfig(res IsolationResult, rep fault.Reporter) int {
+	if res.Identical {
+		return 0
+	}
+	fault.Report(rep, fault.Violation{
+		Kind:      fault.ReconfigDisturbance,
+		Component: "audit.reconfig",
+		Slot:      fault.NoSlot,
+		Detail: fmt.Sprintf("surviving connection disturbed across reconfiguration: %s (%d connections, %d words compared)",
+			res.FirstDiff, res.Conns, res.Words),
+	})
+	return 1
 }
 
 // Diff compares two delivery timelines for byte identity.

@@ -180,6 +180,16 @@ type Network struct {
 	linkWires []fault.LinkTarget
 	linkClks  []*clock.Clock // writer-domain clock per linkWires entry
 	faultClks []*clock.Clock // every mutable (non-base) clock
+
+	// pendingQuar queues quarantine transitions recorded by the
+	// reliability endpoints' hooks, drained by TakeQuarantined.
+	pendingQuar []QuarantineEvent
+
+	// idHigh is the highest connection id (data or credit) ever used;
+	// retired marks closed ids. Both guard re-admission: NI queue RAM
+	// stays registered after a close, so ids are never reused.
+	idHigh  phit.ConnID
+	retired map[phit.ConnID]bool
 }
 
 // Engine exposes the simulation engine (for custom drivers and tests).
@@ -250,6 +260,15 @@ func Build(m *topology.Mesh, uc *spec.UseCase, cfg Config) (*Network, error) {
 		niTables: make(map[topology.NodeID]*slots.Table),
 		qidNext:  make(map[topology.NodeID]int),
 		domains:  make(map[topology.NodeID]*clock.Clock),
+		retired:  make(map[phit.ConnID]bool),
+	}
+	for id, info := range infos {
+		if id > n.idHigh {
+			n.idHigh = id
+		}
+		if info.rev > n.idHigh {
+			n.idHigh = info.rev
+		}
 	}
 	if cfg.Mode == Asynchronous {
 		// Wrapped operation relaxes the latency bound: every hop
@@ -595,6 +614,7 @@ func (n *Network) wireReliable() {
 		ep := eps[id]
 		if ep == nil {
 			ep = reliable.NewEndpoint(n.nis[id].Name())
+			ep.SetQuarantineHook(n.recordQuarantine)
 			eps[id] = ep
 		}
 		return ep

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/clock"
 	"repro/internal/ni"
 	"repro/internal/phit"
+	"repro/internal/reliable"
 	"repro/internal/route"
 	"repro/internal/slots"
 	"repro/internal/spec"
@@ -22,6 +25,189 @@ import (
 // composability tests assert their timing stays bit-identical across a
 // reconfiguration.
 
+// Typed admission-rejection causes. Every error returned by PlanAdmission
+// and OpenConnection wraps exactly one of these, so callers (the
+// internal/admission package, the CLIs) can classify a rejection without
+// parsing messages.
+var (
+	// ErrModeUnsupported: the network mode cannot be reconfigured at run
+	// time (asynchronous wrappers index slots by token count).
+	ErrModeUnsupported = errors.New("mode does not support run-time reconfiguration")
+	// ErrDuplicate: the connection id is already open.
+	ErrDuplicate = errors.New("connection already open")
+	// ErrUnknownEndpoint: an endpoint IP is not in the use case.
+	ErrUnknownEndpoint = errors.New("unknown endpoint")
+	// ErrSharedNI: both endpoints sit on one NI (local traffic bypasses
+	// the NoC).
+	ErrSharedNI = errors.New("endpoints share an NI")
+	// ErrNoRoute: no candidate route exists (or none fits the header's
+	// path field, or every one crosses an avoided link).
+	ErrNoRoute = errors.New("no usable route")
+	// ErrInfeasible: the requested bandwidth or latency cannot be met on
+	// this network even with an empty slot table (rate above link
+	// capacity, budget below the fixed path delay).
+	ErrInfeasible = errors.New("requirement infeasible")
+	// ErrNoSlots: routing and sizing succeeded but the live table has no
+	// free-slot placement (the underlying *slots.PlacementError is in the
+	// chain).
+	ErrNoSlots = errors.New("no free slot placement")
+	// ErrQueueExhausted: an involved NI has no queue ids left.
+	ErrQueueExhausted = errors.New("NI queue ids exhausted")
+)
+
+// An AdmissionPlan is the reusable, side-effect-free part of admitting a
+// connection: routes found, requirements sized, reverse-channel id
+// chosen, slot requests built. It mutates nothing; OpenConnection applies
+// it to the live allocation, admission.Probe applies it to a clone.
+type AdmissionPlan struct {
+	Conn spec.Connection
+	// Rev is the credit-channel connection id the admission would use
+	// (one above everything currently open).
+	Rev phit.ConnID
+	// Requests are the data and reverse slot requests, ready for
+	// slots.AllocateInto.
+	Requests []slots.Request
+	// Worst is the largest-shift forward candidate, the path the sizing
+	// covered.
+	Worst *route.Path
+
+	srcNI, dstNI topology.NodeID
+}
+
+// PlanAdmission routes and sizes a prospective connection against the
+// live network without changing anything. Candidate paths crossing any
+// link in avoid are discarded (the self-healing reroute passes the
+// quarantined path's links here). The returned error wraps one of the
+// Err* causes above.
+func (n *Network) PlanAdmission(c spec.Connection, avoid []topology.LinkID) (*AdmissionPlan, error) {
+	if n.Cfg.Mode == Asynchronous {
+		return nil, fmt.Errorf("core: connection %d: %w (slot counters are token-indexed)", c.ID, ErrModeUnsupported)
+	}
+	if _, dup := n.conns[c.ID]; dup {
+		return nil, fmt.Errorf("core: %w: connection %d", ErrDuplicate, c.ID)
+	}
+	if n.retired[c.ID] {
+		return nil, fmt.Errorf("core: %w: connection id %d was closed and its queue RAM is still registered; re-admission needs a fresh id (FreshConnID)", ErrDuplicate, c.ID)
+	}
+	srcIP, err := n.Spec.IP(c.Src)
+	if err != nil {
+		return nil, fmt.Errorf("core: connection %d: %w: %v", c.ID, ErrUnknownEndpoint, err)
+	}
+	dstIP, err := n.Spec.IP(c.Dst)
+	if err != nil {
+		return nil, fmt.Errorf("core: connection %d: %w: %v", c.ID, ErrUnknownEndpoint, err)
+	}
+	if srcIP.NI == dstIP.NI {
+		return nil, fmt.Errorf("core: connection %d: %w (NI %d)", c.ID, ErrSharedNI, srcIP.NI)
+	}
+	cfg := n.Cfg
+	tableSize := cfg.TableSize
+
+	fwdPaths, err := route.Candidates(n.Mesh, srcIP.NI, dstIP.NI, 6)
+	if err != nil {
+		return nil, fmt.Errorf("core: connection %d: %w: %v", c.ID, ErrNoRoute, err)
+	}
+	revPaths, err := route.Candidates(n.Mesh, dstIP.NI, srcIP.NI, 6)
+	if err != nil {
+		return nil, fmt.Errorf("core: connection %d: %w: %v", c.ID, ErrNoRoute, err)
+	}
+	fwdPaths = dropAvoided(fitHeader(fwdPaths, cfg.Layout), avoid)
+	revPaths = dropAvoided(fitHeader(revPaths, cfg.Layout), avoid)
+	if len(fwdPaths) == 0 || len(revPaths) == 0 {
+		return nil, fmt.Errorf("core: connection %d: %w (header limit %d hops, %d links avoided)",
+			c.ID, ErrNoRoute, cfg.Layout.MaxHops(), len(avoid))
+	}
+	worst := fwdPaths[0]
+	for _, p := range fwdPaths[1:] {
+		if p.TotalShift > worst.TotalShift {
+			worst = p
+		}
+	}
+	count, windowTarget, m, err := sizeConnection(cfg, c, worst, tableSize)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+	}
+
+	// Queue ids are consumed only on success, but a plan that could never
+	// be applied must not report admissible.
+	if n.qidNext[dstIP.NI] > cfg.Layout.MaxQID() || n.qidNext[srcIP.NI] > cfg.Layout.MaxQID() {
+		return nil, fmt.Errorf("core: connection %d: %w", c.ID, ErrQueueExhausted)
+	}
+
+	// New id for the reverse channel: above everything *ever* used, not
+	// just everything live — a closed connection's queue ids stay
+	// registered in the NI, so id reuse would collide there.
+	rev := n.idHigh + 1
+	if c.ID >= rev {
+		rev = c.ID + 1
+	}
+
+	return &AdmissionPlan{
+		Conn: c,
+		Rev:  rev,
+		Requests: []slots.Request{
+			{Conn: c.ID, Paths: fwdPaths, Count: count, GapTarget: windowTarget, WindowSlots: m},
+			{Conn: rev, Paths: revPaths, Count: analysis.RevSlots(count, cfg.Layout.MaxCredits())},
+		},
+		Worst: worst,
+		srcNI: srcIP.NI,
+		dstNI: dstIP.NI,
+	}, nil
+}
+
+// dropAvoided discards candidate paths that traverse any avoided link.
+func dropAvoided(paths []*route.Path, avoid []topology.LinkID) []*route.Path {
+	if len(avoid) == 0 {
+		return paths
+	}
+	bad := make(map[topology.LinkID]bool, len(avoid))
+	for _, l := range avoid {
+		bad[l] = true
+	}
+	out := paths[:0]
+	for _, p := range paths {
+		hit := false
+		for _, l := range p.Links {
+			if bad[l] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// A TrialOutcome summarises the guarantees a trial placement would carry
+// — what admission control checks against the request before committing.
+type TrialOutcome struct {
+	GuaranteeMBps  float64
+	LatencyBoundNs float64
+	DataSlots      int
+	RevSlots       int
+	PathHops       int
+}
+
+// TrialOutcome computes the analytical bounds of a plan placed into a
+// trial allocation (typically a Clone of the live one populated via
+// slots.AllocateInto). The trial allocation is read, never written.
+func (n *Network) TrialOutcome(plan *AdmissionPlan, trial *slots.Allocation) TrialOutcome {
+	as := trial.ByConn[plan.Conn.ID]
+	ras := trial.ByConn[plan.Rev]
+	p := usedWorstPath(as)
+	b := analysis.ConnectionBounds(p, as.Slots, trial.TableSize, n.Cfg.FreqMHz, n.Cfg.WordBytes,
+		analysisMode(n.Cfg, plan.Conn.BandwidthMBps))
+	return TrialOutcome{
+		GuaranteeMBps:  b.GuaranteeMBps,
+		LatencyBoundNs: b.LatencyNs,
+		DataSlots:      len(as.Slots),
+		RevSlots:       len(ras.Slots),
+		PathHops:       p.Hops(),
+	}
+}
+
 // CloseConnection stops a data connection and releases its (and its
 // credit channel's) slot reservations. It first disables the traffic
 // generator, then simulates until the connection's pipeline has drained
@@ -30,8 +216,15 @@ import (
 // in-flight flits, which the probes and routers would (correctly) flag
 // as schedule violations.
 //
+// A quarantined connection cannot drain — its sender transmits nothing by
+// design — so its queue contents are abandoned: once the tables are
+// cleared and the slots released, the stranded words can never enter the
+// network, and nothing the connection leaves behind is observable by
+// anyone else.
+//
 // The NI-side queue configuration and queue ids remain registered (idle);
-// hardware reconfiguration reprograms tables, not queue RAM.
+// hardware reconfiguration reprograms tables, not queue RAM. Re-admission
+// therefore uses a fresh connection id.
 func (n *Network) CloseConnection(id phit.ConnID) error {
 	info, ok := n.conns[id]
 	if !ok {
@@ -44,16 +237,30 @@ func (n *Network) CloseConnection(id phit.ConnID) error {
 	// revolutions for in-flight flits and credit returns.
 	src := n.nis[info.srcNI]
 	revolution := clock.Duration(3*n.Cfg.TableSize) * n.base.Period
-	for i := 0; i < 64; i++ {
-		if src.SendQueueSpace(id) == ni.DefaultSendCapacity {
-			break
+	quarantined := false
+	if ep := src.Reliable(); ep != nil && ep.Quarantined(id) {
+		quarantined = true
+	}
+	if !quarantined {
+		// Worst-case drain time: each queued word needs an owned slot
+		// *and* an end-to-end credit, and credits return one reverse-slot
+		// round trip after a delivery — so budget one credit round trip
+		// (in revolutions, rounded up, plus scheduling margin) per queued
+		// word, rather than a hard-coded constant that a large table or a
+		// slow credit channel can exceed.
+		rtRevs := (info.ackRTSlots + n.Cfg.TableSize - 1) / n.Cfg.TableSize
+		maxWait := 4 + ni.DefaultSendCapacity*(rtRevs+2)
+		for i := 0; i < maxWait; i++ {
+			if src.SendQueueSpace(id) == ni.DefaultSendCapacity {
+				break
+			}
+			n.eng.Run(n.eng.Now() + revolution)
 		}
-		n.eng.Run(n.eng.Now() + revolution)
+		if src.SendQueueSpace(id) != ni.DefaultSendCapacity {
+			return fmt.Errorf("core: connection %d did not drain (credit starvation?)", id)
+		}
+		n.eng.Run(n.eng.Now() + 4*revolution)
 	}
-	if src.SendQueueSpace(id) != ni.DefaultSendCapacity {
-		return fmt.Errorf("core: connection %d did not drain (credit starvation?)", id)
-	}
-	n.eng.Run(n.eng.Now() + 4*revolution)
 
 	// Clear the injection tables, then release the allocation.
 	clearTable := n.niTables[info.srcNI]
@@ -71,10 +278,13 @@ func (n *Network) CloseConnection(id phit.ConnID) error {
 	// One more revolution so in-flight credit-only flits of the reverse
 	// channel are out of the network before its slots are reused.
 	n.eng.Run(n.eng.Now() + 2*revolution)
-	n.Alloc.Release(id)
-	n.Alloc.Release(info.rev)
+	// Both directions leave the allocation in one atomic step: the table
+	// never shows a half-closed connection.
+	n.Alloc.ReleaseAll(id, info.rev)
 	delete(n.conns, id)
 	delete(n.gens, id)
+	n.retired[id] = true
+	n.retired[info.rev] = true
 	return nil
 }
 
@@ -82,76 +292,29 @@ func (n *Network) CloseConnection(id phit.ConnID) error {
 // it is routed, sized from its requirements, allocated into the *free*
 // slots of the live allocation, and its traffic generator started. The
 // returned error leaves the network untouched (admission control: a
-// connection that does not fit is simply rejected, exactly as in [16]).
+// connection that does not fit is simply rejected, exactly as in [16])
+// and wraps one of the typed Err* causes.
 func (n *Network) OpenConnection(c spec.Connection) error {
-	if n.Cfg.Mode == Asynchronous {
-		return fmt.Errorf("core: run-time reconfiguration of the wrapped network is not supported (slot counters are token-indexed)")
-	}
-	if _, dup := n.conns[c.ID]; dup {
-		return fmt.Errorf("core: connection %d already open", c.ID)
-	}
-	srcIP, err := n.Spec.IP(c.Src)
+	return n.OpenConnectionAvoiding(c, nil)
+}
+
+// OpenConnectionAvoiding is OpenConnection with an avoid set: no slot of
+// the new connection (data or credit direction) will ride a path crossing
+// any of the given links. The self-healing reroute uses it to steer a
+// re-admitted connection clear of its quarantined path.
+func (n *Network) OpenConnectionAvoiding(c spec.Connection, avoid []topology.LinkID) error {
+	plan, err := n.PlanAdmission(c, avoid)
 	if err != nil {
 		return err
-	}
-	dstIP, err := n.Spec.IP(c.Dst)
-	if err != nil {
-		return err
-	}
-	if srcIP.NI == dstIP.NI {
-		return fmt.Errorf("core: connection %d endpoints share NI %d", c.ID, srcIP.NI)
 	}
 	cfg := n.Cfg
-	m := n.Mesh
 	tableSize := cfg.TableSize
-
-	fwdPaths, err := route.Candidates(m, srcIP.NI, dstIP.NI, 6)
-	if err != nil {
-		return err
-	}
-	revPaths, err := route.Candidates(m, dstIP.NI, srcIP.NI, 6)
-	if err != nil {
-		return err
-	}
-	fwdPaths = fitHeader(fwdPaths, cfg.Layout)
-	revPaths = fitHeader(revPaths, cfg.Layout)
-	if len(fwdPaths) == 0 || len(revPaths) == 0 {
-		return fmt.Errorf("core: connection %d has no route that fits the header path field", c.ID)
-	}
-	worst := fwdPaths[0]
-	for _, p := range fwdPaths[1:] {
-		if p.TotalShift > worst.TotalShift {
-			worst = p
-		}
-	}
-	count, windowTarget, m_, err := sizeConnection(cfg, c, worst, tableSize)
-	if err != nil {
-		return err
+	rev := plan.Rev
+	if err := slots.AllocateInto(n.Alloc, plan.Requests); err != nil {
+		return fmt.Errorf("core: admission of connection %d failed: %w: %w", c.ID, ErrNoSlots, err)
 	}
 
-	// New ids for the reverse channel: above everything in use.
-	rev := phit.ConnID(1)
-	for id, info := range n.conns {
-		if id >= rev {
-			rev = id + 1
-		}
-		if info.rev >= rev {
-			rev = info.rev + 1
-		}
-	}
-	if c.ID >= rev {
-		rev = c.ID + 1
-	}
-
-	reqs := []slots.Request{
-		{Conn: c.ID, Paths: fwdPaths, Count: count, GapTarget: windowTarget, WindowSlots: m_},
-		{Conn: rev, Paths: revPaths, Count: analysis.RevSlots(count, cfg.Layout.MaxCredits())},
-	}
-	if err := slots.AllocateInto(n.Alloc, reqs); err != nil {
-		return fmt.Errorf("core: admission of connection %d failed: %w", c.ID, err)
-	}
-
-	info := &connInfo{spec: c, srcNI: srcIP.NI, dstNI: dstIP.NI, rev: rev}
+	info := &connInfo{spec: c, srcNI: plan.srcNI, dstNI: plan.dstNI, rev: rev}
 	as := n.Alloc.ByConn[c.ID]
 	ras := n.Alloc.ByConn[rev]
 	info.path = usedWorstPath(as)
@@ -165,16 +328,11 @@ func (n *Network) OpenConnection(c spec.Connection) error {
 	info.ackRTSlots = rt
 	info.recvCap = analysis.RecvCapacityWords(len(as.Slots), rt, tableSize)
 
-	// Queue ids and NI registration.
+	// Queue ids and NI registration (availability pre-checked by the plan).
 	dataQID := n.qidNext[info.dstNI]
 	n.qidNext[info.dstNI]++
 	revQID := n.qidNext[info.srcNI]
 	n.qidNext[info.srcNI]++
-	if dataQID > cfg.Layout.MaxQID() || revQID > cfg.Layout.MaxQID() {
-		n.Alloc.Release(c.ID)
-		n.Alloc.Release(rev)
-		return fmt.Errorf("core: NI queue ids exhausted")
-	}
 	dataHdrs, err := slotHeaders(cfg.Layout, as, dataQID)
 	if err != nil {
 		return err
@@ -188,6 +346,24 @@ func (n *Network) OpenConnection(c spec.Connection) error {
 	dst.AddInConn(ni.InConnConfig{ID: c.ID, QID: dataQID, RecvCapacity: info.recvCap, CreditFor: rev, AutoDrain: true})
 	dst.AddOutConn(ni.OutConnConfig{ID: rev, Headers: revHdrs, InitialCredits: 0, PairedIn: c.ID})
 	src.AddInConn(ni.InConnConfig{ID: rev, QID: revQID, RecvCapacity: 0, CreditFor: c.ID, AutoDrain: true})
+
+	// Reliability shell: a run-time admission gets the same windowed
+	// sender / tracked receiver / ack carriage Build wires, with the
+	// timeout derived the same way (an endpoint is created on the fly for
+	// an NI that had no reliable connection yet).
+	if cfg.Reliable {
+		flitCycle := clock.Duration(phit.FlitWords) * clock.PeriodFromMHz(cfg.FreqMHz)
+		timeout := clock.Duration(info.boundNs*1e3) +
+			clock.Duration(info.ackRTSlots+tableSize)*flitCycle
+		sep, dep := n.reliableEndpointFor(info.srcNI), n.reliableEndpointFor(info.dstNI)
+		sep.RegisterTx(c.ID, reliable.TxConfig{
+			Windowed: true, PairedIn: rev, Timeout: timeout,
+			RetryBudget: cfg.RetryBudget,
+		})
+		sep.RegisterRx(rev, reliable.RxConfig{AckFor: c.ID})
+		dep.RegisterRx(c.ID, reliable.RxConfig{Tracked: true})
+		dep.RegisterTx(rev, reliable.TxConfig{PairedIn: c.ID})
+	}
 
 	// Program the injection tables (the live objects the NIs read).
 	srcTable := n.niTables[info.srcNI]
@@ -206,10 +382,162 @@ func (n *Network) OpenConnection(c spec.Connection) error {
 	}
 
 	n.conns[c.ID] = info
+	if c.ID > n.idHigh {
+		n.idHigh = c.ID
+	}
+	if rev > n.idHigh {
+		n.idHigh = rev
+	}
 	g := buildGenerator(cfg, info, n.domainOf(info.srcNI), src, len(n.gens))
 	n.gens[c.ID] = g
 	n.eng.Add(g)
 	return nil
+}
+
+// FreshConnID returns an id above everything ever used on this network —
+// the id a re-admission (self-healing reroute, use-case switch) should
+// carry, since closed ids keep their NI queue registrations.
+func (n *Network) FreshConnID() phit.ConnID {
+	return n.idHigh + 1
+}
+
+// SpecOf returns the requirements spec of an open data connection — what
+// a reroute re-admits under a fresh id.
+func (n *Network) SpecOf(c phit.ConnID) (spec.Connection, error) {
+	info, ok := n.conns[c]
+	if !ok {
+		return spec.Connection{}, fmt.Errorf("core: unknown connection %d", c)
+	}
+	return info.spec, nil
+}
+
+// reliableEndpointFor returns the NI's reliability endpoint, creating and
+// installing one (with the quarantine hook) if the NI had none — the case
+// when no connection touched it at Build time.
+func (n *Network) reliableEndpointFor(id topology.NodeID) *reliable.Endpoint {
+	c := n.nis[id]
+	if ep := c.Reliable(); ep != nil {
+		return ep
+	}
+	ep := reliable.NewEndpoint(c.Name())
+	ep.SetQuarantineHook(n.recordQuarantine)
+	c.SetReliable(ep)
+	return ep
+}
+
+// A QuarantineEvent records one connection's quarantine transition, for
+// the self-healing layer to consume between engine runs.
+type QuarantineEvent struct {
+	Conn phit.ConnID
+	Time clock.Time
+}
+
+// recordQuarantine is the endpoint hook: it only queues the event —
+// quarantine fires inside the engine's event processing (possibly inside
+// CloseConnection's own drain runs), where reconfiguring would re-enter
+// the engine.
+func (n *Network) recordQuarantine(now clock.Time, conn phit.ConnID) {
+	n.pendingQuar = append(n.pendingQuar, QuarantineEvent{Conn: conn, Time: now})
+}
+
+// TakeQuarantined drains the queue of quarantine transitions recorded
+// since the last call. Callers (admission.Healer) invoke it between
+// engine runs and react by closing and re-admitting the victims.
+func (n *Network) TakeQuarantined() []QuarantineEvent {
+	out := n.pendingQuar
+	n.pendingQuar = nil
+	return out
+}
+
+// ConnectionLinks returns every link a data connection's slots ride —
+// both the data direction and its credit channel, across all per-slot
+// paths — ascending and deduplicated. The self-healing reroute feeds the
+// router-to-router subset back into OpenConnectionAvoiding.
+func (n *Network) ConnectionLinks(c phit.ConnID) ([]topology.LinkID, error) {
+	info, ok := n.conns[c]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown connection %d", c)
+	}
+	seen := make(map[topology.LinkID]bool)
+	for _, id := range []phit.ConnID{c, info.rev} {
+		asg := n.Alloc.ByConn[id]
+		if asg == nil {
+			continue
+		}
+		for _, s := range asg.Slots {
+			p := asg.PathOf[s]
+			if p == nil {
+				p = asg.Path
+			}
+			for _, l := range p.Links {
+				seen[l] = true
+			}
+		}
+	}
+	out := make([]topology.LinkID, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// InjectionTable exposes the live injection slot table of an NI — the
+// object the hardware reads and run-time reconfiguration reprograms in
+// place (the audit residue check reads it).
+func (n *Network) InjectionTable(id topology.NodeID) *slots.Table {
+	return n.niTables[id]
+}
+
+// ReverseOf returns the credit-channel connection id of a data
+// connection.
+func (n *Network) ReverseOf(c phit.ConnID) (phit.ConnID, error) {
+	info, ok := n.conns[c]
+	if !ok {
+		return phit.None, fmt.Errorf("core: unknown connection %d", c)
+	}
+	return info.rev, nil
+}
+
+// A TimedAction is one mid-measurement reconfiguration step for RunTimed:
+// Do runs when the simulation reaches AtNs nanoseconds into the
+// measurement window.
+type TimedAction struct {
+	AtNs float64
+	Do   func(n *Network) error
+}
+
+// RunTimed is Run with reconfiguration events inside the measurement
+// window: warm up, reset statistics, then alternate engine segments with
+// the actions in AtNs order, and report over the whole window. Actions
+// that themselves advance simulated time (CloseConnection drains) are
+// accounted for — a later action never rewinds the engine.
+func (n *Network) RunTimed(warmupNs, measureNs float64, actions []TimedAction) (*Report, error) {
+	warm := clock.Time(warmupNs * float64(clock.Nanosecond))
+	n.eng.Run(n.eng.Now() + warm)
+	for _, c := range n.nis {
+		c.ResetStats()
+	}
+	start := n.eng.Now()
+	end := start + clock.Time(measureNs*float64(clock.Nanosecond))
+	acts := append([]TimedAction(nil), actions...)
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].AtNs < acts[j].AtNs })
+	for _, a := range acts {
+		at := start + clock.Time(a.AtNs*float64(clock.Nanosecond))
+		if at > end {
+			at = end
+		}
+		if at > n.eng.Now() {
+			n.eng.Run(at)
+		}
+		if err := a.Do(n); err != nil {
+			return nil, err
+		}
+	}
+	if end > n.eng.Now() {
+		n.eng.Run(end)
+	}
+	return n.report(measureNs), nil
 }
 
 // analysisMode maps a network configuration (and a connection's rate,

@@ -71,6 +71,16 @@ const (
 	// *other* connections' traffic was perturbed — the composability
 	// claim (paper Section III) broken.
 	IsolationBreach
+	// ReconfigDisturbance: a surviving connection's delivery timeline
+	// changed across a run-time reconfiguration event (an open or close of
+	// *other* connections) — the "undisrupted quality-of-service during
+	// reconfiguration" capability of reference [16] broken.
+	ReconfigDisturbance
+	// ReconfigResidue: a closed connection left state behind in the
+	// reconfiguration window — slots still owned in the allocation or
+	// still programmed in a live NI injection table after CloseConnection
+	// returned.
+	ReconfigResidue
 )
 
 var kindNames = map[Kind]string{
@@ -92,7 +102,9 @@ var kindNames = map[Kind]string{
 	LatencyBound:    "latency-bound",
 	DeliveryOrder:   "delivery-order",
 	InjectionRate:   "injection-rate",
-	IsolationBreach: "isolation",
+	IsolationBreach:     "isolation",
+	ReconfigDisturbance: "reconfig-disturbance",
+	ReconfigResidue:     "reconfig-residue",
 }
 
 func (k Kind) String() string {

@@ -127,6 +127,13 @@ type Endpoint struct {
 	asm    phit.Flit
 	asmLen int
 
+	// onQuarantine, when set, is invoked synchronously whenever an
+	// out-connection transitions into quarantine. It fires from inside the
+	// simulation engine's event processing, so the callback must only
+	// record the event — reconfiguring the network from here would
+	// re-enter the engine.
+	onQuarantine func(now clock.Time, conn phit.ConnID)
+
 	rep fault.Reporter
 	tr  *trace.Emitter
 }
@@ -153,6 +160,14 @@ func (ep *Endpoint) SetTracer(e *trace.Emitter) { ep.tr = e }
 // BindCredit installs the NI callback that returns acked words to a
 // sender's end-to-end credit counter.
 func (ep *Endpoint) BindCredit(f func(now clock.Time, conn phit.ConnID, words int)) { ep.credit = f }
+
+// SetQuarantineHook installs a callback fired at every quarantine
+// transition. The callback runs inside the engine's event processing and
+// must not reconfigure the network; the self-healing layer uses it to
+// queue the connection for reroute between engine runs.
+func (ep *Endpoint) SetQuarantineHook(f func(now clock.Time, conn phit.ConnID)) {
+	ep.onQuarantine = f
+}
 
 // RegisterTx adds the reliability shell to an out-connection.
 func (ep *Endpoint) RegisterTx(conn phit.ConnID, cfg TxConfig) {
@@ -305,6 +320,9 @@ func (ep *Endpoint) quarantine(now clock.Time, conn phit.ConnID, tx *txState) {
 	if ep.tr != nil {
 		ep.tr.Emit(trace.Event{Time: now, Kind: trace.Quarantine, Conn: conn,
 			Arg: int64(len(tx.entries)), Slot: trace.NoSlot})
+	}
+	if ep.onQuarantine != nil {
+		ep.onQuarantine(now, conn)
 	}
 	fault.Report(ep.rep, fault.Violation{
 		Kind: fault.LinkQuarantined, Component: "reliable " + ep.name, Time: now, Slot: fault.NoSlot,

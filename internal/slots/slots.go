@@ -250,6 +250,62 @@ func (a *Allocation) Release(c phit.ConnID) {
 	delete(a.ByConn, c)
 }
 
+// ReleaseAll frees every claim of the given connections as one atomic
+// reconfiguration step: all of them are validated as live owners before
+// any slot changes hands, so a bad id leaves the allocation untouched
+// instead of half-released. This is how CloseConnection retires a data
+// connection and its credit channel together — the table never passes
+// through a state where one direction is free and the other still owned.
+func (a *Allocation) ReleaseAll(cs ...phit.ConnID) {
+	for _, c := range cs {
+		if a.ByConn[c] == nil {
+			panic(fmt.Sprintf("slots: release of unknown connection %d", c))
+		}
+	}
+	for _, c := range cs {
+		a.Release(c)
+	}
+}
+
+// Clone deep-copies the allocation: the scratchpad on which admission
+// control runs trial placements without touching the live table. Paths
+// are shared (they are immutable once routed); slot sets and link
+// occupancy are copied.
+func (a *Allocation) Clone() *Allocation {
+	c := &Allocation{
+		TableSize: a.TableSize,
+		ByConn:    make(map[phit.ConnID]*Assignment, len(a.ByConn)),
+		linkOcc:   make(map[topology.LinkID][]phit.ConnID, len(a.linkOcc)),
+	}
+	for id, asg := range a.ByConn {
+		na := &Assignment{
+			Conn:   asg.Conn,
+			Path:   asg.Path,
+			Slots:  append([]int(nil), asg.Slots...),
+			PathOf: make(map[int]*route.Path, len(asg.PathOf)),
+		}
+		for s, p := range asg.PathOf {
+			na.PathOf[s] = p
+		}
+		c.ByConn[id] = na
+	}
+	for l, occ := range a.linkOcc {
+		c.linkOcc[l] = append([]phit.ConnID(nil), occ...)
+	}
+	return c
+}
+
+// Conns returns the ids of every live owner, ascending — the iteration
+// surface of the release-overlap property check.
+func (a *Allocation) Conns() []phit.ConnID {
+	out := make([]phit.ConnID, 0, len(a.ByConn))
+	for c := range a.ByConn {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Allocate performs greedy slot allocation: requests are served in
 // descending slot-count order (heaviest first, longest path breaking
 // ties), and each request takes, among its candidate paths with enough

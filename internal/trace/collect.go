@@ -45,8 +45,11 @@ type ConnMetrics struct {
 	Retransmits int64 // flits re-sent by go-back-N rounds
 	Acks        int64 // cumulative-ack window advances
 	Quarantined int64 // quarantine transitions (0 or 1 per run)
+	Reroutes    int64 // self-healing re-admissions after quarantine
 	// Recovery is the head-of-line stall per recovered loss, ns: the
 	// span from the first drop to the in-order delivery that healed it.
+	// Reroute events feed it too, with the quarantine-to-readmission
+	// recovery latency.
 	Recovery stats.Histogram
 }
 
@@ -127,6 +130,9 @@ func (m *Metrics) Event(ev Event) {
 		cm.Recovery.Add(float64(ev.Arg) / float64(clock.Nanosecond))
 	case Quarantine:
 		cm.Quarantined++
+	case Reroute:
+		cm.Reroutes++
+		cm.Recovery.Add(float64(ev.Arg) / float64(clock.Nanosecond))
 	}
 }
 
@@ -185,6 +191,7 @@ type ConnReport struct {
 	Retransmits int64   `json:"retransmits"`
 	Acks        int64   `json:"acks"`
 	Quarantined int64   `json:"quarantined"`
+	Reroutes    int64   `json:"reroutes"`
 	Recovered   int64   `json:"recovered"`
 	RecMinNs    float64 `json:"rec_min_ns"`
 	RecMeanNs   float64 `json:"rec_mean_ns"`
@@ -233,6 +240,7 @@ func (m *Metrics) Report(windowPs, periodPs int64) *Report {
 		cr.Retransmits = cm.Retransmits
 		cr.Acks = cm.Acks
 		cr.Quarantined = cm.Quarantined
+		cr.Reroutes = cm.Reroutes
 		cr.Recovered = cm.Recovery.N()
 		if cm.Recovery.N() > 0 {
 			cr.RecMinNs = cm.Recovery.Min()
@@ -280,7 +288,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	cw := &countWriter{w: w}
 	cw.printf("section,conn,injected,sent,delivered,blocked,credits," +
 		"lat_min_ns,lat_mean_ns,lat_p99_ns,lat_max_ns," +
-		"crc_drops,retransmits,acks,quarantined,recovered," +
+		"crc_drops,retransmits,acks,quarantined,reroutes,recovered," +
 		"rec_min_ns,rec_mean_ns,rec_p99_ns,rec_max_ns\n")
 	for _, c := range r.Conns {
 		lat := ",,," // four empty latency cells: no delivery, no measurement
@@ -291,9 +299,9 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		if c.Recovered > 0 {
 			rec = fmt.Sprintf("%s,%s,%s,%s", csvF(c.RecMinNs), csvF(c.RecMeanNs), csvF(c.RecP99Ns), csvF(c.RecMaxNs))
 		}
-		cw.printf("conn,%d,%d,%d,%d,%d,%d,%s,%d,%d,%d,%d,%d,%s\n",
+		cw.printf("conn,%d,%d,%d,%d,%d,%d,%s,%d,%d,%d,%d,%d,%d,%s\n",
 			c.Conn, c.Injected, c.Sent, c.Delivered, c.Blocked, c.Credits, lat,
-			c.CRCDrops, c.Retransmits, c.Acks, c.Quarantined, c.Recovered, rec)
+			c.CRCDrops, c.Retransmits, c.Acks, c.Quarantined, c.Reroutes, c.Recovered, rec)
 	}
 	cw.printf("section,component,events,busy_cycles,utilisation,max_occupancy\n")
 	for _, c := range r.Comps {

@@ -65,8 +65,15 @@ const (
 	// Quarantine: a connection exhausted its retry budget and stopped
 	// transmitting (Arg = flits left unacked).
 	Quarantine
+	// Reroute: a quarantined connection was closed and re-admitted over an
+	// alternate path by the self-healing layer (Arg = recovery latency in
+	// picoseconds, from the quarantine instant to the instant the
+	// replacement connection was admitted; Ref = the quarantine instant).
+	// Emitted with the *original* connection id, so its metrics show the
+	// service interruption it survived.
+	Reroute
 
-	kindCount = int(Quarantine) + 1
+	kindCount = int(Reroute) + 1
 )
 
 var kindNames = [kindCount]string{
@@ -85,6 +92,7 @@ var kindNames = [kindCount]string{
 	AckAdvance:    "ack",
 	Recovered:     "recovered",
 	Quarantine:    "quarantine",
+	Reroute:       "reroute",
 }
 
 func (k Kind) String() string {

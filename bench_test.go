@@ -194,14 +194,21 @@ func BenchmarkParallelSweep(b *testing.B) {
 	}
 	b.ReportMetric(speedup, "speedup-j8/j1")
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cpus")
-	if runtime.GOMAXPROCS(0) >= 8 {
+	b.ReportMetric(float64(runtime.NumCPU()), "host-cpus")
+	// The >=3x assertion arms only with enough parallelism to satisfy it;
+	// the armed/skipped status is reported as a metric so the CI artifact
+	// records which regime this run measured — a disarmed run must never
+	// read as a passing assertion.
+	if armed := runtime.GOMAXPROCS(0) >= 8; armed {
+		b.ReportMetric(1, "assert3x-armed")
 		if speedup < 3 {
 			b.Fatalf("parallel sweep speedup %.2fx at -j 8 on %d CPUs; want >= 3x",
 				speedup, runtime.GOMAXPROCS(0))
 		}
 	} else {
-		b.Logf("only %d CPUs: measured %.2fx at -j 8; the 3x assertion needs >= 8",
-			runtime.GOMAXPROCS(0), speedup)
+		b.ReportMetric(0, "assert3x-armed")
+		b.Logf("SKIPPED the >=3x assertion: GOMAXPROCS=%d on a %d-CPU host (needs >= 8); measured %.2fx at -j 8 (informational)",
+			runtime.GOMAXPROCS(0), runtime.NumCPU(), speedup)
 	}
 }
 
@@ -347,6 +354,66 @@ func BenchmarkEngineMesochronous(b *testing.B) {
 		eng.Run(eng.Now() + period)
 	}
 	b.ReportMetric(float64(eng.Edges())/b.Elapsed().Seconds(), "edges/s")
+}
+
+// benchFastReplay builds the Section VII CBR workload twice — once
+// cycle-accurate, once with the fast-replay compiler — primes the fast
+// network until the compiler engages, measures the cycle-accurate cost
+// per simulated cycle outside the timed loop, then times the engaged fast
+// path per cycle and reports the speedup. The CBR workload is the honest
+// comparison base: the default transactional workload's byte-exact rates
+// are globally aperiodic, so the compiler (correctly) never engages there
+// and falls back to cycle-accurate execution (see EXPERIMENTS.md).
+func benchFastReplay(b *testing.B, mode core.Mode) {
+	slow, _, err := experiments.BuildSec7CBR(experiments.Sec7Seed, mode, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fast, _, err := experiments.BuildSec7CBR(experiments.Sec7Seed, mode, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	period := fast.BaseClock().Period
+
+	// Prime until the compiler has recorded and verified a hyperperiod.
+	feng := fast.Engine()
+	for i := 0; i < 200 && !fast.Replay().Engaged(); i++ {
+		feng.Run(feng.Now() + 1000*period)
+	}
+	if !fast.Replay().Engaged() {
+		inert, why := fast.Replay().Inert()
+		b.Fatalf("fast path never engaged (inert=%v %q)", inert, why)
+	}
+
+	// Cycle-accurate reference cost per cycle, measured on the twin.
+	seng := slow.Engine()
+	seng.Run(1000 * period) // prime past start-up transients
+	const refCycles = 2000
+	start := time.Now()
+	seng.Run(seng.Now() + refCycles*period)
+	slowNsPerCycle := float64(time.Since(start).Nanoseconds()) / refCycles
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feng.Run(feng.Now() + period)
+	}
+	b.StopTimer()
+	fastNsPerCycle := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(float64(feng.Edges())/b.Elapsed().Seconds(), "edges/s")
+	b.ReportMetric(slowNsPerCycle, "slow-ns/cycle")
+	if fastNsPerCycle > 0 {
+		b.ReportMetric(slowNsPerCycle/fastNsPerCycle, "speedup")
+	}
+	st := fast.Replay().ProgStats()
+	b.ReportMetric(float64(st.ReplayedInstants), "replayed-instants")
+}
+
+func BenchmarkEngineSynchronousFast(b *testing.B) {
+	benchFastReplay(b, core.Synchronous)
+}
+
+func BenchmarkEngineMesochronousFast(b *testing.B) {
+	benchFastReplay(b, core.Mesochronous)
 }
 
 // BenchmarkTraceOverhead measures what the observability layer costs on

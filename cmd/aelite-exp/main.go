@@ -47,7 +47,9 @@ func main() {
 	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all CPUs)")
 	verbose := flag.Bool("verbose", false, "print full per-connection reports")
 	jsonOut := flag.String("out", "", "write the reconfig JSON summary to this file")
+	fast := flag.Bool("fast", false, "hyperperiod-compiled fast replay for GS networks (cycle-accurate fallback where not provably periodic)")
 	flag.Parse()
+	experiments.FastReplay = *fast
 	j := parallel.Jobs(*jobs)
 
 	cmd := "all"

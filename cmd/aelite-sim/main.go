@@ -110,6 +110,7 @@ type options struct {
 	jobs      int
 	audit     bool
 	reconfig  string
+	fast      bool
 
 	traceOut   string
 	metricsOut string
@@ -242,6 +243,7 @@ func main() {
 	flag.IntVar(&o.runs, "runs", 1, "fault-campaign sweep: campaigns with consecutive fault seeds")
 	flag.IntVar(&o.jobs, "j", runtime.NumCPU(), "parallel workers for -runs sweeps")
 	flag.BoolVar(&o.audit, "audit", false, "check every flit against the analytical guarantee contracts")
+	flag.BoolVar(&o.fast, "fast", false, "hyperperiod-compiled fast replay (falls back to cycle-accurate when the workload is not provably periodic)")
 	flag.StringVar(&o.reconfig, "reconfig", "", "run-time reconfiguration script (close@TIMEns:CONN;open@TIMEns:SRC:DST:MBPS:LATNS;...)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write Chrome trace-event JSON to this file")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write aggregated metrics to this file (.csv selects CSV)")
@@ -328,7 +330,7 @@ func run(o options) (code int) {
 	// re-routes a packet into slots reserved for someone else, which only
 	// the allocation-aware probes can attribute.
 	cfg := core.Config{FreqMHz: o.freq, Probes: o.probes || campaignMode, Transactional: o.tx,
-		Reliable: o.reliable, SkewOverridePS: o.skewPS}
+		Reliable: o.reliable, SkewOverridePS: o.skewPS, FastReplay: o.fast}
 	switch o.mode {
 	case "synchronous":
 	case "mesochronous":
@@ -516,7 +518,7 @@ func campaignPoint(o options, faultSeed int64) (out []byte, err error) {
 		return nil, err
 	}
 	cfg := core.Config{FreqMHz: o.freq, Probes: true, Transactional: o.tx,
-		Reliable: o.reliable, SkewOverridePS: o.skewPS}
+		Reliable: o.reliable, SkewOverridePS: o.skewPS, FastReplay: o.fast}
 	if o.mode == "mesochronous" {
 		cfg.Mode = core.Mesochronous
 	} else if o.mode == "asynchronous" {

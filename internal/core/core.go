@@ -23,6 +23,7 @@ import (
 	"repro/internal/ni"
 	"repro/internal/phit"
 	"repro/internal/reliable"
+	"repro/internal/replay"
 	"repro/internal/route"
 	"repro/internal/router"
 	"repro/internal/sim"
@@ -110,6 +111,15 @@ type Config struct {
 	// rounds per connection before quarantine (0 selects
 	// reliable.DefaultRetryBudget). Ignored without Reliable.
 	RetryBudget int
+	// FastReplay installs the hyperperiod replay fast path
+	// (internal/replay): the engine records one hyperperiod of the
+	// cycle-accurate schedule, and once two consecutive boundary
+	// fingerprints match, replays it without per-component dispatch.
+	// Configurations that are not provably periodic (transactional
+	// traffic, asynchronous wrappers, reliability retransmission, armed
+	// fault intercepts) fall back to cycle-accurate execution untouched,
+	// so enabling it is always observation-safe.
+	FastReplay bool
 	// SkewOverridePS, when non-zero in Mesochronous mode, replaces the
 	// random in-envelope tile phases with a deterministic checkerboard:
 	// tiles at even Manhattan parity get phase 0, odd parity get this
@@ -184,6 +194,10 @@ type Network struct {
 	// pendingQuar queues quarantine transitions recorded by the
 	// reliability endpoints' hooks, drained by TakeQuarantined.
 	pendingQuar []QuarantineEvent
+
+	// prog is the installed hyperperiod replay program (nil unless
+	// Config.FastReplay).
+	prog *replay.Program
 
 	// idHigh is the highest connection id (data or credit) ever used;
 	// retired marks closed ids. Both guard re-admission: NI queue RAM
@@ -281,13 +295,46 @@ func Build(m *topology.Mesh, uc *spec.UseCase, cfg Config) (*Network, error) {
 		if err := n.instantiateAsync(); err != nil {
 			return nil, err
 		}
+		n.installReplay()
 		return n, nil
 	}
 	if err := n.instantiate(); err != nil {
 		return nil, err
 	}
+	n.installReplay()
 	return n, nil
 }
+
+// installReplay attaches the hyperperiod replay program when configured.
+// Every link wire (entry, pipeline-internal and exit) joins the
+// fingerprinted state set; NI queues, link FIFOs and router registers are
+// fingerprinted by their owning components.
+func (n *Network) installReplay() {
+	if !n.Cfg.FastReplay {
+		return
+	}
+	p := replay.New(n.eng)
+	seen := make(map[*sim.Wire[phit.Phit]]bool)
+	reg := func(w *sim.Wire[phit.Phit]) {
+		if w != nil && !seen[w] {
+			seen[w] = true
+			p.RegisterWire(w)
+		}
+	}
+	for _, lt := range n.linkWires {
+		reg(lt.Wire)
+	}
+	for _, st := range n.stages {
+		reg(st.InWire())
+		reg(st.OutWire())
+	}
+	p.Install()
+	n.prog = p
+}
+
+// Replay returns the installed hyperperiod replay program, or nil when
+// Config.FastReplay is off.
+func (n *Network) Replay() *replay.Program { return n.prog }
 
 // allocate routes and slot-allocates every connection (and its reverse
 // credit channel) for one candidate table size.

@@ -28,6 +28,10 @@ type probe struct {
 
 	sampled  phit.Phit
 	observed int64
+
+	// Hyperperiod-boundary snapshot and per-epoch delta (see probe_replay.go).
+	mObserved, dObserved int64
+	rmValid              bool
 }
 
 func (p *probe) Name() string          { return p.name }

@@ -230,6 +230,9 @@ func (n *Network) CloseConnection(id phit.ConnID) error {
 	if !ok {
 		return fmt.Errorf("core: unknown connection %d", id)
 	}
+	// Reconfiguration mutates tables and generator state outside the
+	// engine's Run loop; land any fast-forwarded replay state first.
+	n.eng.Sync()
 	g := n.gens[id]
 	g.SetEnabled(false)
 
@@ -307,6 +310,7 @@ func (n *Network) OpenConnectionAvoiding(c spec.Connection, avoid []topology.Lin
 	if err != nil {
 		return err
 	}
+	n.eng.Sync()
 	cfg := n.Cfg
 	tableSize := cfg.TableSize
 	rev := plan.Rev
@@ -515,6 +519,7 @@ type TimedAction struct {
 func (n *Network) RunTimed(warmupNs, measureNs float64, actions []TimedAction) (*Report, error) {
 	warm := clock.Time(warmupNs * float64(clock.Nanosecond))
 	n.eng.Run(n.eng.Now() + warm)
+	n.eng.Sync()
 	for _, c := range n.nis {
 		c.ResetStats()
 	}
@@ -530,6 +535,9 @@ func (n *Network) RunTimed(warmupNs, measureNs float64, actions []TimedAction) (
 		if at > n.eng.Now() {
 			n.eng.Run(at)
 		}
+		// Actions mutate network state outside the engine; land any
+		// fast-forwarded replay state before each one runs.
+		n.eng.Sync()
 		if err := a.Do(n); err != nil {
 			return nil, err
 		}
@@ -537,6 +545,7 @@ func (n *Network) RunTimed(warmupNs, measureNs float64, actions []TimedAction) (
 	if end > n.eng.Now() {
 		n.eng.Run(end)
 	}
+	n.eng.Sync()
 	return n.report(measureNs), nil
 }
 

@@ -112,10 +112,14 @@ func (n *Network) Run(warmupNs, measureNs float64) *Report {
 	warm := clock.Time(warmupNs * float64(clock.Nanosecond))
 	meas := clock.Time(measureNs * float64(clock.Nanosecond))
 	n.eng.Run(n.eng.Now() + warm)
+	// An engaged fast path must land its fast-forwarded state before the
+	// statistics reset (and again before the report reads them).
+	n.eng.Sync()
 	for _, c := range n.nis {
 		c.ResetStats()
 	}
 	n.eng.Run(n.eng.Now() + meas)
+	n.eng.Sync()
 	return n.report(measureNs)
 }
 

@@ -1,0 +1,133 @@
+package experiments_test
+
+// Equivalence gate for the fast-replay hyperperiod compiler: a run with
+// core.Config.FastReplay must be byte-identical — connection report,
+// metrics JSON, and the raw trace event stream — to the cycle-accurate
+// run of the same build, across the Section VII workload in all three
+// clocking modes, with the guarantee-conformance auditor attached in
+// strict (halt-on-violation) mode. Where the compiler cannot engage
+// (asynchronous clocking, transactional traffic) it must fall back
+// without observable effect.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+// eventLog retains the raw event stream as rendered bytes; any field of
+// any event diverging between two runs diverges the bytes.
+type eventLog struct{ buf bytes.Buffer }
+
+func (l *eventLog) Event(ev trace.Event) {
+	fmt.Fprintf(&l.buf, "%d %d %d %d %d %d %d %s\n",
+		ev.Time, ev.Ref, ev.Seq, ev.Arg, ev.Conn, ev.Comp, ev.Slot, ev.Kind)
+}
+
+// sec7Observables runs one fully instrumented Section VII CBR simulation
+// and returns every observable byte stream plus the replay engagement
+// count (0 when the program never engaged or was never installed).
+func sec7Observables(t *testing.T, mode core.Mode, fast bool) (report, metricsJSON, events []byte, engagements int64) {
+	t.Helper()
+	n, _, err := experiments.BuildSec7CBR(experiments.Sec7Seed, mode, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := trace.NewBus()
+	met := trace.NewMetrics(bus)
+	log := &eventLog{}
+	bus.Attach(log)
+	audit.Attach(n, bus, nil, audit.Options{}) // nil reporter: halt on any violation
+	n.AttachTracer(bus)
+
+	rep := n.Run(10000, 30000)
+
+	var rbuf bytes.Buffer
+	rep.Write(&rbuf)
+	mj, err := json.MarshalIndent(met.Report(0, int64(n.BaseClock().Period)), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := n.Replay(); p != nil {
+		engagements = p.ProgStats().Engagements
+	}
+	return rbuf.Bytes(), mj, log.buf.Bytes(), engagements
+}
+
+func assertIdentical(t *testing.T, name string, slow, fast []byte) {
+	t.Helper()
+	if bytes.Equal(slow, fast) {
+		return
+	}
+	// Locate the first diverging line for a usable failure message.
+	sl, fl := bytes.Split(slow, []byte("\n")), bytes.Split(fast, []byte("\n"))
+	for i := 0; i < len(sl) && i < len(fl); i++ {
+		if !bytes.Equal(sl[i], fl[i]) {
+			t.Fatalf("%s diverges at line %d:\n  slow: %s\n  fast: %s", name, i+1, sl[i], fl[i])
+		}
+	}
+	t.Fatalf("%s diverges in length: %d vs %d lines", name, len(sl), len(fl))
+}
+
+func TestReplayEquivalenceSec7(t *testing.T) {
+	for _, tc := range []struct {
+		mode   core.Mode
+		engage bool // must the compiler actually engage?
+	}{
+		{core.Synchronous, true},
+		{core.Mesochronous, true},
+		{core.Asynchronous, false}, // plesiochronous drift: no hyperperiod, must fall back
+	} {
+		t.Run(tc.mode.String(), func(t *testing.T) {
+			sRep, sMet, sEv, _ := sec7Observables(t, tc.mode, false)
+			fRep, fMet, fEv, eng := sec7Observables(t, tc.mode, true)
+			assertIdentical(t, "connection report", sRep, fRep)
+			assertIdentical(t, "metrics JSON", sMet, fMet)
+			assertIdentical(t, "event stream", sEv, fEv)
+			if len(fEv) == 0 {
+				t.Fatal("no events traced; the equivalence is vacuous")
+			}
+			if tc.engage && eng == 0 {
+				t.Fatal("fast replay never engaged; the equivalence is vacuous")
+			}
+			if !tc.engage && eng != 0 {
+				t.Fatalf("fast replay engaged %d times in a mode with no hyperperiod", eng)
+			}
+		})
+	}
+}
+
+// TestReplayFallbackTransactional pins the honest fallback: the paper's
+// transactional Section VII traffic is rate-exact (byte-per-second
+// requirements reduce to pattern periods of up to 2e9 cycles), so the
+// compiler classifies the network aperiodic and stays out of the way.
+func TestReplayFallbackTransactional(t *testing.T) {
+	experiments.FastReplay = true
+	defer func() { experiments.FastReplay = false }()
+	n, _, _, err := experiments.BuildSec7(experiments.Sec7Seed, 500, core.Synchronous, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := n.Replay()
+	if p == nil {
+		t.Fatal("FastReplay build installed no program")
+	}
+	rep := n.Run(10000, 20000)
+	if inert, why := p.Inert(); !inert {
+		t.Fatalf("transactional Sec7 should be inert (aperiodic), got active (hyperperiod %d)", p.Hyperperiod())
+	} else if why == "" {
+		t.Fatal("inert with no recorded reason")
+	}
+	if got := p.ProgStats().Engagements; got != 0 {
+		t.Fatalf("inert program engaged %d times", got)
+	}
+	if !rep.AllMet() {
+		t.Fatal("fallback run missed a requirement the cycle-accurate run meets")
+	}
+}

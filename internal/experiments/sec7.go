@@ -48,6 +48,13 @@ const Sec7TableSize = 64
 // the measured window.
 const sec7WarmupNs = 10000
 
+// FastReplay, when set, builds every guaranteed-service experiment
+// network with core.Config.FastReplay (the aelite-exp -fast flag). This
+// is observation-safe: workloads the hyperperiod compiler cannot
+// accelerate (transactional traffic is rate-exact and therefore globally
+// aperiodic) simply run cycle-accurate, unchanged.
+var FastReplay bool
+
 // Sec7Mesh builds the 4x3 mesh with 4 NIs per router.
 func Sec7Mesh() *topology.Mesh { return topology.NewMesh(4, 3, 4) }
 
@@ -129,6 +136,55 @@ func Sec7UseCase(m *topology.Mesh, seed int64) (*spec.UseCase, error) {
 	return uc, nil
 }
 
+// Sec7ReplayRatesMBps are the offered rates admissible to the fast-replay
+// hyperperiod compiler at 500 MHz with 4-byte words, descending. Each is
+// m/2^r words per cycle with m in {1,3}, so the generator's reduced
+// words-per-cycle rational has a power-of-two denominator <= 256 and the
+// whole-network hyperperiod is lcm(256, 3*TableSize) cycles. The paper's
+// log-uniform byte-exact requirements, by contrast, reduce to rationals
+// with denominators up to 2e9 cycles — periodic in principle, but far past
+// any arena worth recording, so replay classifies them aperiodic.
+var Sec7ReplayRatesMBps = []float64{
+	500, 375, 250, 187.5, 125, 93.75, 62.5, 46.875, 31.25, 23.4375, 15.625, 11.71875, 7.8125,
+}
+
+// Sec7QuantizeRateMBps rounds a bandwidth requirement down to the nearest
+// replay-admissible rate (never below the smallest), keeping allocation
+// feasibility: lowering a requirement can only free slots.
+func Sec7QuantizeRateMBps(rateMBps float64) float64 {
+	for _, r := range Sec7ReplayRatesMBps {
+		if r <= rateMBps {
+			return r
+		}
+	}
+	return Sec7ReplayRatesMBps[len(Sec7ReplayRatesMBps)-1]
+}
+
+// BuildSec7CBR builds the Section VII workload with smooth CBR traffic at
+// replay-admissible quantised rates (see Sec7QuantizeRateMBps) instead of
+// the default transactional bursts. This is the Section VII configuration
+// the hyperperiod compiler can actually accelerate: the transactional
+// variant's burst trains are rate-exact and therefore globally aperiodic,
+// so fast replay falls back to cycle-accurate execution there (see
+// EXPERIMENTS.md). fast selects Config.FastReplay.
+func BuildSec7CBR(seed int64, mode core.Mode, fast bool) (*core.Network, *spec.UseCase, error) {
+	m := Sec7Mesh()
+	cfg := core.Config{Mode: mode, PhaseSeed: 7, FastReplay: fast || FastReplay}
+	core.PrepareTopology(m, cfg)
+	uc, err := Sec7UseCase(m, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range uc.Connections {
+		uc.Connections[i].BandwidthMBps = Sec7QuantizeRateMBps(uc.Connections[i].BandwidthMBps)
+	}
+	n, err := core.Build(m, uc, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, uc, nil
+}
+
 // MaxRelaxations bounds the requirement-negotiation loop: when the greedy
 // allocator cannot place a connection, that connection's latency budget
 // is relaxed by 30% and allocation retried — the designer-allocator
@@ -142,7 +198,7 @@ const MaxRelaxations = 40
 // relaxed.
 func BuildSec7(seed int64, fMHz float64, mode core.Mode, probes bool) (*core.Network, *spec.UseCase, int, error) {
 	m := Sec7Mesh()
-	cfg := core.Config{FreqMHz: fMHz, Mode: mode, Probes: probes, Transactional: true}
+	cfg := core.Config{FreqMHz: fMHz, Mode: mode, Probes: probes, Transactional: true, FastReplay: FastReplay}
 	core.PrepareTopology(m, cfg)
 	uc, err := Sec7UseCase(m, seed)
 	if err != nil {

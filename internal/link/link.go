@@ -28,6 +28,10 @@ type Stage struct {
 	tr     *trace.Emitter
 	maxOcc int
 
+	// Hyperperiod-boundary snapshot of maxOcc (see replay.go).
+	mMaxOcc int
+	rmValid bool
+
 	// buildDelay is the construction-time forwarding delay; the in-envelope
 	// bound of the one-flit-cycle latency check (faults may stretch the
 	// live delay).
@@ -185,6 +189,10 @@ type readerFSM struct {
 
 	forwarding bool
 	flits      int64
+
+	// Hyperperiod-boundary snapshot and per-epoch delta (see replay.go).
+	mFlits, dFlits int64
+	rmValid        bool
 }
 
 func (f *readerFSM) Name() string          { return f.stage.name + ".fsm" }

@@ -63,6 +63,11 @@ type outConn struct {
 	sent    int64                  // payload words sent
 	blocked int64                  // flit opportunities lost to credit exhaustion
 	maxOcc  int                    // traced high-water mark of the queue depth
+
+	// Hyperperiod-boundary snapshots and per-epoch deltas (see replay.go).
+	mSent, mBlocked int64
+	dSent, dBlocked int64
+	mMaxOcc         int
 }
 
 type inConn struct {
@@ -71,8 +76,18 @@ type inConn struct {
 	owed      int // credits owed to the sender (freed queue space)
 	delivered int64
 	latency   stats.Histogram // ns per payload word, inject->arrival
-	firstNs   float64
-	lastNs    float64
+	// firstAt/lastAt are the arrival instants of the first and last
+	// delivered word. Kept in exact picoseconds (converted to ns only at
+	// the stats boundary) so hyperperiod replay can shift them by whole
+	// epochs without floating-point drift.
+	firstAt clock.Time
+	lastAt  clock.Time
+
+	// Hyperperiod-boundary snapshots and per-epoch deltas (see replay.go).
+	mDelivered, dDelivered int64
+	mFirstAt, mLastAt      clock.Time
+	lastMoved              bool
+	mSamples, pSamples     int
 
 	// record, when set, logs every payload arrival instant — the raw
 	// material of the composability experiments (cycle-exact timing
@@ -129,6 +144,16 @@ type NI struct {
 	// default) keeps the baseline protocol; the hot-path cost is then one
 	// pointer test per phit.
 	rel *reliable.Endpoint
+
+	// Hyperperiod replay bookkeeping (see replay.go). sortedOut/sortedIn
+	// cache the connections in id order for deterministic fingerprints.
+	rmValid            bool
+	rmNow              clock.Time
+	mFlit, dFlit       int64
+	mPadding, dPadding int64
+	sortedOut          []*outConn
+	sortedIn           []*inConn
+	sortedOK           bool
 }
 
 // New builds an NI clocked by clk with the given header layout and slot
@@ -172,6 +197,7 @@ func (n *NI) AddOutConn(cfg OutConnConfig) {
 		credits: cfg.InitialCredits,
 		queue:   sim.NewBisync[phit.Meta](fmt.Sprintf("%s.c%d.send", n.name, cfg.ID), cap, n.clk.Period),
 	}
+	n.sortedOK = false
 }
 
 // AddInConn registers a connection terminating at this NI.
@@ -191,6 +217,7 @@ func (n *NI) AddInConn(cfg InConnConfig) {
 	ic := &inConn{cfg: cfg}
 	n.inByID[cfg.ID] = ic
 	n.inByQID[cfg.QID] = ic
+	n.sortedOK = false
 }
 
 // Offer enqueues one word of payload for the connection from the IP side,
@@ -468,9 +495,9 @@ func (n *NI) receivePhit(now clock.Time, p phit.Phit) {
 			lat := float64(now-p.Meta.Injected) / float64(clock.Nanosecond)
 			ic.latency.Add(lat)
 			ic.delivered++
-			ic.lastNs = float64(now) / float64(clock.Nanosecond)
+			ic.lastAt = now
 			if ic.delivered == 1 {
-				ic.firstNs = ic.lastNs
+				ic.firstAt = now
 			}
 			if ic.record {
 				ic.arrivals = append(ic.arrivals, now)

@@ -1,0 +1,179 @@
+package ni
+
+// Hyperperiod replay support: the NI implements replay.Periodic so the
+// compiled fast path can prove its state periodic, fast-forward it by
+// whole epochs, and fall back to cycle-accurate execution losslessly.
+
+import (
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/phit"
+	"repro/internal/replay"
+)
+
+// ensureSorted refreshes the id-ordered connection caches used for
+// deterministic fingerprints and shifts.
+func (n *NI) ensureSorted() {
+	if n.sortedOK {
+		return
+	}
+	n.sortedOut = n.sortedOut[:0]
+	for _, oc := range n.outByID {
+		n.sortedOut = append(n.sortedOut, oc)
+	}
+	sort.Slice(n.sortedOut, func(i, j int) bool { return n.sortedOut[i].cfg.ID < n.sortedOut[j].cfg.ID })
+	n.sortedIn = n.sortedIn[:0]
+	for _, ic := range n.inByID {
+		n.sortedIn = append(n.sortedIn, ic)
+	}
+	sort.Slice(n.sortedIn, func(i, j int) bool { return n.sortedIn[i].cfg.ID < n.sortedIn[j].cfg.ID })
+	n.sortedOK = true
+}
+
+// ReplayOK implements replay.Periodic: false while a mode that makes the
+// NI's behaviour or observation data-dependent is active.
+func (n *NI) ReplayOK() bool {
+	if n.wrapped || n.rel != nil {
+		return false
+	}
+	for _, ic := range n.inByID {
+		if ic.record {
+			return false
+		}
+	}
+	return true
+}
+
+// ReplayPeriod implements replay.Periodic: the NI's behaviour depends on
+// absolute time through the word index within a flit and the TDM slot
+// index, which repeat every FlitWords*TableSize clock cycles.
+func (n *NI) ReplayPeriod() clock.Duration {
+	return clock.Duration(phit.FlitWords*n.table.Size()) * n.clk.Period
+}
+
+// ReplayMark implements replay.Periodic.
+func (n *NI) ReplayMark(now clock.Time) bool {
+	n.ensureSorted()
+	first := !n.rmValid
+	clean := !first
+	for _, oc := range n.sortedOut {
+		oc.dSent = oc.sent - oc.mSent
+		oc.dBlocked = oc.blocked - oc.mBlocked
+		if oc.maxOcc != oc.mMaxOcc {
+			// The traced high-water mark rose during the epoch: its
+			// Occupancy event is in the recorded schedule but a real run
+			// would not re-emit it, so the epoch is not replayable.
+			clean = false
+		}
+		oc.mSent, oc.mBlocked, oc.mMaxOcc = oc.sent, oc.blocked, oc.maxOcc
+	}
+	for _, ic := range n.sortedIn {
+		ic.dDelivered = ic.delivered - ic.mDelivered
+		dLast := ic.lastAt - ic.mLastAt
+		ic.lastMoved = dLast != 0
+		if ic.delivered > 0 && dLast != now-n.markNow() && dLast != 0 {
+			clean = false
+		}
+		if ic.firstAt != ic.mFirstAt {
+			clean = false
+		}
+		ic.pSamples, ic.mSamples = ic.mSamples, len(ic.latency.Samples())
+		ic.mDelivered, ic.mLastAt, ic.mFirstAt = ic.delivered, ic.lastAt, ic.firstAt
+	}
+	n.dFlit = n.flitIndex - n.mFlit
+	n.dPadding = n.paddingSum - n.mPadding
+	n.mFlit, n.mPadding = n.flitIndex, n.paddingSum
+	n.rmNow = now
+	n.rmValid = true
+	return clean
+}
+
+func (n *NI) markNow() clock.Time { return n.rmNow }
+
+// ReplayFingerprint implements replay.Periodic: the complete protocol
+// state, normalised to the boundary instant and the per-connection
+// sequence base. Monotone statistics are excluded (they shift by deltas);
+// the slot table contents are included so an unsynchronised table
+// reprogram can never match a stale fingerprint.
+func (n *NI) ReplayFingerprint(ctx *replay.Ctx, buf []byte) []byte {
+	n.ensureSorted()
+	buf = replay.AppendI64(buf, int64(n.openConn))
+	var flags int64
+	if n.inPacket {
+		flags |= 1
+	}
+	if n.dropPacket {
+		flags |= 2
+	}
+	buf = replay.AppendI64(buf, flags)
+	cur := int64(-1)
+	if n.curIn != nil {
+		cur = int64(n.curIn.cfg.QID)
+	}
+	buf = replay.AppendI64(buf, cur)
+	for _, p := range n.flitBuf {
+		buf = replay.AppendPhit(buf, p, ctx)
+	}
+	for _, owner := range n.table.Slots {
+		buf = replay.AppendI64(buf, int64(owner))
+	}
+	for _, oc := range n.sortedOut {
+		buf = replay.AppendI64(buf, int64(oc.cfg.ID))
+		buf = replay.AppendI64(buf, int64(oc.credits))
+		buf = replay.AppendI64(buf, int64(oc.queue.Len()))
+		oc.queue.Scan(func(m phit.Meta, pushed, visible clock.Time) {
+			buf = replay.AppendMeta(buf, m, ctx)
+			buf = replay.AppendTime(buf, pushed, ctx)
+			buf = replay.AppendTime(buf, visible, ctx)
+		})
+	}
+	for _, ic := range n.sortedIn {
+		buf = replay.AppendI64(buf, int64(ic.cfg.ID))
+		buf = replay.AppendI64(buf, int64(ic.owed))
+		buf = replay.AppendI64(buf, int64(len(ic.recvQ)))
+		for _, m := range ic.recvQ {
+			buf = replay.AppendMeta(buf, m, ctx)
+		}
+	}
+	return buf
+}
+
+// ReplayShift implements replay.Periodic.
+func (n *NI) ReplayShift(s *replay.Shift) {
+	n.ensureSorted()
+	n.flitIndex += s.Epochs * n.dFlit
+	n.paddingSum += s.Epochs * n.dPadding
+	for i := range n.flitBuf {
+		n.flitBuf[i] = replay.ShiftPhit(n.flitBuf[i], s)
+	}
+	for _, oc := range n.sortedOut {
+		oc.sent += s.Epochs * oc.dSent
+		oc.blocked += s.Epochs * oc.dBlocked
+		oc.queue.Adjust(func(m phit.Meta, pushed, visible clock.Time) (phit.Meta, clock.Time, clock.Time) {
+			return replay.ShiftMeta(m, s), pushed + clock.Time(s.DT), visible + clock.Time(s.DT)
+		})
+	}
+	for _, ic := range n.sortedIn {
+		ic.delivered += s.Epochs * ic.dDelivered
+		if ic.lastMoved {
+			ic.lastAt = replay.ShiftTime(ic.lastAt, s.DT)
+		}
+		for i := range ic.recvQ {
+			ic.recvQ[i] = replay.ShiftMeta(ic.recvQ[i], s)
+		}
+		// Re-append the epoch's latency samples once per replayed epoch:
+		// latencies are time differences, identical in every epoch, and
+		// the histogram keeps raw samples in insertion order, so the
+		// result is bit-identical to a cycle-accurate run.
+		if ic.mSamples > ic.pSamples {
+			tail := append([]float64(nil), ic.latency.Samples()[ic.pSamples:ic.mSamples]...)
+			for e := int64(0); e < s.Epochs; e++ {
+				for _, v := range tail {
+					ic.latency.Add(v)
+				}
+			}
+		}
+	}
+	n.rmValid = false
+}

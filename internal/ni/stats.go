@@ -36,8 +36,8 @@ func (n *NI) InStats(conn phit.ConnID) ConnStats {
 	return ConnStats{
 		Delivered: ic.delivered,
 		Latency:   &ic.latency,
-		FirstNs:   ic.firstNs,
-		LastNs:    ic.lastNs,
+		FirstNs:   float64(ic.firstAt) / float64(clock.Nanosecond),
+		LastNs:    float64(ic.lastAt) / float64(clock.Nanosecond),
 	}
 }
 
@@ -81,8 +81,8 @@ func (n *NI) ResetStats() {
 	for _, ic := range n.inByID {
 		ic.delivered = 0
 		ic.latency = stats.Histogram{}
-		ic.firstNs = 0
-		ic.lastNs = 0
+		ic.firstAt = 0
+		ic.lastAt = 0
 		ic.arrivals = nil
 	}
 	for _, oc := range n.outByID {
@@ -90,6 +90,9 @@ func (n *NI) ResetStats() {
 		oc.blocked = 0
 	}
 	n.paddingSum = 0
+	// Counter snapshots taken at a hyperperiod boundary are stale now;
+	// the replay program must re-baseline before engaging again.
+	n.rmValid = false
 }
 
 func (n *NI) String() string {

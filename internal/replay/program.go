@@ -1,0 +1,517 @@
+package replay
+
+import (
+	"bytes"
+
+	"repro/internal/clock"
+	"repro/internal/phit"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+const (
+	// DefaultMaxHyperperiod bounds the admissible hyperperiod; component
+	// period combinations whose LCM exceeds it keep the program inert.
+	DefaultMaxHyperperiod = clock.Duration(1) << 32 // ~4.3 ms
+
+	// maxInstants and maxEvents bound the recording arena; a hyperperiod
+	// too dense to record within them makes the program inert rather than
+	// letting the arena grow without limit.
+	maxInstants = 1 << 21
+	maxEvents   = 1 << 20
+)
+
+// A Program is the compiled fast path installed on an engine (see the
+// package comment for the protocol). Create with New, register the
+// network's wires with RegisterWire, then Install.
+type Program struct {
+	eng  *sim.Engine
+	bus  *trace.Bus // the engine's tracer at install (or re-anchor) time
+	sink *recSink
+
+	comps      []Periodic
+	seqSrcs    []SeqSource
+	states     []State
+	compsStale bool
+
+	maxH clock.Duration
+	hp   clock.Duration // the current hyperperiod (0 before first rescan)
+
+	inert    bool
+	inertWhy string
+
+	// Boundary state machine. anchorPending selects "waiting for a boundary
+	// to re-baseline at"; otherwise the program is recording the epoch
+	// (prevMark, nextMark] unless engaged.
+	anchorPending bool
+	prevValid     bool
+	prevMark      clock.Time
+	nextMark      clock.Time
+	prevFP        []byte
+	fpBuf         []byte
+	seqPrev       map[phit.ConnID]int64
+	seqNow        map[phit.ConnID]int64
+	timersAtMark  int64
+
+	rec     recording
+	pending []trace.Event
+	capture bool
+
+	// Engaged-replay cursor: the next instant to replay is number i of
+	// epoch k, at absolute time base + k*hp + rec.dts[i].
+	engaged    bool
+	base       clock.Time
+	k          int64
+	i          int
+	dseq       map[phit.ConnID]int64 // per-epoch payload sequence advance
+	epochEdges int64
+
+	engagements      int64
+	deopts           int64
+	replayedInstants int64
+}
+
+// A recording is one hyperperiod of schedule: per-instant offsets from the
+// epoch's opening boundary, edge counts, and the trace events each instant
+// emitted (evIdx is the prefix-sum index into events).
+type recording struct {
+	start  clock.Time
+	dts    []clock.Duration
+	edges  []int32
+	evIdx  []int32
+	events []trace.Event
+}
+
+func (r *recording) reset(start clock.Time) {
+	r.start = start
+	r.dts = r.dts[:0]
+	r.edges = r.edges[:0]
+	r.evIdx = append(r.evIdx[:0], 0)
+	r.events = r.events[:0]
+}
+
+// recSink captures the events emitted during one cycle-accurately executed
+// instant; Observe moves them into the recording arena.
+type recSink struct{ p *Program }
+
+func (s *recSink) Event(ev trace.Event) {
+	if s.p.capture {
+		s.p.pending = append(s.p.pending, ev)
+	}
+}
+
+// phitWire adapts a registered phit wire to the State interface. Between
+// instants a wire can hold no pending drive, so its committed value is its
+// complete state.
+type phitWire struct{ w *sim.Wire[phit.Phit] }
+
+func (pw phitWire) StateOK() bool { return !pw.w.HasIntercept() }
+func (pw phitWire) StateFingerprint(ctx *Ctx, buf []byte) []byte {
+	return AppendPhit(buf, pw.w.Read(), ctx)
+}
+func (pw phitWire) StateShift(s *Shift) {
+	pw.w.Adjust(func(v phit.Phit) phit.Phit { return ShiftPhit(v, s) })
+}
+
+// New returns an uninstalled program for the engine.
+func New(eng *sim.Engine) *Program {
+	p := &Program{
+		eng:     eng,
+		maxH:    DefaultMaxHyperperiod,
+		seqPrev: make(map[phit.ConnID]int64),
+		seqNow:  make(map[phit.ConnID]int64),
+		dseq:    make(map[phit.ConnID]int64),
+	}
+	p.sink = &recSink{p: p}
+	return p
+}
+
+// RegisterWire adds a phit wire to the fingerprinted state set. Every wire
+// of the network must be registered, or state held only in an unregistered
+// wire could alias two genuinely different configurations.
+func (p *Program) RegisterWire(w *sim.Wire[phit.Phit]) {
+	p.states = append(p.states, phitWire{w: w})
+}
+
+// RegisterState adds an arbitrary stateful element to the fingerprinted
+// state set.
+func (p *Program) RegisterState(st State) { p.states = append(p.states, st) }
+
+// Install attaches the program to its engine as the fast path.
+func (p *Program) Install() {
+	p.bus = p.eng.Tracer()
+	if p.bus != nil {
+		p.bus.Attach(p.sink)
+	}
+	p.compsStale = true
+	p.anchorPending = true
+	p.eng.SetFastPath(p)
+}
+
+// Engaged reports whether the program is currently replaying.
+func (p *Program) Engaged() bool { return p.engaged }
+
+// Inert reports whether the program has permanently fallen back to
+// cycle-accurate execution, and why.
+func (p *Program) Inert() (bool, string) { return p.inert, p.inertWhy }
+
+// Hyperperiod returns the compiled hyperperiod (0 before the first
+// successful component scan).
+func (p *Program) Hyperperiod() clock.Duration { return p.hp }
+
+// Stats summarises the program's activity.
+type Stats struct {
+	Engagements      int64
+	Deopts           int64
+	ReplayedInstants int64
+}
+
+// ProgStats returns engagement/deopt/replay counters.
+func (p *Program) ProgStats() Stats {
+	return Stats{Engagements: p.engagements, Deopts: p.deopts, ReplayedInstants: p.replayedInstants}
+}
+
+func (p *Program) goInert(why string) {
+	p.inert = true
+	p.inertWhy = why
+	p.capture = false
+	p.engaged = false
+	p.prevValid = false
+	p.pending = nil
+	p.rec = recording{}
+}
+
+// rescan rebuilds the component view and the hyperperiod after a
+// structural change. It reports false (and makes the program inert) when
+// the configuration is not replayable.
+func (p *Program) rescan() bool {
+	p.comps = p.comps[:0]
+	p.seqSrcs = p.seqSrcs[:0]
+	var hp clock.Duration
+	for _, c := range p.eng.AddOrder() {
+		pc, ok := c.(Periodic)
+		if !ok {
+			p.goInert("component " + c.Name() + " is not replay-periodic")
+			return false
+		}
+		per := pc.ReplayPeriod()
+		if per == 0 {
+			p.goInert("component " + c.Name() + " is aperiodic")
+			return false
+		}
+		if hp == 0 {
+			hp = per
+		} else if hp = LCM(hp, per, p.maxH); hp == 0 {
+			p.goInert("hyperperiod exceeds the admissible bound")
+			return false
+		}
+		p.comps = append(p.comps, pc)
+		if ss, ok := c.(SeqSource); ok {
+			p.seqSrcs = append(p.seqSrcs, ss)
+		}
+	}
+	if len(p.comps) == 0 {
+		p.goInert("no components registered")
+		return false
+	}
+	p.hp = hp
+	p.compsStale = false
+	return true
+}
+
+func (p *Program) collectSeqs() {
+	for c := range p.seqNow {
+		delete(p.seqNow, c)
+	}
+	for _, ss := range p.seqSrcs {
+		conn, s := ss.ReplayConnSeq()
+		p.seqNow[conn] = s
+	}
+}
+
+func (p *Program) fingerprint(now clock.Time, buf []byte) []byte {
+	ctx := &Ctx{Now: now, SeqBase: func(c phit.ConnID) int64 { return p.seqNow[c] }}
+	for _, c := range p.comps {
+		buf = c.ReplayFingerprint(ctx, buf)
+	}
+	for _, st := range p.states {
+		buf = st.StateFingerprint(ctx, buf)
+	}
+	return buf
+}
+
+// anchorAt re-baselines every boundary snapshot at the executed instant
+// now and starts recording the epoch (now, now+hp].
+func (p *Program) anchorAt(now clock.Time) {
+	for _, c := range p.comps {
+		c.ReplayMark(now)
+	}
+	p.collectSeqs()
+	p.prevFP = p.fingerprint(now, p.prevFP[:0])
+	p.seqPrev, p.seqNow = p.seqNow, p.seqPrev
+	p.prevValid = true
+	p.prevMark = now
+	p.nextMark = now + p.hp
+	p.timersAtMark = p.eng.TimersRun()
+	p.rec.reset(now)
+	p.pending = p.pending[:0]
+	p.capture = true
+	p.anchorPending = false
+}
+
+// markAt closes the recorded epoch at the boundary instant now: engage if
+// the epoch proved periodic and undisturbed, else roll the boundary and
+// record the next epoch.
+func (p *Program) markAt(now clock.Time) {
+	clean := true
+	for _, c := range p.comps {
+		if !c.ReplayMark(now) {
+			clean = false
+		}
+	}
+	eligible := true
+	for _, c := range p.comps {
+		if !c.ReplayOK() {
+			eligible = false
+			break
+		}
+	}
+	if eligible {
+		for _, st := range p.states {
+			if !st.StateOK() {
+				eligible = false
+				break
+			}
+		}
+	}
+	timerClean := p.eng.TimersRun() == p.timersAtMark
+	p.collectSeqs()
+	p.fpBuf = p.fingerprint(now, p.fpBuf[:0])
+	if clean && eligible && timerClean && p.prevValid &&
+		now-p.prevMark == p.hp && bytes.Equal(p.fpBuf, p.prevFP) {
+		p.engage(now)
+		return
+	}
+	p.prevFP, p.fpBuf = p.fpBuf, p.prevFP
+	p.seqPrev, p.seqNow = p.seqNow, p.seqPrev
+	p.prevValid = true
+	p.prevMark = now
+	p.nextMark = now + p.hp
+	p.timersAtMark = p.eng.TimersRun()
+	p.rec.reset(now)
+}
+
+func (p *Program) engage(now clock.Time) {
+	for c := range p.dseq {
+		delete(p.dseq, c)
+	}
+	for c, s := range p.seqNow {
+		p.dseq[c] = s - p.seqPrev[c]
+	}
+	p.epochEdges = 0
+	for _, e := range p.rec.edges {
+		p.epochEdges += int64(e)
+	}
+	p.base = now
+	p.k = 0
+	p.i = 0
+	p.engaged = true
+	p.capture = false
+	p.engagements++
+}
+
+// Observe implements sim.FastPath.
+func (p *Program) Observe(now clock.Time, edges int) {
+	if p.inert {
+		return
+	}
+	if b := p.eng.Tracer(); b != p.bus {
+		// The tracer was installed or swapped mid-run: recorded events
+		// belong to the old bus, so re-anchor on the new one.
+		p.bus = b
+		if b != nil {
+			b.Attach(p.sink)
+		}
+		p.capture = false
+		p.pending = p.pending[:0]
+		p.anchorPending = true
+		return
+	}
+	if p.anchorPending {
+		if p.compsStale && !p.rescan() {
+			return
+		}
+		p.anchorAt(now)
+		return
+	}
+	if now > p.nextMark {
+		// The boundary instant was not an executed instant (the anchor was
+		// a timer-only instant off every clock's grid); re-anchor here.
+		p.pending = p.pending[:0]
+		p.anchorAt(now)
+		return
+	}
+	if len(p.rec.dts) >= maxInstants || len(p.rec.events)+len(p.pending) > maxEvents {
+		p.goInert("hyperperiod recording exceeds the arena capacity")
+		return
+	}
+	p.rec.dts = append(p.rec.dts, now-p.rec.start)
+	p.rec.edges = append(p.rec.edges, int32(edges))
+	p.rec.events = append(p.rec.events, p.pending...)
+	p.rec.evIdx = append(p.rec.evIdx, int32(len(p.rec.events)))
+	p.pending = p.pending[:0]
+	if now == p.nextMark {
+		p.markAt(now)
+	}
+}
+
+// emitInstant re-emits the recorded events of instant i shifted forward by
+// the given number of whole epochs.
+func (p *Program) emitInstant(i int, epochs int64) {
+	if p.bus == nil {
+		return
+	}
+	evs := p.rec.events[p.rec.evIdx[i]:p.rec.evIdx[i+1]]
+	dt := clock.Time(epochs) * p.hp
+	for _, ev := range evs {
+		ev.Time += dt
+		if ev.Ref != 0 {
+			ev.Ref += dt
+		}
+		if ev.Seq != 0 {
+			// Only payload-bearing kinds carry a per-connection sequence
+			// number; their zero is reserved for the run's very first word,
+			// emitted long before any engagement, and for header-stamped
+			// events, which are sequence-invariant.
+			switch ev.Kind {
+			case trace.Inject, trace.Send, trace.Eject, trace.RouterForward, trace.LinkForward:
+				ev.Seq += epochs * p.dseq[ev.Conn]
+			}
+		}
+		p.bus.Emit(ev)
+	}
+}
+
+// Step implements sim.FastPath.
+func (p *Program) Step(until clock.Time) sim.FastResult {
+	if !p.engaged {
+		return sim.FastResult{}
+	}
+	if p.eng.Tracer() != p.bus {
+		// Tracer swapped while engaged: materialise; Observe re-anchors.
+		p.materialize()
+		return sim.FastResult{Now: p.eng.Now()}
+	}
+	horizon := until
+	timerBound := false
+	if tat, ok := p.eng.NextTimer(); ok && tat-1 < horizon {
+		horizon = tat - 1
+		timerBound = true
+	}
+	n := len(p.rec.dts)
+	if n == 0 {
+		p.materialize()
+		return sim.FastResult{Now: p.eng.Now()}
+	}
+	var edges int64
+	instants := 0
+	// Whole-epoch jumps first: when positioned at an epoch boundary with a
+	// full epoch inside the horizon, consume it in one stride.
+	for p.i == 0 && p.base+clock.Time(p.k+1)*p.hp <= horizon {
+		if p.bus != nil {
+			for i := 0; i < n; i++ {
+				p.emitInstant(i, p.k+1)
+			}
+		}
+		edges += p.epochEdges
+		instants += n
+		p.k++
+	}
+	for {
+		t := p.base + clock.Time(p.k)*p.hp + p.rec.dts[p.i]
+		if t > horizon {
+			break
+		}
+		p.emitInstant(p.i, p.k+1)
+		edges += int64(p.rec.edges[p.i])
+		instants++
+		p.i++
+		if p.i == n {
+			p.i = 0
+			p.k++
+		}
+	}
+	p.replayedInstants += int64(instants)
+	if !timerBound {
+		return sim.FastResult{Now: until, Edges: edges, Instants: instants, Done: true}
+	}
+	// A scheduled callback bounds the window: materialise real state and
+	// hand the instant back to the cycle-accurate loop.
+	p.materialize()
+	return sim.FastResult{Now: p.eng.Now(), Edges: edges, Instants: instants, Done: false}
+}
+
+// materialize turns the replay cursor back into real component state: one
+// bulk shift over the whole epochs, then a trace-muted resimulation of the
+// residual partial epoch.
+func (p *Program) materialize() {
+	m := p.k
+	if m > 0 {
+		sh := &Shift{Epochs: m, DT: clock.Duration(m) * p.hp,
+			DSeq: func(c phit.ConnID) int64 { return m * p.dseq[c] }}
+		for _, c := range p.comps {
+			c.ReplayShift(sh)
+		}
+		for _, st := range p.states {
+			st.StateShift(sh)
+		}
+	}
+	boundary := p.base + clock.Time(m)*p.hp
+	i := p.i
+	p.engaged = false
+	p.capture = false
+	p.anchorPending = true
+	p.deopts++
+	p.eng.ResumeAt(boundary)
+	if i > 0 {
+		// The already-replayed instants of the partial epoch had their
+		// events emitted from the recording; resimulate them silently.
+		if p.bus != nil {
+			p.bus.SetSilent(true)
+		}
+		p.eng.Resimulate(boundary + p.rec.dts[i-1])
+		if p.bus != nil {
+			p.bus.SetSilent(false)
+		}
+	}
+}
+
+// Invalidated implements sim.FastPath.
+func (p *Program) Invalidated() {
+	if p.inert {
+		return
+	}
+	p.compsStale = true
+	if p.engaged {
+		p.materialize()
+		return
+	}
+	p.capture = false
+	p.pending = p.pending[:0]
+	p.anchorPending = true
+}
+
+// Sync implements sim.FastPath.
+func (p *Program) Sync() {
+	if !p.engaged {
+		return
+	}
+	tnow := p.eng.Now()
+	p.materialize()
+	if p.eng.Now() < tnow {
+		// No instants exist between the materialised position and tnow (the
+		// replay cursor had consumed up to tnow), so restoring the clock is
+		// observation-free.
+		p.eng.ResumeAt(tnow)
+	}
+}

@@ -1,0 +1,64 @@
+package router
+
+// Hyperperiod replay support: the engine-adapted router implements
+// replay.Periodic. The router's behaviour never depends on absolute time
+// (SetNow only stamps violation reports), so its pattern period is a
+// single clock cycle; its architectural state is the three pipeline
+// stages plus the per-input packet trackers.
+
+import (
+	"repro/internal/clock"
+	"repro/internal/replay"
+)
+
+// ReplayOK implements replay.Periodic.
+func (r *Component) ReplayOK() bool { return true }
+
+// ReplayPeriod implements replay.Periodic.
+func (r *Component) ReplayPeriod() clock.Duration { return r.clk.Period }
+
+// ReplayMark implements replay.Periodic.
+func (r *Component) ReplayMark(now clock.Time) bool {
+	c := r.core
+	first := !c.rmValid
+	c.dForwarded = c.forwarded - c.mForwarded
+	c.mForwarded = c.forwarded
+	c.rmValid = true
+	return !first
+}
+
+// ReplayFingerprint implements replay.Periodic.
+func (r *Component) ReplayFingerprint(ctx *replay.Ctx, buf []byte) []byte {
+	c := r.core
+	for _, p := range c.reg1 {
+		buf = replay.AppendPhit(buf, p, ctx)
+	}
+	for _, reg := range c.reg2 {
+		buf = replay.AppendPhit(buf, reg.p, ctx)
+		buf = replay.AppendI64(buf, int64(reg.outPort))
+	}
+	for _, st := range c.hpu {
+		var f int64
+		if st.inPacket {
+			f = 1
+		}
+		buf = replay.AppendI64(buf, f<<32|int64(uint32(st.outPort)))
+	}
+	for _, fl := range c.flitLeft {
+		buf = append(buf, byte(fl))
+	}
+	return buf
+}
+
+// ReplayShift implements replay.Periodic.
+func (r *Component) ReplayShift(s *replay.Shift) {
+	c := r.core
+	c.forwarded += s.Epochs * c.dForwarded
+	for i := range c.reg1 {
+		c.reg1[i] = replay.ShiftPhit(c.reg1[i], s)
+	}
+	for i := range c.reg2 {
+		c.reg2[i].p = replay.ShiftPhit(c.reg2[i].p, s)
+	}
+	c.rmValid = false
+}

@@ -46,7 +46,11 @@ type Core struct {
 	flitLeft []int8
 
 	// forwarded counts valid phits switched, a cheap progress metric.
-	forwarded int64
+	// mForwarded/dForwarded are its hyperperiod-boundary snapshot and
+	// per-epoch delta (see replay.go).
+	forwarded              int64
+	mForwarded, dForwarded int64
+	rmValid                bool
 
 	// rep receives envelope violations (TDM contention, protocol errors);
 	// nil preserves the fail-fast panics. now is the adapter-maintained

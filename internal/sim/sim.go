@@ -80,6 +80,51 @@ type Engine struct {
 	// onto their events — but owning the bus here gives drivers one place
 	// to find it.
 	tracer *trace.Bus
+
+	// fast, when non-nil, is a compiled fast path (package replay) that
+	// may consume whole stretches of the schedule without per-instant
+	// dispatch. resim guards re-entrant cycle-accurate execution while the
+	// fast path materialises state (Resimulate).
+	fast  FastPath
+	resim bool
+
+	// timersRun counts executed scheduled callbacks; a fast path compares
+	// it across a candidate period to prove the stretch was undisturbed.
+	timersRun int64
+}
+
+// A FastPath can take over the engine's main loop for stretches of
+// simulated time whose schedule it has proven periodic (package replay).
+// The engine consults it at the top of every Run iteration and reports
+// every cycle-accurately executed instant to Observe.
+type FastPath interface {
+	// Step offers the fast path the window (Engine.Now(), until]. It
+	// returns Done=true when the whole window was consumed (the engine
+	// then returns from Run), and Done=false to hand control back to the
+	// cycle-accurate loop — either because the fast path is not engaged,
+	// or because it deoptimised (materialised real state) at a hazard such
+	// as a pending timer. Now/Edges/Instants report the progress made.
+	Step(until clock.Time) FastResult
+	// Observe reports one cycle-accurately executed instant: its time and
+	// how many component edges fired.
+	Observe(now clock.Time, edges int)
+	// Invalidated reports a structural mutation (component or wire added
+	// or removed, clock schedule invalidated). It is called before the
+	// mutation takes effect, so an engaged fast path can materialise the
+	// pre-mutation state.
+	Invalidated()
+	// Sync materialises any fast-forwarded state so that every component,
+	// wire and statistic reads as if the run had been cycle-accurate all
+	// along. Callers must invoke Engine.Sync before inspecting state.
+	Sync()
+}
+
+// A FastResult reports the progress a FastPath.Step call made.
+type FastResult struct {
+	Now      clock.Time // simulation time reached (<= until)
+	Edges    int64      // component edges accounted for
+	Instants int        // distinct instants consumed
+	Done     bool       // whole window consumed; Run returns
 }
 
 // A clockGroup holds every component driven by one clock, in add order,
@@ -123,35 +168,68 @@ func (e *Engine) Add(c Component) {
 	if c.Clock() == nil {
 		panic(fmt.Sprintf("sim: component %q has no clock", c.Name()))
 	}
+	e.invalidateFast()
 	e.components = append(e.components, c)
 	e.dirty = true
+}
+
+// Remove unregisters a component (reconfiguration close). It reports
+// whether the component was found. Clocked wires whose domain loses its
+// last component fall back to committing at every instant from the next
+// rebuild on, so pending drives are never lost (see AddWireClocked).
+func (e *Engine) Remove(c Component) bool {
+	for i, have := range e.components {
+		if have == c {
+			e.invalidateFast()
+			e.components = append(e.components[:i], e.components[i+1:]...)
+			e.dirty = true
+			return true
+		}
+	}
+	return false
 }
 
 // At schedules f to run at the exact instant t, before any component edges
 // at that instant (and regardless of whether any clock has an edge there).
 // Callbacks at the same instant run in registration order. A time at or
-// before the current instant fires at the next executed instant. Scheduled
+// before the current instant fires at the next executed instant; the
+// returned time is the instant the callback will actually fire at, so a
+// caller scheduling "at the current instant" can detect the one-instant
+// drift instead of silently producing a shifted reconfiguration. Scheduled
 // callbacks may mutate clocks; call InvalidateSchedule afterwards so the
 // engine recomputes its edge schedule.
-func (e *Engine) At(t clock.Time, f func()) {
+func (e *Engine) At(t clock.Time, f func()) clock.Time {
 	if t <= e.now {
 		t = e.now + 1
 	}
 	e.timers = append(e.timers, timerEntry{at: t, seq: e.timerSeq, f: f})
 	e.timerSeq++
 	timerUp(e.timers, len(e.timers)-1)
+	return t
 }
 
 // InvalidateSchedule tells the engine that a clock's period or phase was
 // mutated (fault injection models drift and jitter this way) so cached
 // next-edge times must be recomputed before the next dispatch.
-func (e *Engine) InvalidateSchedule() { e.dirty = true }
+func (e *Engine) InvalidateSchedule() {
+	e.invalidateFast()
+	e.dirty = true
+}
+
+// invalidateFast tells the fast path the schedule or element set is about
+// to change, before the change lands.
+func (e *Engine) invalidateFast() {
+	if e.fast != nil {
+		e.fast.Invalidated()
+	}
+}
 
 // AddWire registers anything with a commit phase (wires, FIFO channels).
 // The wire is committed at every executed instant. Prefer AddWireClocked
 // when the wire's writer lives in a known clock domain: per-instant cost
 // then scales with the due domains, not with the total wire count.
 func (e *Engine) AddWire(w committable) {
+	e.invalidateFast()
 	e.wires = append(e.wires, w)
 }
 
@@ -173,9 +251,63 @@ func (e *Engine) AddWireClocked(w committable, clk *clock.Clock) {
 		e.AddWire(w)
 		return
 	}
+	e.invalidateFast()
 	e.clocked = append(e.clocked, clockedWire{w: w, clk: clk})
 	e.dirty = true
 }
+
+// SetFastPath installs (or, with nil, removes) a compiled fast path. The
+// engine consults it at the top of every Run iteration; see FastPath.
+func (e *Engine) SetFastPath(f FastPath) { e.fast = f }
+
+// Sync materialises any state the installed fast path has fast-forwarded,
+// so components, wires and statistics read as if the run had been
+// cycle-accurate throughout. It is a no-op without a fast path.
+func (e *Engine) Sync() {
+	if e.fast != nil {
+		e.fast.Sync()
+	}
+}
+
+// ResumeAt rewinds (or advances) the engine's clock to t and marks the
+// schedule dirty. It is the resume half of the fast path's deopt seam: a
+// materialising fast path shifts component state to a known boundary
+// instant, calls ResumeAt(boundary), and then Resimulate to replay the
+// residual instants cycle-accurately. General code should never call it.
+func (e *Engine) ResumeAt(t clock.Time) {
+	e.now = t
+	e.dirty = true
+}
+
+// Resimulate runs the cycle-accurate loop up to and including until,
+// bypassing the fast path. The caller (a materialising fast path) must
+// guarantee no timer is pending at or before until. The edge counter is
+// preserved: resimulated instants re-execute work the fast path already
+// accounted for when it replayed them.
+func (e *Engine) Resimulate(until clock.Time) int {
+	e.resim = true
+	edges := e.edges
+	defer func() {
+		e.resim = false
+		e.edges = edges
+	}()
+	return e.Run(until)
+}
+
+// NextTimer returns the earliest pending scheduled-callback instant.
+func (e *Engine) NextTimer() (clock.Time, bool) {
+	if len(e.timers) == 0 {
+		return 0, false
+	}
+	return e.timers[0].at, true
+}
+
+// TimersRun returns the number of scheduled callbacks executed so far.
+func (e *Engine) TimersRun() int64 { return e.timersRun }
+
+// AddOrder returns the registered components in add order — the order
+// coincident edges dispatch in. The caller must not mutate the slice.
+func (e *Engine) AddOrder() []Component { return e.components }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() clock.Time { return e.now }
@@ -246,6 +378,20 @@ func (e *Engine) Run(until clock.Time) int {
 		if e.dirty {
 			e.rebuild(e.now)
 		}
+		if e.fast != nil && !e.resim {
+			res := e.fast.Step(until)
+			instants += res.Instants
+			e.edges += res.Edges
+			if res.Now > e.now {
+				e.now = res.Now
+			}
+			if res.Done {
+				return instants
+			}
+			if e.dirty {
+				e.rebuild(e.now)
+			}
+		}
 		next := clock.Infinity
 		if len(e.gheap) > 0 {
 			next = e.gheap[0].next
@@ -271,6 +417,7 @@ func (e *Engine) Run(until clock.Time) int {
 			e.timers = e.timers[:n]
 			timerDown(e.timers, 0)
 			t.f()
+			e.timersRun++
 			ranTimer = true
 		}
 		if ranTimer && e.dirty {
@@ -334,6 +481,9 @@ func (e *Engine) Run(until clock.Time) int {
 		}
 		e.edges += int64(len(due))
 		instants++
+		if e.fast != nil && !e.resim {
+			e.fast.Observe(next, len(due))
+		}
 	}
 }
 

@@ -192,3 +192,94 @@ func TestTracer(t *testing.T) {
 		t.Error("tracer not cleared")
 	}
 }
+
+// TestAtReturnsEffectiveFiringTime: scheduling a callback at or before the
+// current instant cannot fire in the past, so At rounds it to the next
+// executed instant — and must say so. A reconfiguration script that
+// schedules "at now" needs the actual instant to reason about what state
+// its callback will see; the old signature silently shifted it.
+func TestAtReturnsEffectiveFiringTime(t *testing.T) {
+	eng := New()
+	clk := clock.New("c", 1000, 0)
+	eng.Add(&counter{name: "a", clk: clk})
+	eng.Run(5000) // now = 5000
+
+	var fired []clock.Time
+	record := func() { fired = append(fired, eng.Now()) }
+
+	past := eng.At(4000, record)    // strictly in the past
+	present := eng.At(5000, record) // at the current instant
+	future := eng.At(6000, record)  // genuinely in the future
+	if past != 5001 || present != 5001 {
+		t.Errorf("effective times for past/present = %d, %d; want 5001, 5001", past, present)
+	}
+	if future != 6000 {
+		t.Errorf("effective time for future = %d; want 6000", future)
+	}
+
+	eng.Run(7000)
+	want := []clock.Time{past, present, future}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d callbacks, want %d", len(fired), len(want))
+	}
+	for i, at := range fired {
+		if at != want[i] {
+			t.Errorf("callback %d fired at %d, promised %d", i, at, want[i])
+		}
+	}
+}
+
+// oneShotDriver drives a single value on its first update, then goes
+// quiet; it exists to leave a pending (uncommitted) drive on a wire.
+type oneShotDriver struct {
+	clk   *clock.Clock
+	out   *Wire[int]
+	v     int
+	armed bool
+}
+
+func (d *oneShotDriver) Name() string          { return "oneshot" }
+func (d *oneShotDriver) Clock() *clock.Clock   { return d.clk }
+func (d *oneShotDriver) Sample(now clock.Time) {}
+func (d *oneShotDriver) Update(now clock.Time) {
+	if d.armed {
+		d.armed = false
+		d.out.Drive(d.v)
+	}
+}
+
+// TestOrphanedClockedWireCommitsAfterRemove: a wire clocked on domain B
+// normally commits only on B's edges. When Remove strips B's last
+// component mid-run, B's edges stop executing — the orphan fallback must
+// take over and commit the wire's pending drive at subsequent instants
+// instead of leaving it latched forever.
+func TestOrphanedClockedWireCommitsAfterRemove(t *testing.T) {
+	eng := New()
+	clkA := clock.New("a", 1000, 0)
+	clkB := clock.New("b", 1000, 500)
+	w := NewWire[int]("w")
+	eng.AddWireClocked(w, clkB)
+	sink := &counter{name: "sink", clk: clkB, in: w}
+	drv := &oneShotDriver{clk: clkA, out: w, v: 42}
+	eng.Add(drv)
+	eng.Add(sink)
+
+	eng.Run(400) // before any edge: nothing driven, nothing committed
+	if got := w.Read(); got != 0 {
+		t.Fatalf("w committed %d before any edge", got)
+	}
+	drv.armed = true
+	eng.Run(1200) // drv drives 42 at 1000; clkB's next commit edge is 1500
+	if got := w.Read(); got != 0 {
+		t.Fatalf("w = %d; the drive must stay pending until a clkB edge", got)
+	}
+	if !eng.Remove(sink) {
+		t.Fatal("Remove did not find the component")
+	}
+	// clkB now drives no component: its edges never execute. The pending
+	// 42 must still land via the orphan fallback at the next instant.
+	eng.Run(2200)
+	if got := w.Read(); got != 42 {
+		t.Fatalf("w = %d after orphaning; pending drive was never committed", got)
+	}
+}

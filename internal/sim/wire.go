@@ -60,6 +60,16 @@ func (w *Wire[T]) commit() {
 // driven reporting whether this instant drove a fresh value.
 func (w *Wire[T]) SetIntercept(f func(v T, driven bool) T) { w.intercept = f }
 
+// HasIntercept reports whether a commit-time intercept is installed. The
+// replay fast path refuses to engage while any registered wire has one,
+// because an intercept makes commits data-dependent.
+func (w *Wire[T]) HasIntercept() bool { return w.intercept != nil }
+
+// Adjust rewrites the committed value in place. It is the replay fast
+// path's state-shift hook and must only be called between instants with no
+// pending drive (the fast path guarantees this at epoch boundaries).
+func (w *Wire[T]) Adjust(f func(T) T) { w.cur = f(w.cur) }
+
 // A Bisync is a bi-synchronous FIFO: the only legal mesochronous
 // clock-domain crossing in aelite (paper Section V, after [14], [18]).
 //
@@ -171,6 +181,24 @@ func (b *Bisync[T]) Cap() int { return b.capacity }
 
 // MaxOccupancy returns the high-water mark since construction.
 func (b *Bisync[T]) MaxOccupancy() int { return b.maxOccupancy }
+
+// Scan calls f for every queued entry, oldest first, with the entry's
+// value, push instant and visibility instant. The replay fast path uses it
+// to fingerprint in-flight words.
+func (b *Bisync[T]) Scan(f func(v T, pushed, visible clock.Time)) {
+	for _, en := range b.entries {
+		f(en.v, en.pushed, en.visible)
+	}
+}
+
+// Adjust rewrites every queued entry in place, oldest first. It is the
+// replay fast path's state-shift hook.
+func (b *Bisync[T]) Adjust(f func(v T, pushed, visible clock.Time) (T, clock.Time, clock.Time)) {
+	for i := range b.entries {
+		en := &b.entries[i]
+		en.v, en.pushed, en.visible = f(en.v, en.pushed, en.visible)
+	}
+}
 
 // commit is a no-op; Bisync state changes are immediate but visibility is
 // governed by timestamps. It satisfies committable so a Bisync may be

@@ -144,6 +144,11 @@ type Bus struct {
 	comps  []string
 	byName map[string]CompID
 	sinks  []Sink
+
+	// silent suppresses delivery. The replay fast path mutes the bus
+	// while it resimulates instants whose events were already emitted
+	// from the recorded schedule, keeping deopt trace-invisible.
+	silent bool
 }
 
 // NewBus returns an empty bus.
@@ -181,10 +186,16 @@ func (b *Bus) Components() []string {
 
 // Emit delivers one event to every attached sink.
 func (b *Bus) Emit(ev Event) {
+	if b.silent {
+		return
+	}
 	for _, s := range b.sinks {
 		s.Event(ev)
 	}
 }
+
+// SetSilent suppresses (true) or restores (false) event delivery.
+func (b *Bus) SetSilent(on bool) { b.silent = on }
 
 // Emitter returns a per-component emission handle. Components store the
 // handle (nil when tracing is disabled) and test it before building an
@@ -206,6 +217,9 @@ type Emitter struct {
 // Emit stamps ev.Comp and delivers the event. Callers must nil-test the
 // emitter first (the zero-cost contract); Emit on a nil emitter panics.
 func (e *Emitter) Emit(ev Event) {
+	if e.bus.silent {
+		return
+	}
 	ev.Comp = e.comp
 	for _, s := range e.bus.sinks {
 		s.Event(ev)

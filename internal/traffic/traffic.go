@@ -6,9 +6,11 @@ package traffic
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/clock"
 	"repro/internal/phit"
+	"repro/internal/replay"
 )
 
 // A Port is the IP-side injection interface of a network interface; both
@@ -26,25 +28,40 @@ type Generator struct {
 	ni   Port
 	conn phit.ConnID
 
-	// wordsPerCycle is the offered rate in payload words per generator
-	// clock cycle.
-	wordsPerCycle float64
+	// The offered rate in payload words per generator clock cycle is the
+	// exact rational rateNum/rateDen (reduced). The accumulator accNum is
+	// scaled by rateDen, so rate arithmetic is integer and the emission
+	// pattern is exactly periodic — the property hyperperiod replay
+	// proves and exploits. The historical float64 accumulator drifted by
+	// ulps, which was invisible to throughput metrics but made the
+	// pattern period ill-defined.
+	rateNum, rateDen int64
+	accNum           int64
 
 	// Burst parameters: the generator alternates onCycles of generation
-	// at burstRate with offCycles of silence, keeping the long-run
-	// average at wordsPerCycle. onCycles == 0 selects pure CBR.
+	// at burstNum/rateDen words per cycle with offCycles of silence,
+	// keeping the long-run average at rateNum/rateDen. onCycles == 0
+	// selects pure CBR.
 	onCycles, offCycles int64
-	burstRate           float64
+	burstNum            int64
 
 	// start delays the first word, staggering generators.
 	start clock.Time
 
 	disabled bool
-	acc      float64
 	phase    int64
 	offered  int64 // words accepted into the NI FIFO
 	rejected int64 // blocked-write retries (full FIFO)
 	seq      int64
+
+	// Per-epoch counter deltas captured at hyperperiod boundaries.
+	rm genMark
+}
+
+type genMark struct {
+	valid                             bool
+	offered, rejected, seq, phase     int64
+	dOffered, dRejected, dSeq, dPhase int64
 }
 
 // NewCBR returns a constant-bit-rate generator offering rateMBps megabytes
@@ -54,8 +71,8 @@ func NewCBR(name string, clk *clock.Clock, n Port, conn phit.ConnID,
 	if rateMBps <= 0 {
 		panic(fmt.Sprintf("traffic %s: non-positive rate", name))
 	}
-	wpc := wordsPerCycle(rateMBps, wordBytes, clk)
-	return &Generator{name: name, clk: clk, ni: n, conn: conn, wordsPerCycle: wpc, start: start}
+	num, den := rationalRate(rateMBps, wordBytes, clk)
+	return &Generator{name: name, clk: clk, ni: n, conn: conn, rateNum: num, rateDen: den, start: start}
 }
 
 // NewBursty returns an on/off generator with the given long-run average
@@ -69,20 +86,35 @@ func NewBursty(name string, clk *clock.Clock, n Port, conn phit.ConnID,
 	g := NewCBR(name, clk, n, conn, rateMBps, wordBytes, start)
 	g.onCycles = onCycles
 	g.offCycles = int64(float64(onCycles) * (burstFactor - 1))
-	g.burstRate = g.wordsPerCycle * burstFactor
-	if g.burstRate > 1 {
-		g.burstRate = 1 // a generator cannot exceed one word per cycle
+	g.burstNum = int64(math.Round(float64(g.rateNum) * burstFactor))
+	if g.burstNum > g.rateDen {
+		g.burstNum = g.rateDen // a generator cannot exceed one word per cycle
 	}
 	return g
 }
 
-func wordsPerCycle(rateMBps float64, wordBytes int, clk *clock.Clock) float64 {
+// rationalRate converts a megabytes-per-second rate to an exact reduced
+// words-per-cycle rational. The rate is quantised to one byte per second,
+// far below every tolerance in the experiments.
+func rationalRate(rateMBps float64, wordBytes int, clk *clock.Clock) (num, den int64) {
 	if wordBytes <= 0 {
 		panic("traffic: non-positive word width")
 	}
-	bytesPerSec := rateMBps * 1e6
-	cyclesPerSec := 1e12 / float64(clk.Period)
-	return bytesPerSec / float64(wordBytes) / cyclesPerSec
+	bytesPerSec := int64(math.Round(rateMBps * 1e6))
+	if bytesPerSec <= 0 {
+		bytesPerSec = 1
+	}
+	num = bytesPerSec * int64(clk.Period)
+	den = int64(wordBytes) * 1e12
+	g := gcd(num, den)
+	return num / g, den / g
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
 }
 
 // Name implements sim.Component.
@@ -99,18 +131,18 @@ func (g *Generator) Update(now clock.Time) {
 	if g.disabled || now < g.start {
 		return
 	}
-	rate := g.wordsPerCycle
+	num := g.rateNum
 	if g.onCycles > 0 {
 		period := g.onCycles + g.offCycles
 		if g.phase%period >= g.onCycles {
-			rate = 0
+			num = 0
 		} else {
-			rate = g.burstRate
+			num = g.burstNum
 		}
 		g.phase++
 	}
-	g.acc += rate
-	for g.acc >= 1 {
+	g.accNum += num
+	for g.accNum >= g.rateDen {
 		meta := phit.Meta{Conn: g.conn, Seq: g.seq, Injected: now}
 		if !g.ni.Offer(now, g.conn, meta) {
 			// Blocking write: the word stays pending; retry next
@@ -118,14 +150,14 @@ func (g *Generator) Update(now clock.Time) {
 			// worth so an over-subscribed generator models a
 			// stalled IP rather than an unbounded debt.
 			g.rejected++
-			if g.acc > 16 {
-				g.acc = 16
+			if g.accNum > 16*g.rateDen {
+				g.accNum = 16 * g.rateDen
 			}
 			return
 		}
 		g.seq++
 		g.offered++
-		g.acc--
+		g.accNum -= g.rateDen
 	}
 }
 
@@ -142,12 +174,12 @@ func NewTransactional(name string, clk *clock.Clock, n Port, conn phit.ConnID,
 		panic(fmt.Sprintf("traffic %s: transaction of %d words", name, txWords))
 	}
 	g := NewCBR(name, clk, n, conn, rateMBps, wordBytes, start)
-	if g.wordsPerCycle >= 1 {
+	if g.rateNum >= g.rateDen {
 		return g // already at line rate: transactions are back to back
 	}
 	g.onCycles = txWords
-	g.offCycles = int64(float64(txWords)/g.wordsPerCycle) - txWords
-	g.burstRate = 1
+	g.offCycles = txWords*g.rateDen/g.rateNum - txWords
+	g.burstNum = g.rateDen
 	return g
 }
 
@@ -161,18 +193,23 @@ func (g *Generator) SetEnabled(on bool) { g.disabled = !on }
 // down), or an opportunistic best-effort IP exceeding its nominal rate.
 // For transactional/bursty generators the inter-burst spacing is rescaled.
 func (g *Generator) SetRateMBps(rateMBps float64, wordBytes int) {
-	g.wordsPerCycle = wordsPerCycle(rateMBps, wordBytes, g.clk)
+	oldDen := g.rateDen
+	g.rateNum, g.rateDen = rationalRate(rateMBps, wordBytes, g.clk)
+	if oldDen != g.rateDen && g.accNum != 0 {
+		g.accNum = int64(float64(g.accNum) / float64(oldDen) * float64(g.rateDen))
+	}
 	if g.onCycles > 0 {
-		if g.wordsPerCycle >= 1 {
+		if g.rateNum >= g.rateDen {
 			g.offCycles = 0
-			g.burstRate = 1
+			g.burstNum = g.rateDen
 			return
 		}
-		off := int64(float64(g.onCycles)/g.wordsPerCycle) - g.onCycles
+		off := g.onCycles*g.rateDen/g.rateNum - g.onCycles
 		if off < 0 {
 			off = 0
 		}
 		g.offCycles = off
+		g.burstNum = g.rateDen
 	}
 }
 
@@ -181,3 +218,72 @@ func (g *Generator) Offered() int64 { return g.offered }
 
 // Rejected returns the number of blocked-write retries.
 func (g *Generator) Rejected() int64 { return g.rejected }
+
+// maxPatternCycles bounds a generator's admissible pattern period; finer
+// rationals are treated as aperiodic, keeping hyperperiods bounded.
+const maxPatternCycles = 1 << 22
+
+// ReplayOK implements replay.Periodic.
+func (g *Generator) ReplayOK() bool { return true }
+
+// ReplayPeriod implements replay.Periodic: the exact cycle count after
+// which the accumulator and burst phase return to their values.
+func (g *Generator) ReplayPeriod() clock.Duration {
+	if g.disabled {
+		return g.clk.Period // constant state
+	}
+	p, add := int64(1), g.rateNum
+	if g.onCycles > 0 {
+		p = g.onCycles + g.offCycles
+		add = g.onCycles * g.burstNum
+	}
+	cycles := replay.PatternCycles(p, add%g.rateDen, g.rateDen, maxPatternCycles)
+	if cycles == 0 {
+		return 0
+	}
+	return clock.Duration(cycles) * g.clk.Period
+}
+
+// ReplayMark implements replay.Periodic.
+func (g *Generator) ReplayMark(now clock.Time) bool {
+	first := !g.rm.valid
+	g.rm.dOffered = g.offered - g.rm.offered
+	g.rm.dRejected = g.rejected - g.rm.rejected
+	g.rm.dSeq = g.seq - g.rm.seq
+	g.rm.dPhase = g.phase - g.rm.phase
+	g.rm.offered, g.rm.rejected, g.rm.seq, g.rm.phase = g.offered, g.rejected, g.seq, g.phase
+	g.rm.valid = true
+	return !first
+}
+
+// ReplayFingerprint implements replay.Periodic.
+func (g *Generator) ReplayFingerprint(ctx *replay.Ctx, buf []byte) []byte {
+	buf = replay.AppendI64(buf, g.accNum)
+	var ph int64
+	if g.onCycles > 0 {
+		ph = g.phase % (g.onCycles + g.offCycles)
+	}
+	buf = replay.AppendI64(buf, ph)
+	var pend int64
+	if ctx.Now < g.start {
+		pend = int64(g.start - ctx.Now)
+	}
+	buf = replay.AppendI64(buf, pend)
+	var dis int64
+	if g.disabled {
+		dis = 1
+	}
+	return replay.AppendI64(buf, dis)
+}
+
+// ReplayShift implements replay.Periodic.
+func (g *Generator) ReplayShift(s *replay.Shift) {
+	g.offered += s.Epochs * g.rm.dOffered
+	g.rejected += s.Epochs * g.rm.dRejected
+	g.seq += s.Epochs * g.rm.dSeq
+	g.phase += s.Epochs * g.rm.dPhase
+	g.rm.valid = false
+}
+
+// ReplayConnSeq implements replay.SeqSource.
+func (g *Generator) ReplayConnSeq() (phit.ConnID, int64) { return g.conn, g.seq }

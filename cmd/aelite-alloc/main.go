@@ -7,12 +7,17 @@
 //
 //	aelite-alloc -spec usecase.json [-cols 4 -rows 3 -nis 4] [flags]
 //	aelite-alloc -random N [flags]        (N random connections instead)
+//	aelite-alloc -scenario FAMILY -conns N [flags]   (generated workload)
 //
 // Flags:
 //
 //	-freq MHZ    network frequency (default 500)
 //	-table N     slot-table size (default: search)
 //	-mode M      synchronous | mesochronous | asynchronous
+//	-alloc A     slot allocator: greedy | ripup (default greedy)
+//	-scenario F  generated workload family: uniform | hotspot | transpose |
+//	             multimedia | dataflow (see internal/scenario)
+//	-conns N     connection count for -scenario
 //	-tables      print every NI's slot table
 package main
 
@@ -23,27 +28,64 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/phit"
+	"repro/internal/scenario"
 	"repro/internal/spec"
 	"repro/internal/topology"
 )
 
+// layoutFor picks the header layout the mesh diameter needs: the worst
+// minimal route visits cols+rows-1 routers. The paper's 32-bit layout
+// encodes 7 hops; the 64-bit WideLayout (8-byte words) 16. Beyond that
+// no runnable header exists — allocation-only planning (aelite-exp
+// scale) is the tool at that size.
+func layoutFor(cols, rows int) (phit.HeaderLayout, int, error) {
+	ports := cols + rows - 1
+	switch {
+	case ports <= phit.DefaultLayout.MaxHops():
+		return phit.DefaultLayout, 4, nil
+	case ports <= phit.WideLayout.MaxHops():
+		return phit.WideLayout, 8, nil
+	}
+	return phit.HeaderLayout{}, 0, fmt.Errorf(
+		"a %dx%d mesh needs %d-hop headers; the widest layout encodes %d (allocation-only planning via aelite-exp scale has no such cap)",
+		cols, rows, ports, phit.WideLayout.MaxHops())
+}
+
 func main() {
 	specPath := flag.String("spec", "", "use-case JSON (see internal/spec)")
 	random := flag.Int("random", 0, "generate this many random connections instead of loading a spec")
-	seed := flag.Int64("seed", 1, "seed for -random")
+	seed := flag.Int64("seed", 1, "seed for -random/-scenario")
 	cols := flag.Int("cols", 4, "mesh columns")
 	rows := flag.Int("rows", 3, "mesh rows")
 	nis := flag.Int("nis", 4, "NIs per router")
 	freq := flag.Float64("freq", 500, "frequency in MHz")
 	table := flag.Int("table", 0, "TDM table size (0 = search)")
 	mode := flag.String("mode", "synchronous", "clocking: synchronous|mesochronous|asynchronous")
+	alloc := flag.String("alloc", "greedy", "slot allocator: greedy | ripup")
+	scenarioF := flag.String("scenario", "", "generated workload family: uniform|hotspot|transpose|multimedia|dataflow")
+	conns := flag.Int("conns", 0, "connection count for -scenario")
 	printTables := flag.Bool("tables", false, "print per-NI slot tables")
 	flag.Parse()
 
 	m := topology.NewMesh(*cols, *rows, *nis)
+	layout, wordBytes, err := layoutFor(*cols, *rows)
+	fatal(err)
 	var uc *spec.UseCase
-	var err error
 	switch {
+	case *scenarioF != "":
+		fam, err := scenario.ParseFamily(*scenarioF)
+		fatal(err)
+		cfg := scenario.Default(fam, *cols, *rows, *conns, *seed)
+		cfg.NIsPerRouter = *nis
+		cfg.FreqMHz = *freq
+		cfg.WordBytes = wordBytes
+		if *table != 0 {
+			cfg.TableSize = *table
+		}
+		s, err := scenario.Generate(cfg)
+		fatal(err)
+		uc = s.UseCase
 	case *specPath != "":
 		uc, err = spec.Load(*specPath)
 		fatal(err)
@@ -55,7 +97,7 @@ func main() {
 			MinLatencyNs: 150, MaxLatencyNs: 900,
 		})
 	default:
-		fmt.Fprintln(os.Stderr, "aelite-alloc: need -spec or -random")
+		fmt.Fprintln(os.Stderr, "aelite-alloc: need -spec, -random or -scenario")
 		os.Exit(2)
 	}
 	needMap := false
@@ -68,7 +110,8 @@ func main() {
 		spec.MapIPsByTraffic(uc, m)
 	}
 
-	cfg := core.Config{FreqMHz: *freq, TableSize: *table}
+	cfg := core.Config{FreqMHz: *freq, TableSize: *table, Allocator: *alloc,
+		Layout: layout, WordBytes: wordBytes}
 	switch *mode {
 	case "synchronous":
 	case "mesochronous":
@@ -85,7 +128,7 @@ func main() {
 
 	fmt.Printf("use case %q: %d IPs, %d connections on a %dx%d mesh (%d NIs/router)\n",
 		uc.Name, len(uc.IPs), len(uc.Connections), *cols, *rows, *nis)
-	fmt.Printf("mode %s, %.0f MHz, slot table %d\n\n", cfg.Mode, *freq, n.Cfg.TableSize)
+	fmt.Printf("mode %s, %.0f MHz, slot table %d, allocator %s\n\n", cfg.Mode, *freq, n.Cfg.TableSize, *alloc)
 
 	fmt.Printf("%6s %9s %9s %9s %6s %5s %8s\n", "conn", "reqMB/s", "gntMB/s", "boundNs", "slots", "hops", "recvCap")
 	for _, c := range uc.Connections {

@@ -17,18 +17,25 @@
 //	aelite-exp conformance guarantee-conformance sweep (audit layer)
 //	aelite-exp reconfig    online-reconfiguration study (admission control,
 //	                       undisturbed service, self-healing reroute)
+//	aelite-exp scale       large-scale study: generator families x mesh
+//	                       sizes x allocators (greedy vs rip-up), reporting
+//	                       allocation success, allocator runtime, bound
+//	                       tightness, audit violations and replay engagement
 //	aelite-exp all         everything above
 //
 // Flags:
 //
-//	-seed N       workload seed for sec7/scan (default the documented one)
+//	-seed N       workload seed for sec7/scan/scale (default the documented
+//	              one)
 //	-measure NS   measurement window in ns (default 60000)
 //	-freq MHZ     frequency for sec7 (default 500)
 //	-j N          parallel sweep workers (default all CPUs; results are
 //	              byte-identical at every worker count)
 //	-verbose      print the full 200-connection report tables
-//	-out FILE     write the reconfig study's JSON summary to FILE (the CI
-//	              artifact); only meaningful with the reconfig experiment
+//	-out FILE     write the reconfig/scale study's JSON artifact to FILE;
+//	              only meaningful with those experiments
+//	-smoke        shrink the scale study to its CI gate (one simulated 8x8
+//	              mesh instead of the full 8x8/16x16/32x32 cross product)
 package main
 
 import (
@@ -46,8 +53,9 @@ func main() {
 	freq := flag.Float64("freq", 500, "frequency in MHz for the sec7 comparison")
 	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all CPUs)")
 	verbose := flag.Bool("verbose", false, "print full per-connection reports")
-	jsonOut := flag.String("out", "", "write the reconfig JSON summary to this file")
+	jsonOut := flag.String("out", "", "write the reconfig/scale JSON artifact to this file")
 	fast := flag.Bool("fast", false, "hyperperiod-compiled fast replay for GS networks (cycle-accurate fallback where not provably periodic)")
+	smoke := flag.Bool("smoke", false, "shrink the scale study to its CI smoke configuration")
 	flag.Parse()
 	experiments.FastReplay = *fast
 	j := parallel.Jobs(*jobs)
@@ -71,7 +79,7 @@ func main() {
 	known := map[string]bool{"all": true, "fig5": true, "fig6a": true, "fig6b": true,
 		"links": true, "throughput": true, "sec7": true, "scan": true,
 		"power": true, "hetero": true, "recovery": true, "conformance": true,
-		"reconfig": true}
+		"reconfig": true, "scale": true}
 	if !known[cmd] {
 		fmt.Fprintf(os.Stderr, "aelite-exp: unknown experiment %q\n", cmd)
 		flag.Usage()
@@ -144,6 +152,31 @@ func main() {
 			return fmt.Errorf("%d violations: %s", sum.Violations, sum.Failures[0])
 		}
 		return nil
+	})
+	run("scale", func() error {
+		cfg := experiments.DefaultScaleConfig()
+		if *smoke {
+			cfg = experiments.SmokeScaleConfig()
+		}
+		cfg.Seed = *seed
+		rep, err := experiments.ScaleStudy(cfg, j)
+		if err != nil {
+			return err
+		}
+		rep.Render(out)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := rep.WriteJSON(f); err != nil {
+				return err
+			}
+		}
+		// The artifact is written before gating so a failing run still
+		// leaves the evidence behind.
+		return rep.Verify()
 	})
 	run("conformance", func() error {
 		cfg := experiments.DefaultConformanceConfig()

@@ -7,9 +7,15 @@
 //
 //	aelite-sim -spec usecase.json [flags]
 //	aelite-sim -random N [flags]
+//	aelite-sim -scenario FAMILY -conns N [flags]
 //
 // Flags:
 //
+//	-scenario F    generated workload family: uniform | hotspot | transpose |
+//	               multimedia | dataflow (internal/scenario; deterministic in
+//	               -seed, rates replay-admissible by default)
+//	-conns N       connection count for -scenario
+//	-alloc A       slot allocator: greedy | ripup (default greedy)
 //	-backend B     aelite | be
 //	-mode M        synchronous | mesochronous | asynchronous (aelite only)
 //	-freq MHZ      network frequency (default 500)
@@ -47,6 +53,10 @@
 //	               connections are never disturbed either way. With -audit
 //	               the auditor is resynchronised after every action. aelite
 //	               only, single runs, not asynchronous mode
+//	-fast          hyperperiod-compiled fast replay: record one hyperperiod
+//	               of the cycle-accurate schedule and replay it; workloads
+//	               that are not provably periodic fall back to cycle-accurate
+//	               execution untouched (aelite only)
 //	-audit         attach the guarantee-conformance auditor: every flit is
 //	               checked against the connection's analytical worst-case
 //	               latency and throughput contract, slot ownership and
@@ -80,6 +90,8 @@ import (
 	"repro/internal/fault"
 	"repro/internal/parallel"
 	"repro/internal/phit"
+	"repro/internal/scenario"
+	"repro/internal/slots"
 	"repro/internal/spec"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -111,6 +123,9 @@ type options struct {
 	audit     bool
 	reconfig  string
 	fast      bool
+	scenario  string
+	conns     int
+	alloc     string
 
 	traceOut   string
 	metricsOut string
@@ -152,6 +167,22 @@ func (o *options) validate() error {
 	}
 	if o.random < 0 {
 		return fmt.Errorf("-random %d must be positive", o.random)
+	}
+	if o.scenario != "" {
+		if _, err := scenario.ParseFamily(o.scenario); err != nil {
+			return fmt.Errorf("-scenario: %w", err)
+		}
+		if o.specPath != "" || o.random > 0 {
+			return fmt.Errorf("-scenario excludes -spec and -random")
+		}
+		if o.conns < 1 {
+			return fmt.Errorf("-scenario needs -conns >= 1 (got %d)", o.conns)
+		}
+	} else if o.conns != 0 {
+		return fmt.Errorf("-conns applies only with -scenario")
+	}
+	if _, err := slots.ByName(o.alloc); err != nil {
+		return fmt.Errorf("-alloc: %w", err)
 	}
 	if o.backend != "aelite" && o.backend != "be" {
 		return fmt.Errorf("unknown backend %q (aelite | be)", o.backend)
@@ -222,7 +253,10 @@ func main() {
 	var o options
 	flag.StringVar(&o.specPath, "spec", "", "use-case JSON")
 	flag.IntVar(&o.random, "random", 0, "generate this many random connections")
-	flag.Int64Var(&o.seed, "seed", 1, "seed for -random")
+	flag.StringVar(&o.scenario, "scenario", "", "generated workload family: uniform|hotspot|transpose|multimedia|dataflow")
+	flag.IntVar(&o.conns, "conns", 0, "connection count for -scenario")
+	flag.StringVar(&o.alloc, "alloc", "greedy", "slot allocator: greedy | ripup")
+	flag.Int64Var(&o.seed, "seed", 1, "seed for -random/-scenario")
 	flag.IntVar(&o.cols, "cols", 4, "mesh columns")
 	flag.IntVar(&o.rows, "rows", 3, "mesh rows")
 	flag.IntVar(&o.nis, "nis", 4, "NIs per router")
@@ -305,7 +339,7 @@ func run(o options) (code int) {
 		return fail(err)
 	}
 	if uc == nil {
-		fmt.Fprintln(os.Stderr, "aelite-sim: need -spec or -random")
+		fmt.Fprintln(os.Stderr, "aelite-sim: need -spec, -random or -scenario")
 		return 2
 	}
 
@@ -329,8 +363,13 @@ func run(o options) (code int) {
 	// Campaigns always carry the TDM ownership probes: a corrupted header
 	// re-routes a packet into slots reserved for someone else, which only
 	// the allocation-aware probes can attribute.
+	layout, wordBytes, err := layoutFor(o.cols, o.rows)
+	if err != nil {
+		return fail(err)
+	}
 	cfg := core.Config{FreqMHz: o.freq, Probes: o.probes || campaignMode, Transactional: o.tx,
-		Reliable: o.reliable, SkewOverridePS: o.skewPS, FastReplay: o.fast}
+		Reliable: o.reliable, SkewOverridePS: o.skewPS, FastReplay: o.fast, Allocator: o.alloc,
+		Layout: layout, WordBytes: wordBytes}
 	switch o.mode {
 	case "synchronous":
 	case "mesochronous":
@@ -465,6 +504,24 @@ func run(o options) (code int) {
 	return 0
 }
 
+// layoutFor picks the header layout the mesh diameter needs: the worst
+// minimal route visits cols+rows-1 routers. The paper's 32-bit layout
+// encodes 7 hops; the 64-bit WideLayout (8-byte words) 16. Beyond that
+// no runnable header exists — allocation-only planning (aelite-exp
+// scale) is the tool at that size.
+func layoutFor(cols, rows int) (phit.HeaderLayout, int, error) {
+	ports := cols + rows - 1
+	switch {
+	case ports <= phit.DefaultLayout.MaxHops():
+		return phit.DefaultLayout, 4, nil
+	case ports <= phit.WideLayout.MaxHops():
+		return phit.WideLayout, 8, nil
+	}
+	return phit.HeaderLayout{}, 0, fmt.Errorf(
+		"a %dx%d mesh needs %d-hop headers; the widest layout encodes %d (allocation-only planning via aelite-exp scale has no such cap)",
+		cols, rows, ports, phit.WideLayout.MaxHops())
+}
+
 // buildUseCase assembles the mesh and use case from the flags. A nil use
 // case (with nil error) means neither -spec nor -random was given. Sweep
 // workers call it once each: a use case is mutated during mapping and
@@ -474,6 +531,24 @@ func buildUseCase(o options) (*topology.Mesh, *spec.UseCase, error) {
 	m := topology.NewMesh(o.cols, o.rows, o.nis)
 	var uc *spec.UseCase
 	switch {
+	case o.scenario != "":
+		fam, err := scenario.ParseFamily(o.scenario)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := scenario.Default(fam, o.cols, o.rows, o.conns, o.seed)
+		cfg.NIsPerRouter = o.nis
+		cfg.FreqMHz = o.freq
+		if _, wordBytes, err := layoutFor(o.cols, o.rows); err == nil {
+			// Quantisation must target the word width the network will
+			// actually run at (the wide layout carries 8-byte words).
+			cfg.WordBytes = wordBytes
+		}
+		s, err := scenario.Generate(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		uc = s.UseCase
 	case o.specPath != "":
 		var err error
 		uc, err = spec.Load(o.specPath)
@@ -517,8 +592,13 @@ func campaignPoint(o options, faultSeed int64) (out []byte, err error) {
 	if err != nil {
 		return nil, err
 	}
+	layout, wordBytes, err := layoutFor(o.cols, o.rows)
+	if err != nil {
+		return nil, err
+	}
 	cfg := core.Config{FreqMHz: o.freq, Probes: true, Transactional: o.tx,
-		Reliable: o.reliable, SkewOverridePS: o.skewPS, FastReplay: o.fast}
+		Reliable: o.reliable, SkewOverridePS: o.skewPS, FastReplay: o.fast, Allocator: o.alloc,
+		Layout: layout, WordBytes: wordBytes}
 	if o.mode == "mesochronous" {
 		cfg.Mode = core.Mesochronous
 	} else if o.mode == "asynchronous" {

@@ -1,16 +1,3 @@
-// Package admission implements run-time admission control for a live
-// aelite network: the question "can connection C be opened now?" answered
-// by an incremental slot/path search over only the currently-free slots,
-// with the would-be allocation's analytical bounds checked against the
-// requested budget before anything is committed.
-//
-// This is the online half of the contract the paper's design flow
-// establishes offline (reference [16]): a request either receives the
-// full guaranteed service it asked for, or it is rejected with a typed,
-// machine-readable reason — it is never admitted in a degraded form, and
-// running connections are never disturbed by the attempt, because the
-// probe works on a clone of the slot allocation and the commit claims
-// only free slots.
 package admission
 
 import (

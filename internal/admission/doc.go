@@ -1,0 +1,22 @@
+// Package admission implements run-time admission control for a live
+// aelite network: the question "can connection C be opened now?" answered
+// by an incremental slot/path search over only the currently-free slots,
+// with the would-be allocation's analytical bounds checked against the
+// requested budget before anything is committed.
+//
+// This is the online half of the contract the paper's design flow
+// establishes offline (reference [16]): a request either receives the
+// full guaranteed service it asked for, or it is rejected with a typed,
+// machine-readable reason — it is never admitted in a degraded form, and
+// running connections are never disturbed by the attempt, because the
+// probe works on a clone of the slot allocation and the commit claims
+// only free slots.
+//
+// Cross-package contract: the probe path works on slots.Allocation.Clone
+// and the commit path claims only slots that SlotFree reports free, so an
+// admission attempt can never perturb a running connection's schedule —
+// the composability the paper guarantees offline extends to run time.
+// Budgets are vetted with the same analysis bounds the auditor
+// (internal/audit) later enforces flit by flit. The aelite-sim -reconfig
+// script path and experiments.ReconfigStudy are the consumers.
+package admission

@@ -1,21 +1,3 @@
-// Package aethereal implements the baseline the paper compares against: a
-// combined guaranteed-service / best-effort (GS+BE) Æthereal-style router
-// network operated in best-effort mode (paper Section VII's second
-// experiment runs all 200 connections as BE on the same mapping and
-// paths).
-//
-// Unlike the aelite router, the BE router needs everything aelite deleted:
-//
-//   - input buffers several words deep per port;
-//   - link-level flow control (credits) so those buffers never overflow;
-//   - per-output round-robin arbitration, with wormhole packet locking
-//     (a packet holds its output from header to End-of-Packet);
-//   - consequently, its area and frequency suffer (captured in the area
-//     model) and its latency depends on other traffic — composability is
-//     lost, which the simulation makes visible.
-//
-// Source routing and header encoding are shared with aelite (package
-// phit), as in the real Æthereal family.
 package aethereal
 
 import (

@@ -1,33 +1,3 @@
-// Package area is the silicon cost model that stands in for the paper's
-// commercial 90 nm low-power CMOS synthesis flow (worst-case corner, cell
-// area before place-and-route).
-//
-// The model is structural — registers, switch mux tree, header parsing
-// unit, control, FIFO cells — with constants calibrated so that every
-// number the paper states is reproduced:
-//
-//   - Fig. 5: an arity-5, 32-bit router occupies <0.015 mm² up to
-//     650 MHz, grows steeply after ~750 MHz and saturates around 875 MHz
-//     near 0.018 mm².
-//   - Fig. 6(a): 32-bit router area grows roughly linearly with arity
-//     (≈5-27 kµm² over arity 2-7) while maximum frequency falls from
-//     ≈1.3 GHz towards ≈900 MHz.
-//   - Fig. 6(b): arity-6 router area grows linearly with word width
-//     (tens of kµm² at 32 bit towards ≈150 kµm² at 256 bit) while
-//     maximum frequency falls from ≈880 to ≈750 MHz.
-//   - Section V: a 4-word bi-synchronous FIFO costs ≈1500 µm² with the
-//     custom cells of [18] or ≈3300 µm² with the standard-cell FIFOs of
-//     [4]; a complete arity-5 router with mesochronous link pipeline
-//     stages is "in the order of 0.032 mm²"; the mesochronous router of
-//     [4] occupies 0.082 mm² and the asynchronous router of [7] 0.12 mm²
-//     (scaled from 130 nm).
-//   - Section VII: the combined GS+BE Æthereal router occupies 0.13 mm²
-//     at 500 MHz in 130 nm [8]; in the same 90 nm technology aelite is
-//     roughly 5x smaller and 1.5x faster.
-//
-// Area-versus-target-frequency uses a logistic gate-upsizing term: flat
-// while slack is plentiful, a knee around three quarters of the maximum
-// frequency, saturation as the synthesiser runs out of upsizing headroom.
 package area
 
 import (

@@ -1,0 +1,18 @@
+// Package clock models the clock domains of a flit-synchronous network on
+// chip. aelite (Hansson et al., DATE 2009) distinguishes three regimes:
+//
+//   - synchronous: all network elements share one clock (period and phase);
+//   - mesochronous: all elements share the nominal period but each has an
+//     arbitrary, bounded phase offset (Section V of the paper assumes the
+//     skew between a writer and a reader is at most half a clock cycle);
+//   - plesiochronous: elements have slightly different periods (ppm-level
+//     offsets), handled by the asynchronous wrappers of Section VI.
+//
+// Time is kept in integer picoseconds so that edge ordering across domains
+// is exact and simulations are bit-reproducible.
+//
+// Cross-package contract: all simulation time is exchanged in this
+// package's integer-picosecond Time/Duration values — sim.Engine's event
+// ordering, trace timestamps and replay fingerprints all assume exact
+// integer arithmetic, never floating-point nanoseconds.
+package clock

@@ -1,14 +1,3 @@
-// Package core is the public façade of the aelite reproduction: it turns a
-// use-case spec plus a topology into a fully allocated, runnable,
-// cycle-accurate network, and reports per-connection guarantees and
-// measurements.
-//
-// The design flow mirrors the Æthereal tooling the paper builds on
-// (reference [16]): map IPs to NIs, route each connection (XY with YX
-// fallback), size its TDM slot reservation from its throughput and latency
-// requirements, allocate contention-free slots, derive buffer sizes and
-// credits, then instantiate routers, link pipeline stages, NIs and traffic
-// and simulate.
 package core
 
 import (
@@ -120,6 +109,17 @@ type Config struct {
 	// fault intercepts) fall back to cycle-accurate execution untouched,
 	// so enabling it is always observation-safe.
 	FastReplay bool
+	// Allocator selects the slot/path allocation strategy by name:
+	// "greedy" (the baseline; also the empty string) or "ripup" (the
+	// Even & Fais-style rip-up-and-reroute allocator). See slots.ByName.
+	Allocator string
+	// UncappedPaths lifts the header path-field filter (Layout.MaxHops)
+	// during allocation-only planning, so PlanAllocation can evaluate
+	// slot/path allocation on meshes whose diameter exceeds the
+	// single-word-header operating envelope (TDM allocation is
+	// independent of header encoding). Build ignores it: a runnable
+	// network needs every route encodable in one header word.
+	UncappedPaths bool
 	// SkewOverridePS, when non-zero in Mesochronous mode, replaces the
 	// random in-envelope tile phases with a deterministic checkerboard:
 	// tiles at even Manhattan parity get phase 0, odd parity get this
@@ -231,6 +231,8 @@ var candidateTableSizes = []int{8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256}
 // pipeline depths this config instantiates.
 func Build(m *topology.Mesh, uc *spec.UseCase, cfg Config) (*Network, error) {
 	cfg.ApplyDefaults()
+	cfg.UncappedPaths = false // planning-only relaxation; headers must encode
+
 	if err := uc.Validate(); err != nil {
 		return nil, err
 	}
@@ -339,6 +341,39 @@ func (n *Network) Replay() *replay.Program { return n.prog }
 // allocate routes and slot-allocates every connection (and its reverse
 // credit channel) for one candidate table size.
 func allocate(m *topology.Mesh, uc *spec.UseCase, cfg Config, tableSize int) (*slots.Allocation, map[phit.ConnID]*connInfo, error) {
+	al, err := slots.ByName(cfg.Allocator)
+	if err != nil {
+		return nil, nil, err
+	}
+	infos, requests, err := buildRequests(m, uc, cfg, tableSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	alloc, err := slots.AllocateWith(al, tableSize, requests)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, info := range infos {
+		as := alloc.ByConn[info.spec.ID]
+		ras := alloc.ByConn[info.rev]
+		info.path = usedWorstPath(as)
+		info.slotSet = as.Slots
+		info.revPath = usedWorstPath(ras)
+		info.revSlots = ras.Slots
+		b := analysis.ConnectionBounds(info.path, as.Slots, tableSize, cfg.FreqMHz, cfg.WordBytes, analysisMode(cfg, info.spec.BandwidthMBps))
+		info.guaranteeMBps = b.GuaranteeMBps
+		info.boundNs = b.LatencyNs
+		rt := analysis.CreditRoundTripSlots(ras.Slots, info.revPath, tableSize)
+		info.ackRTSlots = rt
+		info.recvCap = analysis.RecvCapacityWords(len(as.Slots), rt, tableSize)
+	}
+	return alloc, infos, nil
+}
+
+// buildRequests routes every connection and sizes its slot request (and
+// its reverse credit channel's) for one candidate table size, without
+// allocating anything.
+func buildRequests(m *topology.Mesh, uc *spec.UseCase, cfg Config, tableSize int) (map[phit.ConnID]*connInfo, []slots.Request, error) {
 	infos := make(map[phit.ConnID]*connInfo, len(uc.Connections))
 	var requests []slots.Request
 	// Reverse connections get ids above the data range.
@@ -373,8 +408,10 @@ func allocate(m *topology.Mesh, uc *spec.UseCase, cfg Config, tableSize int) (*s
 		if err != nil {
 			return nil, nil, err
 		}
-		fwdPaths = fitHeader(fwdPaths, cfg.Layout)
-		revPaths = fitHeader(revPaths, cfg.Layout)
+		if !cfg.UncappedPaths {
+			fwdPaths = fitHeader(fwdPaths, cfg.Layout)
+			revPaths = fitHeader(revPaths, cfg.Layout)
+		}
 		if len(fwdPaths) == 0 || len(revPaths) == 0 {
 			return nil, nil, fmt.Errorf("core: connection %d has no route that fits the %d-hop header path field",
 				c.ID, cfg.Layout.MaxHops())
@@ -402,25 +439,7 @@ func allocate(m *topology.Mesh, uc *spec.UseCase, cfg Config, tableSize int) (*s
 			slots.Request{Conn: rev, Paths: revPaths, Count: analysis.RevSlots(count, cfg.Layout.MaxCredits())},
 		)
 	}
-	alloc, err := slots.Allocate(tableSize, requests)
-	if err != nil {
-		return nil, nil, err
-	}
-	for _, info := range infos {
-		as := alloc.ByConn[info.spec.ID]
-		ras := alloc.ByConn[info.rev]
-		info.path = usedWorstPath(as)
-		info.slotSet = as.Slots
-		info.revPath = usedWorstPath(ras)
-		info.revSlots = ras.Slots
-		b := analysis.ConnectionBounds(info.path, as.Slots, tableSize, cfg.FreqMHz, cfg.WordBytes, analysisMode(cfg, info.spec.BandwidthMBps))
-		info.guaranteeMBps = b.GuaranteeMBps
-		info.boundNs = b.LatencyNs
-		rt := analysis.CreditRoundTripSlots(ras.Slots, info.revPath, tableSize)
-		info.ackRTSlots = rt
-		info.recvCap = analysis.RecvCapacityWords(len(as.Slots), rt, tableSize)
-	}
-	return alloc, infos, nil
+	return infos, requests, nil
 }
 
 // instantiate builds clocks, wires, routers, link stages, NIs, probes and

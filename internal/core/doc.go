@@ -1,0 +1,20 @@
+// Package core is the public façade of the aelite reproduction: it turns a
+// use-case spec plus a topology into a fully allocated, runnable,
+// cycle-accurate network, and reports per-connection guarantees and
+// measurements.
+//
+// The design flow mirrors the Æthereal tooling the paper builds on
+// (reference [16]): map IPs to NIs, route each connection (XY with YX
+// fallback), size its TDM slot reservation from its throughput and latency
+// requirements, allocate contention-free slots, derive buffer sizes and
+// credits, then instantiate routers, link pipeline stages, NIs and traffic
+// and simulate.
+//
+// Build is all-or-nothing: a use case either gets every connection
+// allocated (searching candidate slot-table sizes if none is pinned) or
+// an error. PlanAllocation is the allocation-only, best-effort
+// counterpart used by scale studies to measure success rates; the
+// Allocator config field selects the slots.Allocator strategy for both.
+// A use case must never be shared across builds, and PrepareTopology
+// must run on a mesh before it is built.
+package core

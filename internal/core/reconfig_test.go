@@ -157,6 +157,7 @@ func TestOpenConnectionAdmissionControl(t *testing.T) {
 	// Still healthy.
 	n.eng.Run(n.eng.Now() + 10000*clock.Nanosecond)
 }
+
 // TestCloseDrainCreditStarvation: the drain loop's wait budget is derived
 // from the queue depth and the credit round trip, and when even that
 // budget cannot empty the queue — here because a fault kills the credit

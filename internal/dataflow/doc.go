@@ -1,0 +1,27 @@
+// Package dataflow implements homogeneous synchronous dataflow (HSDF)
+// graph analysis — the formal model the paper designates as future work
+// for reasoning about wrapped (plesiochronous/heterochronous) aelite
+// networks: "performance analysis of a heterochronous aelite
+// implementation is possible by modelling the links, NIs and routers in a
+// dataflow graph" (Section VII, footnote) and "include the asynchronous
+// wrappers in the formal models of the NoC" (Section VIII).
+//
+// An HSDF graph has actors with fixed firing durations and directed
+// channels carrying initial tokens; an actor fires when every input
+// channel holds a token, consuming one per input and producing one per
+// output after its duration. The steady-state iteration period of such a
+// graph is its maximum cycle ratio (MCR):
+//
+//	period = max over cycles C of  (sum of durations in C) / (tokens in C)
+//
+// Wrapped aelite maps onto HSDF directly: every wrapper is an actor whose
+// duration is one local flit cycle, every token channel an edge marked
+// with wrapper.InitialTokens tokens (plus a reverse capacity edge), and
+// the network's sustainable flit rate is 1/MCR — the formal version of
+// "the aelite NoC only runs as fast as the slowest router or NI".
+//
+// Besides the wrapper analysis (aelite-exp hetero), internal/scenario
+// derives its dataflow-family workload rates from these graphs: each
+// connection's bandwidth is the ring's 1/MCR throughput times the words
+// it moves per iteration.
+package dataflow

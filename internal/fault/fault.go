@@ -84,24 +84,24 @@ const (
 )
 
 var kindNames = map[Kind]string{
-	SkewBound:       "skew-bound",
-	AlignBound:      "align-bound",
-	FIFOOverflow:    "fifo-overflow",
-	FIFOUnderflow:   "fifo-underflow",
-	LinkLatency:     "link-latency",
-	SlotContention:  "slot-contention",
-	SlotOwnership:   "slot-ownership",
-	ProtocolError:   "protocol",
-	UnknownQueue:    "unknown-queue",
-	CreditError:     "credit",
-	QueueOverflow:   "queue-overflow",
-	RouteError:      "route",
-	PacketState:     "packet-state",
-	Liveness:        "liveness",
-	LinkQuarantined: "link-quarantined",
-	LatencyBound:    "latency-bound",
-	DeliveryOrder:   "delivery-order",
-	InjectionRate:   "injection-rate",
+	SkewBound:           "skew-bound",
+	AlignBound:          "align-bound",
+	FIFOOverflow:        "fifo-overflow",
+	FIFOUnderflow:       "fifo-underflow",
+	LinkLatency:         "link-latency",
+	SlotContention:      "slot-contention",
+	SlotOwnership:       "slot-ownership",
+	ProtocolError:       "protocol",
+	UnknownQueue:        "unknown-queue",
+	CreditError:         "credit",
+	QueueOverflow:       "queue-overflow",
+	RouteError:          "route",
+	PacketState:         "packet-state",
+	Liveness:            "liveness",
+	LinkQuarantined:     "link-quarantined",
+	LatencyBound:        "latency-bound",
+	DeliveryOrder:       "delivery-order",
+	InjectionRate:       "injection-rate",
 	IsolationBreach:     "isolation",
 	ReconfigDisturbance: "reconfig-disturbance",
 	ReconfigResidue:     "reconfig-residue",

@@ -1,0 +1,38 @@
+// Package parallel is the sweep runner of the aelite reproduction: it fans
+// independent simulation configurations — experiment points, fault-campaign
+// plans, frequency and ablation scans — across a pool of worker goroutines
+// while keeping every observable output deterministic.
+//
+// The simulation engine (package sim) is deterministic to the picosecond but
+// strictly single-threaded: one engine, one goroutine. Design-space sweeps,
+// however, are embarrassingly parallel — every point builds its own network
+// and its own engine and shares nothing. This package exploits exactly that
+// structure and nothing more:
+//
+//   - each worker invokes the point function for distinct indices; the
+//     point function must build a private sim.Engine (and network, use case,
+//     collector...) per call and must not touch shared mutable state;
+//   - results are keyed by configuration index, never by completion order,
+//     so a sweep's output is byte-identical whatever the worker count or
+//     the OS scheduler's mood;
+//   - errors are deterministic too: every point runs to completion and the
+//     error of the lowest-indexed failed point is returned, so a sweep that
+//     fails under -j 8 fails with the same diagnostic under -j 1.
+//
+// Usage sketch — an eight-point frequency scan on all CPUs:
+//
+//	points, err := parallel.Map(parallel.Jobs(0), len(freqs),
+//		func(i int) (ScanPoint, error) {
+//			return simulateOnPrivateEngine(freqs[i]) // builds its own engine
+//		})
+//
+// Jobs(0) resolves to GOMAXPROCS; Map(1, ...) runs inline on the calling
+// goroutine, which is the reference serial order every parallel run must
+// reproduce.
+//
+// Everything rendered through Map — experiment sweeps, fault campaigns,
+// the scale study — is part of the repository-wide determinism contract:
+// byte-identical output at every worker count. Wall-clock measurements
+// (e.g. allocator runtimes) are the only sanctioned exception and must be
+// excluded from any byte-compared rendering.
+package parallel

@@ -37,6 +37,19 @@ var DefaultLayout = HeaderLayout{
 	CreditBits: 5,
 }
 
+// WideLayout is the scaled-up instance for large meshes: 64-bit links,
+// the same arity-8 routers, up to 16 hops (enough for minimal routes on
+// meshes up to diameter 14, e.g. 8x8), 64 queues per NI and up to 127
+// credits per header. Scale studies pair it with 8-byte words so the
+// header still occupies exactly one link word.
+var WideLayout = HeaderLayout{
+	WordBits:   64,
+	PortBits:   3,
+	PathBits:   48,
+	QIDBits:    6,
+	CreditBits: 7,
+}
+
 // Validate checks internal consistency of the layout.
 func (l HeaderLayout) Validate() error {
 	switch {

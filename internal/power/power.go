@@ -1,26 +1,3 @@
-// Package power models aelite's power consumption and the router sleep
-// modes the paper leaves as future work (Section VI-A: "the aelite NoC,
-// in its current form, consumes power while idling. The power consumption
-// is reduced by ... introducing sleep modes for individual routers. We
-// consider the latter ... future work.").
-//
-// The model has two parts, both deliberately simple and calibrated to
-// published 90 nm NoC figures rather than to a netlist:
-//
-//   - idle (clock) power: every clocked cell burns power proportional to
-//     its area and clock frequency — the price of the globally running
-//     flit-synchronous fabric;
-//   - dynamic energy: each word switched through a router or link stage
-//     costs a fixed energy.
-//
-// Sleep modes exploit a unique property of TDM: a router's activity is
-// *known at allocation time*. A router whose incoming links are idle in
-// a slot has, deterministically, nothing to do three cycles later, so it
-// can gate its clock for that slot without any wake-up speculation —
-// the schedule is the wake-up signal. The model reports, per router, the
-// fraction of slots it must be awake and the resulting power with
-// per-slot clock gating (a residual fraction of idle power remains:
-// always-on wake logic and leakage).
 package power
 
 import (

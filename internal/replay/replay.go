@@ -1,27 +1,3 @@
-// Package replay is the hyperperiod-compiled fast path of the simulator.
-//
-// The GS network is fully periodic: once slot tables are fixed, every
-// router, link and NI action repeats each slot-table revolution, and every
-// traffic source with a rational words-per-cycle rate repeats with its own
-// pattern period. The least common multiple of all those component periods
-// is the network's hyperperiod H. A Program records one full hyperperiod
-// of cycle-accurate execution — the per-instant schedule of component
-// edges and every emitted trace event — fingerprints the complete
-// architectural state at consecutive hyperperiod boundaries, and, when two
-// boundary fingerprints are byte-identical (time- and sequence-number-
-// normalised), replays the recorded epoch without touching the clock-group
-// heap, the timer heap, or any per-component Sample/Update dispatch.
-//
-// Replay deoptimises back to the cycle-accurate engine on any
-// data-dependent event: a scheduled callback (fault injection,
-// reconfiguration script) bounds each replay step, a structural mutation
-// (component or wire added/removed, clock invalidated) materialises state
-// immediately, and configurations that are not provably periodic —
-// best-effort traffic, asynchronous wrappers, reliability retransmission,
-// armed fault checkers — never engage at all, because their components do
-// not implement Periodic. Deopt is trace-invisible: recorded events are
-// re-emitted with exact shifted timestamps during replay, and the residual
-// partial epoch is resimulated with the trace bus muted.
 package replay
 
 import (

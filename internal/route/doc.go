@@ -1,0 +1,19 @@
+// Package route computes source routes through a NoC topology.
+//
+// aelite uses source routing: the whole route is decided at the source NI
+// and encoded in the packet header as a sequence of output-port indices,
+// one per router (paper Section III/IV). This package produces Path values
+// that carry everything the rest of the system needs:
+//
+//   - the ordered links the flit occupies (for TDM slot accounting);
+//   - the per-router output ports (for header encoding);
+//   - the per-link TDM slot shift. A flit injected in slot s occupies link
+//     k of its path in slot s + Shift[k]: every router adds one slot (its
+//     3-cycle flit cycle) and every mesochronous link pipeline stage adds
+//     one more (paper Section V).
+//
+// Cross-package contract: Candidates feeds the slots allocators their
+// per-request path choices, and Shift/TotalShift must agree with the slot
+// arithmetic in internal/slots and the fixed-latency terms in
+// internal/analysis — the three packages share one shift convention.
+package route

@@ -1,0 +1,44 @@
+// Package scenario generates large-scale, seed-parameterised workloads —
+// the growth path past the paper's Section VII use case (4x3 mesh, 70
+// IPs, 200 connections) towards 16x16/32x32 meshes with thousands of
+// connections.
+//
+// Five generator families cover the standard NoC evaluation traffic
+// patterns (Indrusiak & Burns, "Real-Time Guarantees in Routerless
+// Networks-on-Chip", motivates the synthetic set; the dataflow family
+// derives rates from internal/dataflow HSDF models):
+//
+//   - Uniform: endpoints drawn uniformly at random, the classic
+//     uniform-random benchmark.
+//   - Hotspot: a fraction of the traffic converges on a few hotspot IPs
+//     (shared memories, DRAM controllers).
+//   - Transpose: the IP at tile (x, y) talks to the IP at (y, x), the
+//     adversarial pattern for dimension-ordered routing.
+//   - Multimedia: pipelines of heavy streaming connections (producer to
+//     consumer chains) plus low-rate control channels, the bursty
+//     multimedia SoC shape of the paper's application domain.
+//   - Dataflow: connections are the edges of per-application HSDF graphs;
+//     each rate follows from the graph's steady-state throughput (its
+//     maximum cycle ratio) times the tokens it moves per iteration.
+//
+// Every family is deterministic in (Config.Seed, parameters): the same
+// config yields a byte-identical use case on any machine and at any
+// worker count (there is no map iteration and a single rand stream per
+// generation). Two post-passes keep the output usable at scale:
+//
+//   - Rate quantisation (QuantizeRateMBps) rounds every bandwidth
+//     requirement down to a replay-admissible rate — m/2^r words per
+//     cycle, denominator at most MaxReplayDenominator — generalising the
+//     Section VII quantiser (experiments.Sec7QuantizeRateMBps) to any
+//     frequency and word width, so generated CBR sweeps engage the
+//     hyperperiod replay fast path (internal/replay).
+//   - Latency clamping (ClampLatencyBudgets) raises each budget to what
+//     the connection's own bandwidth reservation can physically deliver
+//     on its worst minimal route, keeping thousands of independent draws
+//     jointly allocatable (the same negotiation Section VII documents).
+//
+// The output is a plain *spec.UseCase with IPs pre-mapped one-per-NI, so
+// everything downstream — allocation (internal/slots), construction
+// (internal/core), auditing (internal/audit) — consumes scenarios exactly
+// like hand-written specs.
+package scenario

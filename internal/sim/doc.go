@@ -1,0 +1,26 @@
+// Package sim is a deterministic, multi-clock-domain, cycle-accurate
+// simulation engine for on-chip networks.
+//
+// The engine advances absolute time (integer picoseconds, see package
+// clock) from rising edge to rising edge. All components whose clocks have
+// an edge at the current instant execute in two phases:
+//
+//  1. Sample: every due component reads its input wires. Wires still hold
+//     the values committed before this instant, so a reader clocked at the
+//     same instant as a writer observes the writer's *previous* output —
+//     exactly the register-transfer semantics of synchronous hardware.
+//  2. Update: every due component computes its next state and drives its
+//     output wires. Drives are buffered.
+//  3. Commit: all buffered drives become visible.
+//
+// Components in different clock domains simply fire at different instants;
+// cross-domain channels (bi-synchronous FIFOs, token channels) are modelled
+// in package sim as well, with explicit forwarding delays, because they are
+// the only legal clock-domain crossings in aelite.
+//
+// The engine is strictly single-threaded (design-space parallelism lives
+// in internal/parallel, one private engine per point) and deterministic
+// to the picosecond, which is what makes trace comparison, composability
+// checks and the replay fast path (internal/replay, via the FastPath
+// hook) sound.
+package sim

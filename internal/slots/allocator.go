@@ -1,0 +1,276 @@
+package slots
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/phit"
+)
+
+// An Allocator turns a batch of slot requests into claims on an
+// Allocation. Implementations share the request ordering, the per-request
+// placement machinery (candidate-path grouping by TotalShift, per-slot
+// path mixing, even-spread slot picking with window repair) and the
+// structural invariant that only currently-free slots are ever claimed —
+// so any allocator is safe for online reconfiguration by construction.
+// They differ in what happens when a request does not fit.
+type Allocator interface {
+	// Name identifies the strategy ("greedy", "ripup") in CLIs, studies
+	// and reports.
+	Name() string
+	// Place serves the requests into a. In strict mode (bestEffort
+	// false) the first unplaceable request aborts with a
+	// *PlacementError; connections placed before the failure stay
+	// claimed, as AllocateInto always behaved. With bestEffort, an
+	// unplaceable request is recorded in Result.Failed and the pass
+	// continues — the mode large-scale studies use to measure success
+	// rates. Malformed requests (zero count, duplicates, counts past the
+	// table) abort either mode.
+	Place(a *Allocation, requests []Request, bestEffort bool) (Result, error)
+}
+
+// A Result summarises one allocation pass.
+type Result struct {
+	// Placed lists the connections that got slots, in placement order
+	// (rip-up repairs append after the first pass).
+	Placed []phit.ConnID
+	// Failed lists the requests that could not be placed (best-effort
+	// mode only; strict mode aborts at the first).
+	Failed []Failure
+	// RipUps counts successful rip-up-and-reroute repairs (zero for the
+	// greedy allocator).
+	RipUps int
+}
+
+// SuccessRate is the fraction of requests placed.
+func (r *Result) SuccessRate() float64 {
+	n := len(r.Placed) + len(r.Failed)
+	if n == 0 {
+		return 1
+	}
+	return float64(len(r.Placed)) / float64(n)
+}
+
+// A Failure names one unplaceable request.
+type Failure struct {
+	Conn phit.ConnID
+	Err  *PlacementError
+}
+
+// Greedy is the baseline allocator: requests in requestOrder, each taking
+// the first candidate-path group with enough jointly free slots, never
+// revisiting an earlier decision (the strategy the Æthereal allocation
+// tools [16] ship and Allocate has always used).
+type Greedy struct{}
+
+// Name implements Allocator.
+func (Greedy) Name() string { return "greedy" }
+
+// Place implements Allocator.
+func (Greedy) Place(a *Allocation, requests []Request, bestEffort bool) (Result, error) {
+	var res Result
+	for _, idx := range requestOrder(requests) {
+		req := requests[idx]
+		if err := checkRequest(a, req); err != nil {
+			return res, err
+		}
+		asg := placeRequest(a, req)
+		if asg == nil {
+			pe := placementError(a, req)
+			if !bestEffort {
+				return res, pe
+			}
+			res.Failed = append(res.Failed, Failure{Conn: req.Conn, Err: pe})
+			continue
+		}
+		commitAssignment(a, req, asg)
+		res.Placed = append(res.Placed, req.Conn)
+	}
+	return res, nil
+}
+
+// RipUp is the Even & Fais-style allocator ("Algorithms for
+// Network-on-Chip Design with Guaranteed QoS"): the same greedy ordering,
+// but a request that does not fit triggers bounded rip-up-and-reroute —
+// the connections blocking the most of its candidate slots are released,
+// the blocked request placed, and the victims re-placed on whatever
+// capacity remains (their own candidate paths and per-slot path mixing
+// give them room the first pass did not need). A repair that cannot
+// re-place every victim is rolled back wholesale, so the allocation never
+// degrades: everything the greedy allocator places, RipUp places too, and
+// the repairs only add placements on top.
+//
+// Only connections placed in the same Place call are ripped: requests
+// already living in the allocation (a running application, during
+// reconfiguration) are never disturbed.
+type RipUp struct {
+	// MaxVictims bounds the victim set tried per blocked request
+	// (default 3). Victim sets grow cumulatively — top blocker, top two,
+	// ... — so cost is linear in the bound.
+	MaxVictims int
+	// MaxRepairs bounds the total successful repairs per pass (default:
+	// no bound). Studies use it to cap worst-case runtime.
+	MaxRepairs int
+}
+
+// Name implements Allocator.
+func (RipUp) Name() string { return "ripup" }
+
+// Place implements Allocator.
+//
+// In best-effort mode the repairs run as a second pass after the whole
+// greedy pass has finished. The ordering matters for the never-worse
+// guarantee: an inline repair mutates state that every later placement
+// depends on, so it can trade one early success for several later
+// failures. A post-pass repair starts from exactly the greedy outcome and
+// every adopted repair adds a placement while keeping all victims placed,
+// so the placed set only ever grows from the greedy baseline.
+func (r RipUp) Place(a *Allocation, requests []Request, bestEffort bool) (Result, error) {
+	maxVictims := r.MaxVictims
+	if maxVictims <= 0 {
+		maxVictims = 3
+	}
+	var res Result
+	reqOf := make(map[phit.ConnID]Request, len(requests))
+	placedHere := make(map[phit.ConnID]bool, len(requests))
+	adopt := func(req Request) {
+		reqOf[req.Conn] = req
+		placedHere[req.Conn] = true
+		res.Placed = append(res.Placed, req.Conn)
+	}
+	var failed []Request
+	for _, idx := range requestOrder(requests) {
+		req := requests[idx]
+		if err := checkRequest(a, req); err != nil {
+			return res, err
+		}
+		if asg := placeRequest(a, req); asg != nil {
+			commitAssignment(a, req, asg)
+			adopt(req)
+			continue
+		}
+		if !bestEffort {
+			// Strict mode is all-or-nothing anyway, so repair inline and
+			// abort on the first request that stays unplaceable.
+			if (r.MaxRepairs == 0 || res.RipUps < r.MaxRepairs) &&
+				ripUpRepair(a, req, reqOf, placedHere, maxVictims) {
+				res.RipUps++
+				adopt(req)
+				continue
+			}
+			return res, placementError(a, req)
+		}
+		failed = append(failed, req)
+	}
+	for _, req := range failed {
+		if (r.MaxRepairs == 0 || res.RipUps < r.MaxRepairs) &&
+			ripUpRepair(a, req, reqOf, placedHere, maxVictims) {
+			res.RipUps++
+			adopt(req)
+			continue
+		}
+		res.Failed = append(res.Failed, Failure{Conn: req.Conn, Err: placementError(a, req)})
+	}
+	return res, nil
+}
+
+// ripUpRepair tries to place the blocked request by releasing up to
+// maxVictims of the connections blocking its candidate slots and
+// re-placing them afterwards. Victim sets grow cumulatively from the top
+// blocker; each trial runs on a clone and is adopted only when the blocked
+// request and every victim land, so failure leaves a untouched. Returns
+// whether a repair was adopted.
+func ripUpRepair(a *Allocation, req Request, reqOf map[phit.ConnID]Request, rippable map[phit.ConnID]bool, maxVictims int) bool {
+	victims := blockers(a, req, rippable)
+	if len(victims) == 0 {
+		return false
+	}
+	if len(victims) > maxVictims {
+		victims = victims[:maxVictims]
+	}
+	for k := 1; k <= len(victims); k++ {
+		set := victims[:k]
+		trial := a.Clone()
+		for _, v := range set {
+			trial.Release(v)
+		}
+		asg := placeRequest(trial, req)
+		if asg == nil {
+			continue
+		}
+		commitAssignment(trial, req, asg)
+		ok := true
+		for _, v := range set {
+			vreq := reqOf[v]
+			vasg := placeRequest(trial, vreq)
+			if vasg == nil {
+				ok = false
+				break
+			}
+			commitAssignment(trial, vreq, vasg)
+		}
+		if !ok {
+			continue
+		}
+		// Adopt the repaired clone: same table size, rebuilt claims.
+		a.ByConn = trial.ByConn
+		a.linkOcc = trial.linkOcc
+		return true
+	}
+	return false
+}
+
+// blockers ranks the rippable connections occupying the blocked request's
+// candidate slots, most-blocking first (ties by connection id). A
+// connection is counted once per injection slot it denies on the
+// best-covered candidate path.
+func blockers(a *Allocation, req Request, rippable map[phit.ConnID]bool) []phit.ConnID {
+	count := make(map[phit.ConnID]int)
+	for _, p := range req.Paths {
+		for s := 0; s < a.TableSize; s++ {
+			for k, lid := range p.Links {
+				owner := a.LinkOwner(lid, s+p.Shift[k])
+				if owner != phit.None && rippable[owner] {
+					count[owner]++
+				}
+			}
+		}
+	}
+	out := make([]phit.ConnID, 0, len(count))
+	for c := range count {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if count[out[i]] != count[out[j]] {
+			return count[out[i]] > count[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Allocators returns every registered strategy, baseline first.
+func Allocators() []Allocator { return []Allocator{Greedy{}, RipUp{}} }
+
+// ByName resolves an allocator by name; the empty string selects the
+// greedy baseline.
+func ByName(name string) (Allocator, error) {
+	switch name {
+	case "", "greedy":
+		return Greedy{}, nil
+	case "ripup":
+		return RipUp{}, nil
+	default:
+		return nil, fmt.Errorf("slots: unknown allocator %q (greedy | ripup)", name)
+	}
+}
+
+// AllocateWith runs one strict allocation pass with the given strategy on
+// a fresh table.
+func AllocateWith(al Allocator, tableSize int, requests []Request) (*Allocation, error) {
+	a := NewAllocation(tableSize)
+	if _, err := al.Place(a, requests, false); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

@@ -1,0 +1,19 @@
+// Package slots implements the TDM machinery at the heart of aelite's
+// contention-free routing (paper Section III).
+//
+// Time is divided into slots of one flit cycle (3 cycles) each; slot
+// tables of a common size S repeat forever. A connection that owns
+// injection slot s at its source NI occupies link k of its path during
+// slot (s + shift_k) mod S, where shift_k grows by one per router hop and
+// by one per mesochronous link pipeline stage. An allocation is
+// contention-free when no link is claimed by two connections in the same
+// slot; the network then needs no arbiters at all.
+//
+// The Allocator interface is the strategy seam: Greedy is the baseline
+// first-fit pass, RipUp the Even & Fais-style bounded
+// rip-up-and-reroute, and ByName resolves CLI/config names. Allocation
+// is the shared claim store either strategy fills; Verify re-checks the
+// contention-free invariant after every pass, and core/admission consume
+// the result. Claims are only ever made on free slots, which is what
+// makes online reconfiguration composable.
+package slots

@@ -1,13 +1,3 @@
-// Package slots implements the TDM machinery at the heart of aelite's
-// contention-free routing (paper Section III).
-//
-// Time is divided into slots of one flit cycle (3 cycles) each; slot
-// tables of a common size S repeat forever. A connection that owns
-// injection slot s at its source NI occupies link k of its path during
-// slot (s + shift_k) mod S, where shift_k grows by one per router hop and
-// by one per mesochronous link pipeline stage. An allocation is
-// contention-free when no link is claimed by two connections in the same
-// slot; the network then needs no arbiters at all.
 package slots
 
 import (
@@ -329,18 +319,24 @@ func Allocate(tableSize int, requests []Request) (*Allocation, error) {
 // AllocateInto places additional requests into an existing allocation —
 // the other half of reconfiguration: connections of a newly started
 // application claim only slots that are currently free, so running
-// applications are untouched by construction.
+// applications are untouched by construction. It is the greedy strategy;
+// Allocator (allocator.go) is the seam for alternatives.
 func AllocateInto(a *Allocation, requests []Request) error {
-	tableSize := a.TableSize
+	_, err := Greedy{}.Place(a, requests, false)
+	return err
+}
+
+// requestOrder returns the deterministic service order of the requests:
+// tightest gap targets first (they need regular combs, which only an
+// empty table offers; requests without a target sort last), then heaviest
+// slot counts, then longest primary paths, ties by connection id.
+func requestOrder(requests []Request) []int {
 	order := make([]int, len(requests))
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(i, j int) bool {
 		ri, rj := requests[order[i]], requests[order[j]]
-		// Tightest gap targets first: they need regular combs, which
-		// only an empty table offers. Requests without a target sort
-		// last.
 		gi, gj := ri.GapTarget, rj.GapTarget
 		if gi <= 0 {
 			gi = 1 << 30
@@ -360,93 +356,109 @@ func AllocateInto(a *Allocation, requests []Request) error {
 		}
 		return ri.Conn < rj.Conn
 	})
-	for _, idx := range order {
-		req := requests[idx]
-		if req.Count <= 0 {
-			return fmt.Errorf("slots: connection %d requests %d slots", req.Conn, req.Count)
-		}
-		if req.Count > tableSize {
-			return fmt.Errorf("slots: connection %d needs %d slots, table has %d", req.Conn, req.Count, tableSize)
-		}
-		if _, dup := a.ByConn[req.Conn]; dup {
-			return fmt.Errorf("slots: duplicate request for connection %d", req.Conn)
-		}
-		// Stagger each connection's ideal slot positions so that
-		// equal-count connections do not all fight for the same
-		// comb (0, S/k, 2S/k, ...), which fragments the joint
-		// free-slot sets of multi-hop paths.
-		offset := int(uint32(req.Conn)*2654435761) % tableSize
-		// Per-slot path mixing is only valid between paths of equal
-		// TotalShift (words would reorder otherwise), so group the
-		// candidates by shift — minimal routes first, detours after —
-		// and take the first group that fits. Within a group, prefer
-		// the path whose hottest link is coolest.
-		score := func(p *route.Path) float64 {
-			worst := 0.0
-			for _, lid := range p.Links {
-				if u := a.LinkUtilisation(lid); u > worst {
-					worst = u
-				}
-			}
-			return worst
-		}
-		var groups [][]*route.Path
-		for _, p := range req.Paths {
-			placed := false
-			for gi := range groups {
-				if groups[gi][0].TotalShift == p.TotalShift {
-					groups[gi] = append(groups[gi], p)
-					placed = true
-					break
-				}
-			}
-			if !placed {
-				groups = append(groups, []*route.Path{p})
+	return order
+}
+
+// checkRequest rejects malformed requests — misuse, as opposed to a
+// legitimate placement failure, so these abort even best-effort passes.
+func checkRequest(a *Allocation, req Request) error {
+	if req.Count <= 0 {
+		return fmt.Errorf("slots: connection %d requests %d slots", req.Conn, req.Count)
+	}
+	if req.Count > a.TableSize {
+		return fmt.Errorf("slots: connection %d needs %d slots, table has %d", req.Conn, req.Count, a.TableSize)
+	}
+	if _, dup := a.ByConn[req.Conn]; dup {
+		return fmt.Errorf("slots: duplicate request for connection %d", req.Conn)
+	}
+	return nil
+}
+
+// placeRequest finds a placement for one (pre-checked) request on the
+// current allocation, or nil when none exists. It does not claim slots;
+// commitAssignment does.
+func placeRequest(a *Allocation, req Request) *Assignment {
+	tableSize := a.TableSize
+	// Stagger each connection's ideal slot positions so that
+	// equal-count connections do not all fight for the same
+	// comb (0, S/k, 2S/k, ...), which fragments the joint
+	// free-slot sets of multi-hop paths.
+	offset := int(uint32(req.Conn)*2654435761) % tableSize
+	// Per-slot path mixing is only valid between paths of equal
+	// TotalShift (words would reorder otherwise), so group the
+	// candidates by shift — minimal routes first, detours after —
+	// and take the first group that fits. Within a group, prefer
+	// the path whose hottest link is coolest.
+	score := func(p *route.Path) float64 {
+		worst := 0.0
+		for _, lid := range p.Links {
+			if u := a.LinkUtilisation(lid); u > worst {
+				worst = u
 			}
 		}
-		var asg *Assignment
-		for _, g := range groups {
-			paths := append([]*route.Path(nil), g...)
-			sort.SliceStable(paths, func(i, j int) bool { return score(paths[i]) < score(paths[j]) })
-			ws := req.WindowSlots
-			if ws < 1 {
-				ws = 1
-			}
-			asg = pickSlotsMultiPath(a, paths, req.Count, req.GapTarget, ws, offset)
-			if asg != nil { // placed
+		return worst
+	}
+	var groups [][]*route.Path
+	for _, p := range req.Paths {
+		placed := false
+		for gi := range groups {
+			if groups[gi][0].TotalShift == p.TotalShift {
+				groups[gi] = append(groups[gi], p)
+				placed = true
 				break
 			}
 		}
-		if asg != nil {
-			for _, s := range asg.Slots {
-				a.Claim(req.Conn, asg.PathOf[s], s)
-			}
-			asg.Conn = req.Conn
-			asg.Path = req.Paths[0]
-			a.ByConn[req.Conn] = asg
-		} else {
-			detail := ""
-			for pi, p := range req.Paths {
-				free := 0
-				for s := 0; s < tableSize; s++ {
-					if a.SlotFree(p, s) {
-						free++
-					}
-				}
-				worstLink, worstUtil := topology.LinkID(-1), 0.0
-				for _, lid := range p.Links {
-					if u := a.LinkUtilisation(lid); u > worstUtil {
-						worstLink, worstUtil = lid, u
-					}
-				}
-				detail += fmt.Sprintf("; path %d: %d joint-free slots, hottest link %d at %.0f%%",
-					pi, free, worstLink, worstUtil*100)
-			}
-			return &PlacementError{Conn: req.Conn, Needed: req.Count, GapTarget: req.GapTarget,
-				Table: tableSize, Detail: detail}
+		if !placed {
+			groups = append(groups, []*route.Path{p})
+		}
+	}
+	for _, g := range groups {
+		paths := append([]*route.Path(nil), g...)
+		sort.SliceStable(paths, func(i, j int) bool { return score(paths[i]) < score(paths[j]) })
+		ws := req.WindowSlots
+		if ws < 1 {
+			ws = 1
+		}
+		if asg := pickSlotsMultiPath(a, paths, req.Count, req.GapTarget, ws, offset); asg != nil {
+			return asg
 		}
 	}
 	return nil
+}
+
+// commitAssignment claims the chosen slots and records the assignment.
+func commitAssignment(a *Allocation, req Request, asg *Assignment) {
+	for _, s := range asg.Slots {
+		a.Claim(req.Conn, asg.PathOf[s], s)
+	}
+	asg.Conn = req.Conn
+	asg.Path = req.Paths[0]
+	a.ByConn[req.Conn] = asg
+}
+
+// placementError builds the diagnostic for an unplaceable request: per
+// candidate path, the joint-free slot count and the hottest link.
+func placementError(a *Allocation, req Request) *PlacementError {
+	tableSize := a.TableSize
+	detail := ""
+	for pi, p := range req.Paths {
+		free := 0
+		for s := 0; s < tableSize; s++ {
+			if a.SlotFree(p, s) {
+				free++
+			}
+		}
+		worstLink, worstUtil := topology.LinkID(-1), 0.0
+		for _, lid := range p.Links {
+			if u := a.LinkUtilisation(lid); u > worstUtil {
+				worstLink, worstUtil = lid, u
+			}
+		}
+		detail += fmt.Sprintf("; path %d: %d joint-free slots, hottest link %d at %.0f%%",
+			pi, free, worstLink, worstUtil*100)
+	}
+	return &PlacementError{Conn: req.Conn, Needed: req.Count, GapTarget: req.GapTarget,
+		Table: tableSize, Detail: detail}
 }
 
 // pickSlotsMultiPath chooses at least count injection slots where each

@@ -1,12 +1,3 @@
-// Package spec describes use cases: the IPs of a system on chip, the
-// applications they form, and the connections between them with their
-// real-time requirements (throughput and latency bounds).
-//
-// A spec is the input to the design flow: IPs are mapped to NIs, paths and
-// TDM slots are allocated, and the resulting network is simulated. The
-// paper's Section VII experiment is expressed as a spec generated by
-// Random (200 connections, 4 applications, 70 IPs, rates 10-500 Mbyte/s,
-// latency budgets 35-500 ns).
 package spec
 
 import (

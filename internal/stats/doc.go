@@ -1,0 +1,9 @@
+// Package stats provides streaming latency/throughput statistics for NoC
+// measurements: per-connection summaries, histograms and percentile
+// queries. Everything is deterministic and allocation-light so it can run
+// inside cycle loops.
+//
+// core's per-connection reports and the guarantee auditor both draw
+// their latency summaries from these accumulators, so measured numbers
+// agree across reporting paths by construction.
+package stats

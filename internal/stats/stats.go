@@ -1,7 +1,3 @@
-// Package stats provides streaming latency/throughput statistics for NoC
-// measurements: per-connection summaries, histograms and percentile
-// queries. Everything is deterministic and allocation-light so it can run
-// inside cycle loops.
 package stats
 
 import (

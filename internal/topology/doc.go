@@ -1,0 +1,22 @@
+// Package topology describes the static structure of a network on chip:
+// routers, network interfaces (NI) and the directed links between their
+// ports.
+//
+// Conventions:
+//
+//   - Every node (router or NI) has consecutively numbered ports. A
+//     router's arity is its port count. On mesh routers ports 0..3 are the
+//     North, East, South and West neighbours and ports 4.. attach NIs
+//     (a "concentrated" topology when more than one NI shares a router, as
+//     in the paper's 4x3 mesh with 4 NIs per router).
+//   - A Link is unidirectional and connects an output port of one node to
+//     an input port of another. Bidirectional connectivity is two links.
+//   - Links may carry pipeline stages (the mesochronous link pipeline
+//     stages of paper Section V); each stage delays a flit by exactly one
+//     flit cycle, which shifts TDM reservations by one extra slot.
+//
+// Cross-package contract: NewMesh's node naming and port numbering are
+// relied on by route's dimension-ordered routers and by the NI-index
+// mapping scenario and spec use; LinkIDs are the keys of every slot
+// claim in internal/slots.
+package topology

@@ -1,0 +1,10 @@
+// Package traffic provides IP traffic models for driving NoC simulations:
+// constant-bit-rate and bursty generators that write into an NI's IP-side
+// FIFO with blocking semantics (the paper's IPs use blocking writes; an
+// oversubscribing application simply slows down under back-pressure).
+//
+// Generators are the periodicity root of the replay fast path: a CBR
+// rate that reduces to a small rational words-per-cycle pattern makes
+// the generator provably periodic (internal/replay), which is why
+// internal/scenario quantises generated rates to exactly that family.
+package traffic

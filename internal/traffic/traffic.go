@@ -1,7 +1,3 @@
-// Package traffic provides IP traffic models for driving NoC simulations:
-// constant-bit-rate and bursty generators that write into an NI's IP-side
-// FIFO with blocking semantics (the paper's IPs use blocking writes; an
-// oversubscribing application simply slows down under back-pressure).
 package traffic
 
 import (

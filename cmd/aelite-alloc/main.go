@@ -22,17 +22,23 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/phit"
 	"repro/internal/scenario"
+	"repro/internal/slots"
 	"repro/internal/spec"
 	"repro/internal/topology"
 )
+
+// tool names this command in every cli diagnostic.
+const tool = "aelite-alloc"
 
 // layoutFor picks the header layout the mesh diameter needs: the worst
 // minimal route visits cols+rows-1 routers. The paper's 32-bit layout
@@ -68,6 +74,42 @@ func main() {
 	printTables := flag.Bool("tables", false, "print per-NI slot tables")
 	flag.Parse()
 
+	// Malformed invocations are rejected up front with one-line
+	// diagnostics and exit code 2, matching aelite-sim's contract.
+	if *cols < 1 || *rows < 1 || *nis < 1 {
+		os.Exit(cli.Usage(tool, fmt.Errorf("mesh dimensions must be at least 1 (-cols %d -rows %d -nis %d)", *cols, *rows, *nis)))
+	}
+	if *freq <= 0 {
+		os.Exit(cli.Usage(tool, fmt.Errorf("-freq %g must be positive", *freq)))
+	}
+	if *table < 0 {
+		os.Exit(cli.Usage(tool, fmt.Errorf("-table %d must not be negative (0 = search)", *table)))
+	}
+	if _, err := slots.ByName(*alloc); err != nil {
+		os.Exit(cli.Usage(tool, fmt.Errorf("-alloc: %w", err)))
+	}
+	switch *mode {
+	case "synchronous", "mesochronous", "asynchronous":
+	default:
+		os.Exit(cli.Usage(tool, fmt.Errorf("unknown mode %q (synchronous | mesochronous | asynchronous)", *mode)))
+	}
+	if *scenarioF != "" {
+		if _, err := scenario.ParseFamily(*scenarioF); err != nil {
+			os.Exit(cli.Usage(tool, fmt.Errorf("-scenario: %w", err)))
+		}
+		if *specPath != "" || *random > 0 {
+			os.Exit(cli.Usage(tool, errors.New("-scenario excludes -spec and -random")))
+		}
+		if *conns < 1 {
+			os.Exit(cli.Usage(tool, fmt.Errorf("-scenario needs -conns >= 1 (got %d)", *conns)))
+		}
+	} else if *conns != 0 {
+		os.Exit(cli.Usage(tool, errors.New("-conns applies only with -scenario")))
+	}
+	if *specPath == "" && *random <= 0 && *scenarioF == "" {
+		os.Exit(cli.Usage(tool, errors.New("need -spec, -random or -scenario")))
+	}
+
 	m := topology.NewMesh(*cols, *rows, *nis)
 	layout, wordBytes, err := layoutFor(*cols, *rows)
 	fatal(err)
@@ -89,16 +131,13 @@ func main() {
 	case *specPath != "":
 		uc, err = spec.Load(*specPath)
 		fatal(err)
-	case *random > 0:
+	default:
 		uc = spec.Random(spec.RandomConfig{
 			Name: "random", Seed: *seed,
 			IPs: 2 * *cols * *rows * *nis / 2, Apps: 4, Conns: *random,
 			MinRateMBps: 10, MaxRateMBps: 300, HeavyFraction: 0.1, HeavyMinRateMBps: 40,
 			MinLatencyNs: 150, MaxLatencyNs: 900,
 		})
-	default:
-		fmt.Fprintln(os.Stderr, "aelite-alloc: need -spec, -random or -scenario")
-		os.Exit(2)
 	}
 	needMap := false
 	for _, ip := range uc.IPs {
@@ -118,9 +157,6 @@ func main() {
 		cfg.Mode = core.Mesochronous
 	case "asynchronous":
 		cfg.Mode = core.Asynchronous
-	default:
-		fmt.Fprintf(os.Stderr, "aelite-alloc: unknown mode %q\n", *mode)
-		os.Exit(2)
 	}
 	core.PrepareTopology(m, cfg)
 	n, err := core.Build(m, uc, cfg)
@@ -167,7 +203,6 @@ func main() {
 
 func fatal(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "aelite-alloc:", err)
-		os.Exit(1)
+		os.Exit(cli.Failure(tool, err))
 	}
 }

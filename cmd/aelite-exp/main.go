@@ -43,9 +43,13 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
 )
+
+// tool names this command in every cli diagnostic.
+const tool = "aelite-exp"
 
 func main() {
 	seed := flag.Int64("seed", experiments.Sec7Seed, "workload seed for the Section VII experiment")
@@ -57,6 +61,20 @@ func main() {
 	fast := flag.Bool("fast", false, "hyperperiod-compiled fast replay for GS networks (cycle-accurate fallback where not provably periodic)")
 	smoke := flag.Bool("smoke", false, "shrink the scale study to its CI smoke configuration")
 	flag.Parse()
+	// Malformed invocations are rejected up front with one-line
+	// diagnostics and exit code 2, matching aelite-sim's contract.
+	if *measure <= 0 {
+		os.Exit(cli.Usage(tool, fmt.Errorf("-measure %g must be positive", *measure)))
+	}
+	if *freq <= 0 {
+		os.Exit(cli.Usage(tool, fmt.Errorf("-freq %g must be positive", *freq)))
+	}
+	if *jobs < 0 {
+		os.Exit(cli.Usage(tool, fmt.Errorf("-j %d must not be negative (0 = all CPUs)", *jobs)))
+	}
+	if flag.NArg() > 1 {
+		os.Exit(cli.Usage(tool, fmt.Errorf("one experiment per invocation (got %q)", flag.Args())))
+	}
 	experiments.FastReplay = *fast
 	j := parallel.Jobs(*jobs)
 
@@ -70,8 +88,7 @@ func main() {
 			return
 		}
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "aelite-exp %s: %v\n", name, err)
-			os.Exit(1)
+			os.Exit(cli.Failure(tool, fmt.Errorf("%s: %w", name, err)))
 		}
 		fmt.Fprintln(out)
 	}
@@ -81,9 +98,8 @@ func main() {
 		"power": true, "hetero": true, "recovery": true, "conformance": true,
 		"reconfig": true, "scale": true}
 	if !known[cmd] {
-		fmt.Fprintf(os.Stderr, "aelite-exp: unknown experiment %q\n", cmd)
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cli.Usage(tool, fmt.Errorf("unknown experiment %q", cmd)))
 	}
 
 	run("fig5", func() error { experiments.WriteFig5(out); return nil })

@@ -85,7 +85,10 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"errors"
+
 	"repro/internal/audit"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/parallel"
@@ -284,8 +287,7 @@ func main() {
 	flag.StringVar(&o.pprofOut, "pprof", "", "write a CPU profile to this file")
 	flag.Parse()
 	if err := o.validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "aelite-sim:", err)
-		os.Exit(2)
+		os.Exit(cli.Usage(tool, err))
 	}
 	os.Exit(run(o))
 }
@@ -296,8 +298,7 @@ func main() {
 func run(o options) (code int) {
 	defer func() {
 		if r := recover(); r != nil {
-			fmt.Fprintf(os.Stderr, "aelite-sim: fatal: %v\n", r)
-			code = 3
+			code = cli.Fatal(tool, r)
 		}
 	}()
 
@@ -339,15 +340,13 @@ func run(o options) (code int) {
 		return fail(err)
 	}
 	if uc == nil {
-		fmt.Fprintln(os.Stderr, "aelite-sim: need -spec, -random or -scenario")
-		return 2
+		return cli.Usage(tool, errors.New("need -spec, -random or -scenario"))
 	}
 
 	campaignMode := o.faults != "" || o.skewPS != 0 || o.rateFaults()
 	if o.backend == "be" {
 		if campaignMode {
-			fmt.Fprintln(os.Stderr, "aelite-sim: fault campaigns need the aelite backend")
-			return 2
+			return cli.Usage(tool, errors.New("fault campaigns need the aelite backend"))
 		}
 		n, err := core.BuildBE(m, uc, core.BEConfig{FreqMHz: o.freq, Transactional: o.tx})
 		if err != nil {
@@ -377,8 +376,7 @@ func run(o options) (code int) {
 	case "asynchronous":
 		cfg.Mode = core.Asynchronous
 	default:
-		fmt.Fprintf(os.Stderr, "aelite-sim: unknown mode %q\n", o.mode)
-		return 2
+		return cli.Usage(tool, fmt.Errorf("unknown mode %q", o.mode))
 	}
 
 	// In a campaign, a collector switches every envelope check from
@@ -683,7 +681,9 @@ func writeMetrics(f *os.File, path string, rep *trace.Report) error {
 	return f.Close()
 }
 
+// tool names this command in every cli diagnostic.
+const tool = "aelite-sim"
+
 func fail(err error) int {
-	fmt.Fprintln(os.Stderr, "aelite-sim:", err)
-	return 1
+	return cli.Failure(tool, err)
 }

@@ -1,0 +1,68 @@
+package cli
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestExitPaths pins the cross-command exit contract: one diagnostic
+// line per door, with the documented code.
+func TestExitPaths(t *testing.T) {
+	cases := []struct {
+		name     string
+		exit     func(tool string) int
+		wantCode int
+		wantLine string
+	}{
+		{
+			name:     "usage",
+			exit:     func(tool string) int { return Usage(tool, errors.New("-conns applies only with -scenario")) },
+			wantCode: ExitUsage,
+			wantLine: "aelite-x: -conns applies only with -scenario\n",
+		},
+		{
+			name:     "failure",
+			exit:     func(tool string) int { return Failure(tool, errors.New("no allocation for connection 7")) },
+			wantCode: ExitFailure,
+			wantLine: "aelite-x: no allocation for connection 7\n",
+		},
+		{
+			name:     "fatal panic",
+			exit:     func(tool string) int { return Fatal(tool, "slot table corrupted") },
+			wantCode: ExitFatal,
+			wantLine: "aelite-x: fatal: slot table corrupted\n",
+		},
+		{
+			name:     "fatal wraps any recovered value",
+			exit:     func(tool string) int { return Fatal(tool, 42) },
+			wantCode: ExitFatal,
+			wantLine: "aelite-x: fatal: 42\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			old := Stderr
+			Stderr = &buf
+			defer func() { Stderr = old }()
+			if got := tc.exit("aelite-x"); got != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d", got, tc.wantCode)
+			}
+			if buf.String() != tc.wantLine {
+				t.Fatalf("diagnostic = %q, want %q", buf.String(), tc.wantLine)
+			}
+			if bytes.Count(buf.Bytes(), []byte("\n")) != 1 {
+				t.Fatalf("diagnostic is not one line: %q", buf.String())
+			}
+		})
+	}
+}
+
+// TestCodesAreDistinct guards the contract's door numbering.
+func TestCodesAreDistinct(t *testing.T) {
+	if ExitOK != 0 || ExitFailure != 1 || ExitUsage != 2 || ExitFatal != 3 {
+		t.Fatalf("exit codes moved: ok=%d failure=%d usage=%d fatal=%d",
+			ExitOK, ExitFailure, ExitUsage, ExitFatal)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -137,6 +138,13 @@ func conformancePoint(cfg ConformanceConfig, tableSize int, mode core.Mode) (str
 // at every worker count. Any broken guarantee aborts the sweep with an
 // error naming the point and the first diagnostic.
 func ConformanceSweep(cfg ConformanceConfig, jobs int) ([]string, error) {
+	return ConformanceSweepCtx(context.Background(), cfg, jobs)
+}
+
+// ConformanceSweepCtx is ConformanceSweep with cancellation: once ctx is
+// done, unstarted points are skipped and the sweep returns ctx's error
+// without leaking worker goroutines.
+func ConformanceSweepCtx(ctx context.Context, cfg ConformanceConfig, jobs int) ([]string, error) {
 	type point struct {
 		table int
 		mode  core.Mode
@@ -147,7 +155,10 @@ func ConformanceSweep(cfg ConformanceConfig, jobs int) ([]string, error) {
 			pts = append(pts, point{s, m})
 		}
 	}
-	return parallel.Map(jobs, len(pts), func(i int) (string, error) {
+	return parallel.MapCtx(ctx, jobs, len(pts), func(ctx context.Context, i int) (string, error) {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
 		return conformancePoint(cfg, pts[i].table, pts[i].mode)
 	})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -362,12 +363,22 @@ func reconfigHealing(cfg ReconfigConfig) (string, []admission.HealReport, *core.
 
 // ReconfigStudy runs all three phases and renders the verdict.
 func ReconfigStudy(cfg ReconfigConfig, jobs int) (*ReconfigSummary, error) {
+	return ReconfigStudyCtx(context.Background(), cfg, jobs)
+}
+
+// ReconfigStudyCtx is ReconfigStudy with cancellation, observed at the
+// three phase boundaries (each phase is one bounded simulation): once ctx
+// is done, the next phase never starts and the study returns ctx's error.
+func ReconfigStudyCtx(ctx context.Context, cfg ReconfigConfig, jobs int) (*ReconfigSummary, error) {
 	sum := &ReconfigSummary{Seed: cfg.Seed}
 	fail := func(format string, args ...any) {
 		sum.Violations++
 		sum.Failures = append(sum.Failures, fmt.Sprintf(format, args...))
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	iso, err := reconfigIsolation(cfg, jobs)
 	if err != nil {
 		return nil, err
@@ -388,12 +399,18 @@ func ReconfigStudy(cfg ReconfigConfig, jobs int) (*ReconfigSummary, error) {
 		fail("close left %d residues behind", iso.Residue)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rej, err := reconfigRejections(cfg)
 	if err != nil {
 		return nil, err
 	}
 	sum.Rejections = rej
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	faulty, heals, n, mx, rep, err := reconfigHealing(cfg)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -103,8 +104,14 @@ type ScaleReport struct {
 	Points []ScalePoint `json:"points"`
 }
 
-// scalePoint runs one cell of the cross product.
-func scalePoint(cfg ScaleConfig, fam scenario.Family, mesh ScaleMesh, alloc string) (ScalePoint, error) {
+// scalePoint runs one cell of the cross product. ctx is observed at the
+// two expensive stage boundaries (before allocation and before the
+// simulated sample), the granularity at which a cancelled study stops
+// doing new work.
+func scalePoint(ctx context.Context, cfg ScaleConfig, fam scenario.Family, mesh ScaleMesh, alloc string) (ScalePoint, error) {
+	if err := ctx.Err(); err != nil {
+		return ScalePoint{}, err
+	}
 	scfg := scenario.Default(fam, mesh.Cols, mesh.Rows, mesh.Conns, cfg.Seed)
 	if cfg.TableSize != 0 {
 		scfg.TableSize = cfg.TableSize
@@ -146,6 +153,9 @@ func scalePoint(cfg ScaleConfig, fam scenario.Family, mesh ScaleMesh, alloc stri
 	pt.SuccessRate = plan.SuccessRate()
 	if !mesh.Simulate || pt.Failed > 0 {
 		return pt, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return ScalePoint{}, err
 	}
 
 	// Simulated sample: regenerate the scenario (a use case must never be
@@ -195,6 +205,14 @@ func scalePoint(cfg ScaleConfig, fam scenario.Family, mesh ScaleMesh, alloc stri
 // jobs workers. Point order — and every field except AllocMs — is
 // deterministic at any worker count.
 func ScaleStudy(cfg ScaleConfig, jobs int) (*ScaleReport, error) {
+	return ScaleStudyCtx(context.Background(), cfg, jobs)
+}
+
+// ScaleStudyCtx is ScaleStudy with cancellation: once ctx is done,
+// unstarted points are skipped and the study returns ctx's error. Points
+// already past their last ctx check finish (a single point is bounded
+// work), and no worker goroutines outlive the call.
+func ScaleStudyCtx(ctx context.Context, cfg ScaleConfig, jobs int) (*ScaleReport, error) {
 	type cell struct {
 		fam   scenario.Family
 		mesh  ScaleMesh
@@ -208,8 +226,8 @@ func ScaleStudy(cfg ScaleConfig, jobs int) (*ScaleReport, error) {
 			}
 		}
 	}
-	points, err := parallel.Map(parallel.Jobs(jobs), len(cells), func(i int) (ScalePoint, error) {
-		return scalePoint(cfg, cells[i].fam, cells[i].mesh, cells[i].alloc)
+	points, err := parallel.MapCtx(ctx, parallel.Jobs(jobs), len(cells), func(ctx context.Context, i int) (ScalePoint, error) {
+		return scalePoint(ctx, cfg, cells[i].fam, cells[i].mesh, cells[i].alloc)
 	})
 	if err != nil {
 		return nil, err

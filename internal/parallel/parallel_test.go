@@ -1,11 +1,14 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapOrdersResultsByIndex(t *testing.T) {
@@ -138,4 +141,102 @@ func TestJobs(t *testing.T) {
 			t.Fatalf("Jobs(%d) = %d, want GOMAXPROCS %d", j, got, want)
 		}
 	}
+}
+
+func TestMapRecoversPanicsIntoJobError(t *testing.T) {
+	// A panicking point must not take down the sweep: the other points
+	// still run, and the panic surfaces as the typed *JobError of the
+	// lowest-indexed panicked point.
+	for _, jobs := range []int{1, 4, 16} {
+		var ran atomic.Int64
+		_, err := Map(jobs, 20, func(i int) (int, error) {
+			ran.Add(1)
+			if i == 5 || i == 11 {
+				panic(fmt.Sprintf("poisoned point %d", i))
+			}
+			return i, nil
+		})
+		if got := ran.Load(); got != 20 {
+			t.Fatalf("jobs=%d: ran %d points, want all 20 despite panics", jobs, got)
+		}
+		var je *JobError
+		if !errors.As(err, &je) {
+			t.Fatalf("jobs=%d: err = %v (%T), want *JobError", jobs, err, err)
+		}
+		if je.Index != 5 {
+			t.Fatalf("jobs=%d: JobError.Index = %d, want the lowest-indexed panic 5", jobs, je.Index)
+		}
+		if je.Recovered != "poisoned point 5" {
+			t.Fatalf("jobs=%d: JobError.Recovered = %v", jobs, je.Recovered)
+		}
+		if len(je.Stack) == 0 {
+			t.Fatalf("jobs=%d: JobError.Stack is empty", jobs)
+		}
+	}
+}
+
+func TestMapCtxCancellationSkipsUnstartedPoints(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	started := make(chan struct{})
+	var once sync.Once
+	go func() {
+		<-started // cancel as soon as the first point is in flight
+		cancel()
+	}()
+	_, err := MapCtx(ctx, 2, 64, func(ctx context.Context, i int) (int, error) {
+		once.Do(func() { close(started) })
+		ran.Add(1)
+		<-ctx.Done() // simulate a long point that observes cancellation
+		return i, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got > 3 {
+		t.Fatalf("%d points ran after cancellation, want at most the in-flight workers", got)
+	}
+}
+
+func TestMapCtxCancelledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := MapCtx(ctx, 8, 32, func(context.Context, int) (int, error) {
+		ran.Add(1)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d points ran under a cancelled context, want 0", ran.Load())
+	}
+}
+
+func TestMapCtxLeavesNoGoroutinesBehind(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, _ = MapCtx(ctx, 8, 1000, func(ctx context.Context, i int) (int, error) {
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(time.Millisecond):
+			return i, nil
+		}
+	})
+	// Workers must all have exited by return; allow the runtime a moment
+	// to reap them before comparing.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after cancelled sweep", before, runtime.NumGoroutine())
 }

@@ -1,0 +1,30 @@
+// Package serve is the crash-safe simulation control plane: an HTTP/JSON
+// API (Server) over a supervised job scheduler (Scheduler) with a
+// fsync'd append-only journal (Journal) underneath.
+//
+// The robustness contract, in the paper's spirit of composable and
+// predictable services, is that the control plane's own behaviour is as
+// predictable as the network it simulates:
+//
+//   - Admission is bounded and typed: a full queue or a draining server
+//     rejects with a machine-readable reason (*RejectionError), never by
+//     queueing unboundedly.
+//   - Workers are supervised: a panicking shard becomes a typed
+//     *PanicError, is retried with deterministic exponential backoff
+//     (RetryPolicy), and never takes down the process. Deterministic
+//     failures classify permanent (IsTransient) and fail fast.
+//   - Completed shards are journaled durably (fsync per record) before
+//     the job advances. After kill -9, ReplayJournal salvages the state
+//     — reporting every defect as a typed *CorruptionError, never
+//     dropping valid work silently — and Scheduler.Resume re-runs only
+//     the missing shards. Because shard results carry no wall-clock
+//     fields, an interrupted-and-resumed campaign renders an artifact
+//     byte-identical to an uninterrupted one.
+//   - SIGTERM drains gracefully: in-flight jobs finish (up to a
+//     deadline), queued jobs checkpoint for resume, and Drain reports a
+//     summary with retry/panic/chaos counters.
+//
+// ChaosConfig injects seeded pre-execution faults so the retry and
+// supervision paths are routinely exercised without ever corrupting
+// results.
+package serve

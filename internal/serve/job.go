@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/phit"
+	"repro/internal/scenario"
+	"repro/internal/slots"
+)
+
+// A JobSpec is one submitted unit of work: a sweep campaign of Shards
+// independent scenario simulations (shard i runs the scenario at seed
+// Seed+i), or — Kind "scale" — one allocation-scale study over every
+// generator family at the given mesh size. Specs are canonicalised by
+// Normalize and identified by the SHA-256 Fingerprint of the canonical
+// form, so resubmitting the same work always lands on the same job.
+type JobSpec struct {
+	// Kind selects the runner: "scenario" (default) or "scale".
+	Kind string `json:"kind,omitempty"`
+
+	Family string `json:"family,omitempty"` // scenario family (default "uniform")
+	Cols   int    `json:"cols,omitempty"`   // mesh columns (default 4)
+	Rows   int    `json:"rows,omitempty"`   // mesh rows (default 4)
+	Conns  int    `json:"conns,omitempty"`  // connections per shard (default 16)
+	Seed   int64  `json:"seed,omitempty"`   // base seed; shard i uses Seed+i (default 1)
+	Shards int    `json:"shards,omitempty"` // campaign width (default 1)
+
+	Mode      string  `json:"mode,omitempty"`      // clocking mode (default "synchronous")
+	Allocator string  `json:"allocator,omitempty"` // slot allocator (default "greedy")
+	FreqMHz   float64 `json:"freq_mhz,omitempty"`  // network frequency (default 500)
+	WarmupNs  float64 `json:"warmup_ns,omitempty"` // warm-up window (default 2000)
+	MeasureNs float64 `json:"measure_ns,omitempty"`// measurement window (default 10000)
+
+	// DeadlineMs bounds the whole job's wall-clock runtime; 0 inherits
+	// the scheduler default. The deadline cancels between shards — a
+	// single shard is bounded work and always runs to completion.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+}
+
+// MaxShards bounds a single job's campaign width; wider sweeps should be
+// split across jobs so admission control can meter them individually.
+const MaxShards = 1024
+
+// Normalize fills the defaulted fields in place. It runs before
+// fingerprinting, so a spec and its explicit-default twin are the same
+// job.
+func (s *JobSpec) Normalize() {
+	if s.Kind == "" {
+		s.Kind = "scenario"
+	}
+	if s.Family == "" {
+		s.Family = string(scenario.Uniform)
+	}
+	if s.Cols == 0 {
+		s.Cols = 4
+	}
+	if s.Rows == 0 {
+		s.Rows = 4
+	}
+	if s.Conns == 0 {
+		s.Conns = 16
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Shards == 0 {
+		s.Shards = 1
+	}
+	if s.Mode == "" {
+		s.Mode = "synchronous"
+	}
+	if s.Allocator == "" {
+		s.Allocator = "greedy"
+	}
+	if s.FreqMHz == 0 {
+		s.FreqMHz = 500
+	}
+	if s.WarmupNs == 0 {
+		s.WarmupNs = 2000
+	}
+	if s.MeasureNs == 0 {
+		s.MeasureNs = 10000
+	}
+}
+
+// Validate rejects a malformed spec with a one-line reason — the
+// admission controller's "invalid-spec" door. Call after Normalize.
+func (s *JobSpec) Validate() error {
+	switch s.Kind {
+	case "scenario", "scale":
+	default:
+		return fmt.Errorf("unknown kind %q (scenario | scale)", s.Kind)
+	}
+	if _, err := scenario.ParseFamily(s.Family); err != nil {
+		return err
+	}
+	if s.Cols < 2 || s.Rows < 2 {
+		return fmt.Errorf("mesh %dx%d is below the 2x2 minimum", s.Cols, s.Rows)
+	}
+	if s.Conns < 1 {
+		return fmt.Errorf("conns %d must be at least 1", s.Conns)
+	}
+	if s.Shards < 1 || s.Shards > MaxShards {
+		return fmt.Errorf("shards %d outside [1, %d]", s.Shards, MaxShards)
+	}
+	switch s.Mode {
+	case "synchronous", "mesochronous", "asynchronous":
+	default:
+		return fmt.Errorf("unknown mode %q (synchronous | mesochronous | asynchronous)", s.Mode)
+	}
+	if _, err := slots.ByName(s.Allocator); err != nil {
+		return err
+	}
+	if s.FreqMHz <= 0 {
+		return fmt.Errorf("freq_mhz %g must be positive", s.FreqMHz)
+	}
+	if s.WarmupNs < 0 || s.MeasureNs <= 0 {
+		return fmt.Errorf("warmup_ns %g must be >= 0 and measure_ns %g > 0", s.WarmupNs, s.MeasureNs)
+	}
+	if s.DeadlineMs < 0 {
+		return fmt.Errorf("deadline_ms %d must not be negative", s.DeadlineMs)
+	}
+	if ports := s.Cols + s.Rows - 1; s.Kind == "scenario" && ports > phit.WideLayout.MaxHops() {
+		return fmt.Errorf("a %dx%d mesh needs %d-hop headers; the widest runnable layout encodes %d (submit kind \"scale\" for allocation-only planning)",
+			s.Cols, s.Rows, ports, phit.WideLayout.MaxHops())
+	}
+	return nil
+}
+
+// shardCount is the number of shards the runner will execute: scenario
+// campaigns fan out Shards seeds, a scale study is one (internally
+// parallel) shard.
+func (s *JobSpec) shardCount() int {
+	if s.Kind == "scale" {
+		return 1
+	}
+	return s.Shards
+}
+
+// Fingerprint is the deterministic identity of the normalized spec: the
+// SHA-256 of its canonical JSON. Two specs with equal fingerprints
+// produce byte-identical artifacts, which is what lets a resumed server
+// trust journaled shard results.
+func (s *JobSpec) Fingerprint() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("serve: spec marshal: %v", err)) // struct marshal cannot fail
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// JobIDLen is the fingerprint prefix length used as the public job id.
+const JobIDLen = 16
+
+// JobID derives the public job id from a fingerprint.
+func JobID(fingerprint string) string {
+	if len(fingerprint) < JobIDLen {
+		return fingerprint
+	}
+	return fingerprint[:JobIDLen]
+}
+
+// A ShardResult is one shard's deterministic outcome. It carries no
+// wall-clock fields: equal (spec, shard) pairs yield byte-identical
+// results on any machine at any time, the property the crash-resume
+// artifact equivalence gate rests on.
+type ShardResult struct {
+	Shard int    `json:"shard"`
+	Name  string `json:"name"` // scenario name, or "scale" for a study shard
+
+	// Scenario-shard outcome.
+	Conns          int     `json:"conns,omitempty"`
+	Delivered      int64   `json:"delivered,omitempty"`
+	AllMet         bool    `json:"all_met,omitempty"`
+	AllWithinBound bool    `json:"all_within_bound,omitempty"`
+	WorstLatNs     float64 `json:"worst_lat_ns,omitempty"`
+	TotalMBps      float64 `json:"total_mbps,omitempty"`
+
+	// Scale-shard outcome (Kind "scale"): the full study report with its
+	// one wall-clock field (AllocMs) zeroed for determinism.
+	Scale *experiments.ScaleReport `json:"scale,omitempty"`
+}
+
+// runShard executes one shard of the spec. It is the worker's unit of
+// work: deterministic in (spec, shard), bounded, and oblivious to the
+// scheduler around it. ctx cancels a scale study between its points;
+// scenario shards check it once up front (a single small simulation is
+// bounded work).
+func runShard(ctx context.Context, spec JobSpec, shard int) (*ShardResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if spec.Kind == "scale" {
+		return runScaleShard(ctx, spec)
+	}
+
+	fam, err := scenario.ParseFamily(spec.Family)
+	if err != nil {
+		return nil, err
+	}
+	scfg := scenario.Default(fam, spec.Cols, spec.Rows, spec.Conns, spec.Seed+int64(shard))
+	scfg.FreqMHz = spec.FreqMHz
+	ncfg := core.Config{FreqMHz: spec.FreqMHz, Allocator: spec.Allocator}
+	switch spec.Mode {
+	case "mesochronous":
+		ncfg.Mode = core.Mesochronous
+	case "asynchronous":
+		ncfg.Mode = core.Asynchronous
+	}
+	// Header layout follows the mesh diameter, as in the CLIs.
+	if ports := spec.Cols + spec.Rows - 1; ports > phit.DefaultLayout.MaxHops() {
+		ncfg.Layout = phit.WideLayout
+		ncfg.WordBytes = 8
+		scfg.WordBytes = 8
+	}
+	s, err := scenario.Generate(scfg)
+	if err != nil {
+		return nil, err
+	}
+	m := s.Mesh()
+	core.PrepareTopology(m, ncfg)
+	n, err := core.Build(m, s.UseCase, ncfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := n.Run(spec.WarmupNs, spec.MeasureNs)
+
+	res := &ShardResult{
+		Shard: shard, Name: scfg.Name, Conns: len(rep.Conns),
+		AllMet: rep.AllMet(), AllWithinBound: rep.AllWithinBound(),
+	}
+	for _, c := range rep.Conns {
+		res.Delivered += c.Delivered
+		res.TotalMBps += c.MeasuredMBps
+		if c.LatMaxNs > res.WorstLatNs {
+			res.WorstLatNs = c.LatMaxNs
+		}
+	}
+	return res, nil
+}
+
+// runScaleShard runs the spec as a one-mesh scale study across every
+// generator family and both allocators, reusing the experiments runner
+// (and, through it, the context-aware parallel sweep).
+func runScaleShard(ctx context.Context, spec JobSpec) (*ShardResult, error) {
+	cfg := experiments.ScaleConfig{
+		Seed:       spec.Seed,
+		Families:   scenario.Families(),
+		Meshes:     []experiments.ScaleMesh{{Cols: spec.Cols, Rows: spec.Rows, Conns: spec.Conns}},
+		Allocators: []string{"greedy", "ripup"},
+		WarmupNs:   spec.WarmupNs,
+		MeasureNs:  spec.MeasureNs,
+	}
+	rep, err := experiments.ScaleStudyCtx(ctx, cfg, 2)
+	if err != nil {
+		return nil, err
+	}
+	// AllocMs is wall-clock — the one non-deterministic field — and must
+	// not reach the crash-resume-equivalent artifact.
+	for i := range rep.Points {
+		rep.Points[i].AllocMs = 0
+	}
+	return &ShardResult{Shard: 0, Name: "scale", Scale: rep}, nil
+}
+
+// An Artifact is a completed job's canonical campaign output: the spec,
+// its identity, and every shard result in shard order. MarshalCanonical
+// is the byte-level contract: an interrupted-and-resumed campaign and an
+// uninterrupted one render byte-identical artifacts.
+type Artifact struct {
+	Job    string        `json:"job"`
+	FP     string        `json:"fp"`
+	Spec   JobSpec       `json:"spec"`
+	Shards []ShardResult `json:"shards"`
+}
+
+// NewArtifact assembles the canonical artifact from completed shards.
+func NewArtifact(spec JobSpec, fp string, shards map[int]*ShardResult) *Artifact {
+	a := &Artifact{Job: JobID(fp), FP: fp, Spec: spec}
+	idx := make([]int, 0, len(shards))
+	for i := range shards {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		a.Shards = append(a.Shards, *shards[i])
+	}
+	return a
+}
+
+// MarshalCanonical renders the artifact's canonical bytes (indented
+// JSON, trailing newline).
+func (a *Artifact) MarshalCanonical() ([]byte, error) {
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

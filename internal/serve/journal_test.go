@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testSpec(shards int) JobSpec {
+	s := JobSpec{Shards: shards}
+	s.Normalize()
+	return s
+}
+
+// writeJournal builds a journal file from pre-rendered lines.
+func writeJournal(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "serve.journal")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// journalLines appends records through the real Journal and returns the
+// file's lines.
+func journalLines(t *testing.T, recs ...Record) []string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "build.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+}
+
+func kinds(err error) []CorruptionKind {
+	var corr *Corruption
+	if !errors.As(err, &corr) {
+		return nil
+	}
+	out := make([]CorruptionKind, len(corr.Issues))
+	for i, e := range corr.Issues {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+func TestReplayMissingJournalIsEmptyState(t *testing.T) {
+	st, err := ReplayJournal(filepath.Join(t.TempDir(), "nope.journal"))
+	if err != nil {
+		t.Fatalf("missing journal: %v", err)
+	}
+	if len(st.Jobs) != 0 {
+		t.Fatalf("jobs = %d, want 0", len(st.Jobs))
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	spec := testSpec(3)
+	fp := spec.Fingerprint()
+	id := JobID(fp)
+	lines := journalLines(t,
+		Record{T: RecSubmit, Job: id, FP: fp, Spec: &spec},
+		Record{T: RecShard, Job: id, FP: fp, Result: &ShardResult{Shard: 0, Name: "s0"}},
+		Record{T: RecShard, Job: id, FP: fp, Result: &ShardResult{Shard: 2, Name: "s2"}},
+	)
+	st, err := ReplayJournal(writeJournal(t, lines...))
+	if err != nil {
+		t.Fatalf("clean journal: %v", err)
+	}
+	jj, ok := st.Job(id)
+	if !ok {
+		t.Fatalf("job %s not salvaged", id)
+	}
+	if len(jj.Shards) != 2 || jj.Shards[0].Name != "s0" || jj.Shards[2].Name != "s2" {
+		t.Fatalf("shards = %+v", jj.Shards)
+	}
+	if jj.Done {
+		t.Fatal("job marked done without a done record")
+	}
+}
+
+func TestReplayTruncatedTail(t *testing.T) {
+	// kill -9 mid-append: the final line is a torn JSON prefix. Replay
+	// must keep every whole record, drop the tail, and say so with a
+	// typed error.
+	spec := testSpec(2)
+	fp := spec.Fingerprint()
+	id := JobID(fp)
+	lines := journalLines(t,
+		Record{T: RecSubmit, Job: id, FP: fp, Spec: &spec},
+		Record{T: RecShard, Job: id, FP: fp, Result: &ShardResult{Shard: 0, Name: "s0"}},
+	)
+	torn := lines[1][:len(lines[1])/2]
+	st, err := ReplayJournal(writeJournal(t, lines[0], torn))
+	ks := kinds(err)
+	if len(ks) != 1 || ks[0] != KindTruncatedTail {
+		t.Fatalf("kinds = %v, want [%s] (err %v)", ks, KindTruncatedTail, err)
+	}
+	jj, ok := st.Job(id)
+	if !ok {
+		t.Fatal("submit record lost along with the torn tail")
+	}
+	if len(jj.Shards) != 0 {
+		t.Fatalf("salvaged %d shards from a torn record, want 0 (never fabricate results)", len(jj.Shards))
+	}
+}
+
+func TestReplayTornMiddleIsBadRecordNotTail(t *testing.T) {
+	spec := testSpec(2)
+	fp := spec.Fingerprint()
+	id := JobID(fp)
+	lines := journalLines(t,
+		Record{T: RecSubmit, Job: id, FP: fp, Spec: &spec},
+		Record{T: RecShard, Job: id, FP: fp, Result: &ShardResult{Shard: 0, Name: "s0"}},
+		Record{T: RecShard, Job: id, FP: fp, Result: &ShardResult{Shard: 1, Name: "s1"}},
+	)
+	st, err := ReplayJournal(writeJournal(t, lines[0], lines[1][:20], lines[2]))
+	ks := kinds(err)
+	if len(ks) != 1 || ks[0] != KindBadRecord {
+		t.Fatalf("kinds = %v, want [%s]", ks, KindBadRecord)
+	}
+	jj, _ := st.Job(id)
+	if len(jj.Shards) != 1 || jj.Shards[1] == nil {
+		t.Fatalf("shards = %+v, want shard 1 salvaged past the torn line", jj.Shards)
+	}
+}
+
+func TestReplayDuplicateShardFirstWriteWins(t *testing.T) {
+	spec := testSpec(2)
+	fp := spec.Fingerprint()
+	id := JobID(fp)
+	lines := journalLines(t,
+		Record{T: RecSubmit, Job: id, FP: fp, Spec: &spec},
+		Record{T: RecShard, Job: id, FP: fp, Result: &ShardResult{Shard: 1, Name: "first"}},
+		Record{T: RecShard, Job: id, FP: fp, Result: &ShardResult{Shard: 1, Name: "second"}},
+	)
+	st, err := ReplayJournal(writeJournal(t, lines...))
+	ks := kinds(err)
+	if len(ks) != 1 || ks[0] != KindDuplicateShard {
+		t.Fatalf("kinds = %v, want [%s]", ks, KindDuplicateShard)
+	}
+	jj, _ := st.Job(id)
+	if got := jj.Shards[1].Name; got != "first" {
+		t.Fatalf("shard 1 = %q, want the first durable write to win", got)
+	}
+}
+
+func TestReplayFingerprintMismatch(t *testing.T) {
+	spec := testSpec(2)
+	fp := spec.Fingerprint()
+	id := JobID(fp)
+	other := testSpec(3) // different spec → different fingerprint
+	lines := journalLines(t,
+		Record{T: RecSubmit, Job: id, FP: fp, Spec: &spec},
+		Record{T: RecShard, Job: id, FP: other.Fingerprint(), Result: &ShardResult{Shard: 0, Name: "alien"}},
+		Record{T: RecShard, Job: id, FP: fp, Result: &ShardResult{Shard: 1, Name: "ours"}},
+	)
+	st, err := ReplayJournal(writeJournal(t, lines...))
+	ks := kinds(err)
+	if len(ks) != 1 || ks[0] != KindFingerprintMismatch {
+		t.Fatalf("kinds = %v, want [%s]", ks, KindFingerprintMismatch)
+	}
+	jj, _ := st.Job(id)
+	if len(jj.Shards) != 1 || jj.Shards[1] == nil {
+		t.Fatalf("shards = %+v: a result under the wrong fingerprint must not be trusted", jj.Shards)
+	}
+}
+
+func TestReplaySubmitFingerprintMismatchDropsJob(t *testing.T) {
+	spec := testSpec(2)
+	id := JobID(spec.Fingerprint())
+	tampered := fmt.Sprintf(`{"t":"submit","job":%q,"fp":%q,"spec":{"kind":"scenario","family":"uniform","cols":4,"rows":4,"conns":16,"seed":1,"shards":2,"mode":"synchronous","allocator":"greedy","freq_mhz":500,"warmup_ns":2000,"measure_ns":99999}}`,
+		id, spec.Fingerprint())
+	st, err := ReplayJournal(writeJournal(t, tampered))
+	ks := kinds(err)
+	if len(ks) != 1 || ks[0] != KindFingerprintMismatch {
+		t.Fatalf("kinds = %v, want [%s]", ks, KindFingerprintMismatch)
+	}
+	if len(st.Jobs) != 0 {
+		t.Fatalf("salvaged %d jobs from a tampered submit, want 0", len(st.Jobs))
+	}
+}
+
+func TestReplayOrphanShardRecord(t *testing.T) {
+	spec := testSpec(2)
+	fp := spec.Fingerprint()
+	lines := journalLines(t,
+		Record{T: RecShard, Job: "feedfeedfeedfeed", FP: fp, Result: &ShardResult{Shard: 0}},
+	)
+	st, err := ReplayJournal(writeJournal(t, lines...))
+	ks := kinds(err)
+	if len(ks) != 1 || ks[0] != KindOrphanRecord {
+		t.Fatalf("kinds = %v, want [%s]", ks, KindOrphanRecord)
+	}
+	if len(st.Jobs) != 0 {
+		t.Fatalf("jobs = %d, want 0", len(st.Jobs))
+	}
+}
+
+func TestReplayShardIndexOutOfRange(t *testing.T) {
+	spec := testSpec(2)
+	fp := spec.Fingerprint()
+	id := JobID(fp)
+	lines := journalLines(t,
+		Record{T: RecSubmit, Job: id, FP: fp, Spec: &spec},
+		Record{T: RecShard, Job: id, FP: fp, Result: &ShardResult{Shard: 7, Name: "ghost"}},
+	)
+	st, err := ReplayJournal(writeJournal(t, lines...))
+	ks := kinds(err)
+	if len(ks) != 1 || ks[0] != KindBadRecord {
+		t.Fatalf("kinds = %v, want [%s]", ks, KindBadRecord)
+	}
+	jj, _ := st.Job(id)
+	if len(jj.Shards) != 0 {
+		t.Fatalf("shards = %+v, want the out-of-range result dropped", jj.Shards)
+	}
+}
+
+func TestReplayIdempotentResubmitIsNotCorruption(t *testing.T) {
+	spec := testSpec(2)
+	fp := spec.Fingerprint()
+	id := JobID(fp)
+	lines := journalLines(t,
+		Record{T: RecSubmit, Job: id, FP: fp, Spec: &spec},
+		Record{T: RecSubmit, Job: id, FP: fp, Spec: &spec},
+		Record{T: RecDone, Job: id, Status: "done"},
+	)
+	st, err := ReplayJournal(writeJournal(t, lines...))
+	if err != nil {
+		t.Fatalf("idempotent resubmit flagged as corruption: %v", err)
+	}
+	jj, _ := st.Job(id)
+	if !jj.Done || jj.Status != "done" {
+		t.Fatalf("done = %v status = %q", jj.Done, jj.Status)
+	}
+}
+
+func TestJournalAppendSurvivesReplay(t *testing.T) {
+	// The writer and the replayer agree: what Append persists, Replay
+	// reads back without complaint.
+	path := filepath.Join(t.TempDir(), "rt.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(4)
+	fp := spec.Fingerprint()
+	id := JobID(fp)
+	if err := j.Append(Record{T: RecSubmit, Job: id, FP: fp, Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := j.Append(Record{T: RecShard, Job: id, FP: fp, Result: &ShardResult{Shard: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append(Record{T: RecDone, Job: id, Status: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	st, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	jj, ok := st.Job(id)
+	if !ok || len(jj.Shards) != 4 || !jj.Done {
+		t.Fatalf("salvaged %+v", jj)
+	}
+}

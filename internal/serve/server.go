@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Server is the HTTP face of the scheduler: a small JSON API plus an SSE
+// stream of job state transitions. All state lives in the scheduler and
+// its journal; the server is stateless and safe to kill at any time.
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+}
+
+// NewServer wires the API routes around a scheduler.
+func NewServer(s *Scheduler) *Server {
+	srv := &Server{sched: s, mux: http.NewServeMux()}
+	srv.mux.HandleFunc("GET /healthz", srv.health)
+	srv.mux.HandleFunc("POST /api/jobs", srv.submit)
+	srv.mux.HandleFunc("GET /api/jobs", srv.list)
+	srv.mux.HandleFunc("GET /api/jobs/{id}", srv.get)
+	srv.mux.HandleFunc("POST /api/jobs/{id}/cancel", srv.cancel)
+	srv.mux.HandleFunc("GET /api/jobs/{id}/artifact", srv.artifact)
+	srv.mux.HandleFunc("GET /api/jobs/{id}/events", srv.events)
+	return srv
+}
+
+// ServeHTTP dispatches to the API mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON renders v with a status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// submit admits a job. Rejections map the admission reason onto HTTP:
+// invalid-spec → 400, queue-full → 429, draining → 503, journal → 500.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad request body: %v", err), Reason: "invalid-spec"})
+		return
+	}
+	j, err := s.sched.Submit(spec)
+	if err != nil {
+		var rej *RejectionError
+		status := http.StatusInternalServerError
+		reason := ""
+		if errors.As(err, &rej) {
+			reason = rej.Reason
+			switch rej.Reason {
+			case "invalid-spec":
+				status = http.StatusBadRequest
+			case "queue-full":
+				status = http.StatusTooManyRequests
+			case "draining":
+				status = http.StatusServiceUnavailable
+			}
+		}
+		writeJSON(w, status, apiError{Error: err.Error(), Reason: reason})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.View())
+}
+
+func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.sched.Jobs()})
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.sched.Cancel(id); err != nil {
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+		return
+	}
+	j, _ := s.sched.Job(id)
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) artifact(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	b := j.Artifact()
+	if b == nil {
+		writeJSON(w, http.StatusConflict, apiError{Error: fmt.Sprintf("job is %s; the artifact exists once it is done", j.State())})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
+}
+
+// events streams the job's state transitions as server-sent events. The
+// event history is append-only and replayed from the start, so a client
+// connecting late sees the full lifecycle; the stream closes after the
+// terminal event.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	next := 0
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		evs := j.EventsSince(next)
+		for _, ev := range evs {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: state\ndata: %s\n\n", b); err != nil {
+				return
+			}
+			next = ev.Seq + 1
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+			if evs[len(evs)-1].State.Terminal() {
+				return
+			}
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// writeArtifactFile persists an artifact atomically: rendered to a temp
+// file, fsync'd, then renamed into place, so a crash never leaves a
+// half-written artifact at the published path.
+func writeArtifactFile(dir, jobID string, b []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, jobID+".json")
+	tmp, err := os.CreateTemp(dir, "."+jobID+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 )
@@ -44,12 +45,60 @@ type Journal struct {
 }
 
 // OpenJournal opens (creating if needed) the journal for appending.
+//
+// An existing file that does not end in a newline carries a truncated
+// tail — the signature of kill -9 mid-append. Appending straight after
+// it would glue the next record onto the partial line, turning a
+// successfully-Append'ed record into unparseable bytes on the next
+// replay. OpenJournal therefore seals the tail with a separating
+// newline (fsync'd) before any append: the partial line stays in place
+// for Replay to report as corruption, and every new record starts on
+// its own line.
 func OpenJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if n := st.Size(); n > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, n-1); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	// The journal's own directory entry must be durable too: record
+	// fsyncs are worthless if a power loss forgets the file ever existed.
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return &Journal{f: f, path: path}, nil
+}
+
+// syncDir fsyncs a directory so entries created or renamed into it
+// survive power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Path returns the journal's file path.

@@ -250,6 +250,47 @@ func TestReplayIdempotentResubmitIsNotCorruption(t *testing.T) {
 	}
 }
 
+func TestOpenJournalSealsTruncatedTailBeforeAppend(t *testing.T) {
+	// kill -9 left a partial final line with no newline. Reopening for
+	// append must seal it with a separating newline: otherwise the first
+	// record appended after -resume is glued onto the partial line and a
+	// later replay silently drops a record whose Append reported success.
+	spec := testSpec(2)
+	fp := spec.Fingerprint()
+	id := JobID(fp)
+	lines := journalLines(t,
+		Record{T: RecSubmit, Job: id, FP: fp, Spec: &spec},
+		Record{T: RecShard, Job: id, FP: fp, Result: &ShardResult{Shard: 0, Name: "s0"}},
+	)
+	path := filepath.Join(t.TempDir(), "torn.journal")
+	torn := lines[0] + "\n" + lines[1][:len(lines[1])/2] // no trailing newline
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{T: RecShard, Job: id, FP: fp, Result: &ShardResult{Shard: 1, Name: "s1"}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	st, err := ReplayJournal(path)
+	ks := kinds(err)
+	if len(ks) != 1 || ks[0] != KindBadRecord {
+		t.Fatalf("kinds = %v, want [%s] (the sealed tail is no longer the final line)", ks, KindBadRecord)
+	}
+	jj, ok := st.Job(id)
+	if !ok {
+		t.Fatal("submit record lost")
+	}
+	if len(jj.Shards) != 1 || jj.Shards[1] == nil || jj.Shards[1].Name != "s1" {
+		t.Fatalf("shards = %+v: the record appended after reopen was glued onto the torn tail", jj.Shards)
+	}
+}
+
 func TestJournalAppendSurvivesReplay(t *testing.T) {
 	// The writer and the replayer agree: what Append persists, Replay
 	// reads back without complaint.

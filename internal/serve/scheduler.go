@@ -241,6 +241,17 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	if existing, ok := s.jobs[id]; ok { // lost a submit race: same fp, same work
 		return existing, nil
 	}
+	// Re-check admission: the lock was released for the journal append, so
+	// a concurrent Drain or a burst of submits may have closed the door.
+	// The already-durable submit record is harmless — a -resume simply
+	// re-queues the job, which is exactly what a drained checkpoint means.
+	if s.draining {
+		return nil, &RejectionError{Reason: "draining", Err: errors.New("server is draining; resubmit after restart")}
+	}
+	if depth := len(s.queue); depth >= s.cfg.QueueLimit {
+		return nil, &RejectionError{Reason: "queue-full",
+			Err: fmt.Errorf("queue holds %d of %d jobs", depth, s.cfg.QueueLimit)}
+	}
 	s.admit(j, "")
 	return j, nil
 }
@@ -262,7 +273,13 @@ func (s *Scheduler) admit(j *Job, detail string) {
 func (s *Scheduler) Resume(st *ResumeState) (requeued, skipped int, err error) {
 	for _, jj := range st.Jobs {
 		j := &Job{ID: jj.ID, FP: jj.FP, Spec: jj.Spec, shards: jj.Shards, resumed: len(jj.Shards)}
-		if jj.Done {
+		// A done record only certifies the artifact when every shard record
+		// survived replay: corruption may have dropped a shard while the
+		// done line stayed intact, and rebuilding from the survivors would
+		// serve an incomplete artifact as done. Such a job re-queues so the
+		// missing shards re-run (byte-identical, by determinism).
+		complete := len(jj.Shards) == jj.Spec.shardCount()
+		if jj.Done && (jj.Status != string(StateDone) || complete) {
 			s.mu.Lock()
 			s.jobs[j.ID] = j
 			s.order = append(s.order, j.ID)
@@ -278,10 +295,15 @@ func (s *Scheduler) Resume(st *ResumeState) (requeued, skipped int, err error) {
 			}
 			continue
 		}
+		detail := fmt.Sprintf("resumed: %d/%d shards already journaled", len(jj.Shards), jj.Spec.shardCount())
+		if jj.Done {
+			detail = fmt.Sprintf("resumed: done record present but only %d/%d shards journaled; re-running the rest",
+				len(jj.Shards), jj.Spec.shardCount())
+		}
 		skipped += len(jj.Shards)
 		requeued++
 		s.mu.Lock()
-		s.admit(j, fmt.Sprintf("resumed: %d/%d shards already journaled", len(jj.Shards), jj.Spec.shardCount()))
+		s.admit(j, detail)
 		s.mu.Unlock()
 	}
 	return requeued, skipped, nil
@@ -330,19 +352,24 @@ func (s *Scheduler) Cancel(id string) error {
 	}
 	j.userStop = true
 	cancel := j.cancel
-	queued := j.state == StateQueued
 	j.mu.Unlock()
-	if queued {
-		for i, q := range s.queue {
-			if q == j {
-				s.queue = append(s.queue[:i], s.queue[i+1:]...)
-				break
-			}
+	// Only the actual removal from the queue proves no worker holds the
+	// job: state may still read Queued for an instant after a worker has
+	// popped it but before runJob marks it Running. In that window the
+	// worker owns the job, so the cancel must ride userStop (checked by
+	// runJob before the first shard and between shards), never a
+	// competing terminal record here.
+	removed := false
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			removed = true
+			break
 		}
 	}
 	s.mu.Unlock()
 
-	if queued {
+	if removed {
 		s.finish(j, StateCancelled, "cancelled while queued")
 		return nil
 	}
@@ -388,14 +415,27 @@ func (s *Scheduler) runJob(j *Job) {
 	defer cancel()
 	j.mu.Lock()
 	j.cancel = cancel
+	stopped := j.userStop
 	j.mu.Unlock()
+	// A Cancel that raced the dequeue saw neither a queue entry to remove
+	// nor an armed cancel func; it left userStop set and returned. Honour
+	// it here, before any shard runs, and again between shards.
+	if stopped {
+		s.finish(j, StateCancelled, "cancelled by request")
+		return
+	}
 
 	j.transition(StateRunning, -1, "")
 	total := j.Spec.shardCount()
 	for shard := 0; shard < total; shard++ {
 		j.mu.Lock()
 		_, have := j.shards[shard]
+		stopped := j.userStop
 		j.mu.Unlock()
+		if stopped {
+			s.finish(j, StateCancelled, "cancelled by request")
+			return
+		}
 		if have { // journaled by a previous life of this server
 			continue
 		}

@@ -138,6 +138,35 @@ func TestCancelQueuedJob(t *testing.T) {
 	}
 }
 
+func TestCancelRacingDequeueDefersToWorker(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 1}) // not started: we play the worker by hand
+	j, err := s.Submit(quickSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the race window: a worker has popped the job from the
+	// queue but runJob has not yet marked it Running, so its state still
+	// reads Queued while the queue no longer holds it.
+	s.mu.Lock()
+	s.queue = s.queue[1:]
+	s.mu.Unlock()
+	if err := s.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.State(); got != StateQueued {
+		t.Fatalf("state = %s; Cancel must not declare a worker-owned job terminal", got)
+	}
+	// The worker proceeds: runJob must honour the pending cancel and land
+	// the one terminal state without running any shard.
+	s.runJob(j)
+	if got := j.State(); got != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", got)
+	}
+	if v := j.View(); v.ShardsDone != 0 {
+		t.Fatalf("ran %d shards after cancel", v.ShardsDone)
+	}
+}
+
 func TestChaosCampaignCompletesWithRetries(t *testing.T) {
 	// Seeded fault injection at 50%: shards fail with transient errors
 	// and genuine panics, the supervisor recovers, retries with backoff,
@@ -338,6 +367,55 @@ func TestResumeRegistersFinishedJobsWithArtifacts(t *testing.T) {
 	}
 	if !bytes.Equal(r.Artifact(), j.Artifact()) {
 		t.Fatal("rebuilt artifact differs from the original")
+	}
+}
+
+func TestResumeDoneJobMissingShardsRequeues(t *testing.T) {
+	// A done record whose shard records did not all survive replay (torn
+	// line, fingerprint mismatch) must not certify a partial artifact:
+	// the job re-queues and the missing shards re-run.
+	base := NewScheduler(SchedulerConfig{Workers: 1})
+	base.Start()
+	jb, err := base.Submit(quickSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, jb)
+	base.Stop()
+	var art Artifact
+	if err := json.Unmarshal(jb.Artifact(), &art); err != nil {
+		t.Fatal(err)
+	}
+
+	// Journal with shard 1's record lost but the done record intact.
+	lines := journalLines(t,
+		Record{T: RecSubmit, Job: jb.ID, FP: jb.FP, Spec: &jb.Spec},
+		Record{T: RecShard, Job: jb.ID, FP: jb.FP, Result: &art.Shards[0]},
+		Record{T: RecDone, Job: jb.ID, Status: "done"},
+	)
+	st, err := ReplayJournal(writeJournal(t, lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewScheduler(SchedulerConfig{Workers: 1})
+	requeued, skipped, err := s2.Resume(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if requeued != 1 || skipped != 1 {
+		t.Fatalf("requeued %d skipped %d, want 1 and 1", requeued, skipped)
+	}
+	s2.Start()
+	defer s2.Stop()
+	jr, ok := s2.Job(jb.ID)
+	if !ok {
+		t.Fatalf("no job %s after resume", jb.ID)
+	}
+	if got := waitTerminal(t, jr); got != StateDone {
+		t.Fatalf("state = %s (%s)", got, jr.View().Detail)
+	}
+	if !bytes.Equal(jr.Artifact(), jb.Artifact()) {
+		t.Fatal("re-run artifact differs from the uninterrupted baseline")
 	}
 }
 

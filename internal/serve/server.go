@@ -195,5 +195,9 @@ func writeArtifactFile(dir, jobID string, b []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// The rename is only durable once the directory entry is synced.
+	return syncDir(dir)
 }

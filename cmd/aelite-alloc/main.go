@@ -31,6 +31,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/phit"
+	"repro/internal/routerless"
 	"repro/internal/scenario"
 	"repro/internal/slots"
 	"repro/internal/spec"
@@ -72,6 +73,7 @@ func main() {
 	scenarioF := flag.String("scenario", "", "generated workload family: uniform|hotspot|transpose|multimedia|dataflow")
 	conns := flag.Int("conns", 0, "connection count for -scenario")
 	printTables := flag.Bool("tables", false, "print per-NI slot tables")
+	backendF := flag.String("backend", "aelite", "aelite | routerless (ring/slot allocation instead of TDM tables)")
 	flag.Parse()
 
 	// Malformed invocations are rejected up front with one-line
@@ -92,6 +94,16 @@ func main() {
 	case "synchronous", "mesochronous", "asynchronous":
 	default:
 		os.Exit(cli.Usage(tool, fmt.Errorf("unknown mode %q (synchronous | mesochronous | asynchronous)", *mode)))
+	}
+	switch *backendF {
+	case "aelite", "routerless":
+	default:
+		// Allocation inspection exists for slot-scheduled fabrics; the
+		// best-effort baseline has no reservations to print.
+		os.Exit(cli.Usage(tool, fmt.Errorf("unknown backend %q (aelite | routerless)", *backendF)))
+	}
+	if *backendF == "routerless" && *mode != "synchronous" {
+		os.Exit(cli.Usage(tool, fmt.Errorf("-backend routerless is single-clock; -mode %s needs the aelite backend", *mode)))
 	}
 	if *scenarioF != "" {
 		if _, err := scenario.ParseFamily(*scenarioF); err != nil {
@@ -147,6 +159,25 @@ func main() {
 	}
 	if needMap {
 		spec.MapIPsByTraffic(uc, m)
+	}
+
+	if *backendF == "routerless" {
+		n, err := routerless.Build(m, uc, routerless.Config{FreqMHz: *freq, WordBytes: wordBytes})
+		fatal(err)
+		fmt.Printf("use case %q: %d IPs, %d connections on a %dx%d mesh (%d NIs/router)\n",
+			uc.Name, len(uc.IPs), len(uc.Connections), *cols, *rows, *nis)
+		fmt.Printf("routerless ring overlay, %.0f MHz, %d rings\n\n", *freq, n.Rings())
+		fmt.Printf("%6s %9s %9s %9s %6s %5s\n", "conn", "reqMB/s", "gntMB/s", "boundNs", "slots", "hops")
+		for _, c := range uc.Connections {
+			info, err := n.Info(c.ID)
+			fatal(err)
+			fmt.Printf("%6d %9.1f %9.1f %9.1f %6d %5d\n",
+				c.ID, c.BandwidthMBps, info.GuaranteedMBps, info.BoundNs,
+				len(info.Slots), info.PathHops)
+		}
+		fmt.Println("\nring occupancy:")
+		n.WriteRings(os.Stdout)
+		return
 	}
 
 	cfg := core.Config{FreqMHz: *freq, TableSize: *table, Allocator: *alloc,

@@ -21,6 +21,11 @@
 //	                       sizes x allocators (greedy vs rip-up), reporting
 //	                       allocation success, allocator runtime, bound
 //	                       tightness, audit violations and replay engagement
+//	aelite-exp compare     N-backend study: identical generated workloads
+//	                       through every registered backend (aelite,
+//	                       Æthereal GS+BE, routerless ring overlay) under
+//	                       the shared trace bus and conformance auditor,
+//	                       contrasting throughput, latency, bounds and area
 //	aelite-exp all         everything above
 //
 // Flags:
@@ -29,13 +34,12 @@
 //	              one)
 //	-measure NS   measurement window in ns (default 60000)
 //	-freq MHZ     frequency for sec7 (default 500)
-//	-j N          parallel sweep workers (default all CPUs; results are
-//	              byte-identical at every worker count)
+//	-j N          parallel sweep workers (default all CPUs; must be at
+//	              least 1; results are byte-identical at every worker count)
 //	-verbose      print the full 200-connection report tables
-//	-out FILE     write the reconfig/scale study's JSON artifact to FILE;
-//	              only meaningful with those experiments
-//	-smoke        shrink the scale study to its CI gate (one simulated 8x8
-//	              mesh instead of the full 8x8/16x16/32x32 cross product)
+//	-out FILE     write the reconfig/scale/compare study's JSON artifact to
+//	              FILE; only meaningful with those experiments
+//	-smoke        shrink the scale/compare study to its CI gate
 package main
 
 import (
@@ -43,9 +47,10 @@ import (
 	"fmt"
 	"os"
 
+	"runtime"
+
 	"repro/internal/cli"
 	"repro/internal/experiments"
-	"repro/internal/parallel"
 )
 
 // tool names this command in every cli diagnostic.
@@ -55,7 +60,7 @@ func main() {
 	seed := flag.Int64("seed", experiments.Sec7Seed, "workload seed for the Section VII experiment")
 	measure := flag.Float64("measure", experiments.Sec7MeasureNs, "measurement window in ns")
 	freq := flag.Float64("freq", 500, "frequency in MHz for the sec7 comparison")
-	jobs := flag.Int("j", 0, "parallel sweep workers (0 = all CPUs)")
+	jobs := flag.Int("j", runtime.NumCPU(), "parallel sweep workers")
 	verbose := flag.Bool("verbose", false, "print full per-connection reports")
 	jsonOut := flag.String("out", "", "write the reconfig/scale JSON artifact to this file")
 	fast := flag.Bool("fast", false, "hyperperiod-compiled fast replay for GS networks (cycle-accurate fallback where not provably periodic)")
@@ -69,14 +74,16 @@ func main() {
 	if *freq <= 0 {
 		os.Exit(cli.Usage(tool, fmt.Errorf("-freq %g must be positive", *freq)))
 	}
-	if *jobs < 0 {
-		os.Exit(cli.Usage(tool, fmt.Errorf("-j %d must not be negative (0 = all CPUs)", *jobs)))
+	if *jobs < 1 {
+		// A zero worker count used to clamp silently; aelite-sim's flag
+		// contract (reject, exit 2) applies here too.
+		os.Exit(cli.Usage(tool, fmt.Errorf("-j %d must be at least 1", *jobs)))
 	}
 	if flag.NArg() > 1 {
 		os.Exit(cli.Usage(tool, fmt.Errorf("one experiment per invocation (got %q)", flag.Args())))
 	}
 	experiments.FastReplay = *fast
-	j := parallel.Jobs(*jobs)
+	j := *jobs
 
 	cmd := "all"
 	if flag.NArg() > 0 {
@@ -96,7 +103,7 @@ func main() {
 	known := map[string]bool{"all": true, "fig5": true, "fig6a": true, "fig6b": true,
 		"links": true, "throughput": true, "sec7": true, "scan": true,
 		"power": true, "hetero": true, "recovery": true, "conformance": true,
-		"reconfig": true, "scale": true}
+		"reconfig": true, "scale": true, "compare": true}
 	if !known[cmd] {
 		flag.Usage()
 		os.Exit(cli.Usage(tool, fmt.Errorf("unknown experiment %q", cmd)))
@@ -176,6 +183,31 @@ func main() {
 		}
 		cfg.Seed = *seed
 		rep, err := experiments.ScaleStudy(cfg, j)
+		if err != nil {
+			return err
+		}
+		rep.Render(out)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := rep.WriteJSON(f); err != nil {
+				return err
+			}
+		}
+		// The artifact is written before gating so a failing run still
+		// leaves the evidence behind.
+		return rep.Verify()
+	})
+	run("compare", func() error {
+		cfg := experiments.DefaultCompareConfig()
+		if *smoke {
+			cfg = experiments.SmokeCompareConfig()
+		}
+		cfg.Seed = *seed
+		rep, err := experiments.CompareStudy(cfg, j)
 		if err != nil {
 			return err
 		}

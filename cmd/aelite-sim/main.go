@@ -1,7 +1,8 @@
 // Command aelite-sim runs a use case through the cycle-accurate simulator
-// — either the aelite guaranteed-service network (synchronous,
-// mesochronous or asynchronous) or the Æthereal best-effort baseline —
-// and prints the per-connection report.
+// — the aelite guaranteed-service network (synchronous, mesochronous or
+// asynchronous), the Æthereal best-effort baseline, or the routerless
+// ring-overlay fabric — and prints the per-connection report. Non-aelite
+// backends are built through the internal/backend registry.
 //
 // Usage:
 //
@@ -16,7 +17,7 @@
 //	               -seed, rates replay-admissible by default)
 //	-conns N       connection count for -scenario
 //	-alloc A       slot allocator: greedy | ripup (default greedy)
-//	-backend B     aelite | be
+//	-backend B     aelite | aethereal (alias: be) | routerless
 //	-mode M        synchronous | mesochronous | asynchronous (aelite only)
 //	-freq MHZ      network frequency (default 500)
 //	-warmup NS     warm-up before measurement (default 10000)
@@ -62,9 +63,10 @@
 //	               latency and throughput contract, slot ownership and
 //	               in-order delivery; violations print one-line diagnostics
 //	               and exit non-zero (with -strict the first one fails
-//	               fast); aelite only, single runs only
+//	               fast); bounds-carrying backends (aelite, routerless)
+//	               only, single runs only
 //	-trace-out F   write a Chrome trace-event JSON of every flit lifecycle
-//	               event (load in Perfetto or chrome://tracing); aelite only
+//	               event (load in Perfetto or chrome://tracing)
 //	-metrics-out F write aggregated per-connection/per-component metrics;
 //	               a .csv suffix selects CSV, anything else JSON
 //	-pprof F       write a CPU profile of the simulation run
@@ -88,7 +90,9 @@ import (
 	"errors"
 
 	"repro/internal/audit"
+	"repro/internal/backend"
 	"repro/internal/cli"
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/parallel"
@@ -137,6 +141,15 @@ type options struct {
 
 // rateFaults reports whether a seeded rate process is armed.
 func (o *options) rateFaults() bool { return o.bitflip > 0 || o.drop > 0 }
+
+// canonicalBackend resolves the -backend flag to a registry name ("be"
+// stays as a compatibility alias for the Æthereal GS+BE baseline).
+func (o *options) canonicalBackend() string {
+	if o.backend == "be" {
+		return "aethereal"
+	}
+	return o.backend
+}
 
 // faultPlan assembles the campaign plan for one run: the event spec (if
 // any) parsed under the given seed, plus the all-links rate rules.
@@ -187,8 +200,11 @@ func (o *options) validate() error {
 	if _, err := slots.ByName(o.alloc); err != nil {
 		return fmt.Errorf("-alloc: %w", err)
 	}
-	if o.backend != "aelite" && o.backend != "be" {
-		return fmt.Errorf("unknown backend %q (aelite | be)", o.backend)
+	if _, err := backend.ByName(o.canonicalBackend()); err != nil {
+		return fmt.Errorf("-backend: %w", err)
+	}
+	if o.backend != "aelite" && o.mode != "synchronous" {
+		return fmt.Errorf("-backend %s is single-clock; -mode %s needs the aelite backend", o.backend, o.mode)
 	}
 	switch o.mode {
 	case "synchronous", "mesochronous", "asynchronous":
@@ -212,11 +228,13 @@ func (o *options) validate() error {
 	if (o.reliable || o.rateFaults()) && o.backend != "aelite" {
 		return fmt.Errorf("-reliable/-bitflip-rate/-drop-rate need the aelite backend (got %q)", o.backend)
 	}
-	if (o.traceOut != "" || o.metricsOut != "") && o.backend != "aelite" {
-		return fmt.Errorf("-trace-out/-metrics-out need the aelite backend (got %q)", o.backend)
-	}
-	if o.audit && o.backend != "aelite" {
-		return fmt.Errorf("-audit checks aelite's analytical contracts and needs the aelite backend (got %q)", o.backend)
+	if o.audit {
+		// Every backend emits the traced flit lifecycle, but only
+		// bounds-carrying backends have contracts for the auditor to check.
+		bk, err := backend.ByName(o.canonicalBackend())
+		if err == nil && !bk.HasBounds() {
+			return fmt.Errorf("-audit checks analytical guarantee contracts and backend %q has none (best effort)", o.backend)
+		}
 	}
 	if o.audit && o.runs > 1 {
 		return fmt.Errorf("-audit attaches to a single run and cannot serve a -runs sweep")
@@ -263,7 +281,7 @@ func main() {
 	flag.IntVar(&o.cols, "cols", 4, "mesh columns")
 	flag.IntVar(&o.rows, "rows", 3, "mesh rows")
 	flag.IntVar(&o.nis, "nis", 4, "NIs per router")
-	flag.StringVar(&o.backend, "backend", "aelite", "aelite | be")
+	flag.StringVar(&o.backend, "backend", "aelite", "aelite | aethereal (alias: be) | routerless")
 	flag.StringVar(&o.mode, "mode", "synchronous", "synchronous|mesochronous|asynchronous")
 	flag.Float64Var(&o.freq, "freq", 500, "frequency in MHz")
 	flag.Float64Var(&o.warmup, "warmup", 10000, "warm-up in ns")
@@ -344,15 +362,11 @@ func run(o options) (code int) {
 	}
 
 	campaignMode := o.faults != "" || o.skewPS != 0 || o.rateFaults()
-	if o.backend == "be" {
+	if o.backend != "aelite" {
 		if campaignMode {
 			return cli.Usage(tool, errors.New("fault campaigns need the aelite backend"))
 		}
-		n, err := core.BuildBE(m, uc, core.BEConfig{FreqMHz: o.freq, Transactional: o.tx})
-		if err != nil {
-			return fail(err)
-		}
-		return verdict(n.Run(o.warmup, o.measure))
+		return runSeamBackend(o, m, uc, traceFile, metricsFile)
 	}
 
 	if o.runs > 1 {
@@ -500,6 +514,79 @@ func run(o options) (code int) {
 		return 1
 	}
 	return 0
+}
+
+// runSeamBackend builds and runs a non-aelite backend through the
+// backend seam. The "be" alias keeps its historical output — the
+// verdict line only — byte-identical; newer backends print the full
+// per-connection report first. Tracing, metrics and (for bounds-carrying
+// backends) the conformance auditor ride the same shared bus wiring the
+// aelite path uses.
+func runSeamBackend(o options, m *topology.Mesh, uc *spec.UseCase, traceFile, metricsFile *os.File) int {
+	name := o.canonicalBackend()
+	bk, err := backend.ByName(name)
+	if err != nil {
+		return cli.Usage(tool, err)
+	}
+	inst, err := bk.Build(m, uc, backend.Params{FreqMHz: o.freq, Transactional: o.tx})
+	if err != nil {
+		return fail(err)
+	}
+
+	var chrome *trace.Chrome
+	var metrics *trace.Metrics
+	var auditor *audit.Auditor
+	var auditCol *fault.Collector
+	if o.traceOut != "" || o.metricsOut != "" || o.audit {
+		bus := trace.NewBus()
+		if o.traceOut != "" {
+			chrome = trace.NewChrome(bus)
+			chrome.SetFlitCycle(phit.FlitWords * int64(clock.PeriodFromMHz(o.freq)))
+		}
+		if o.metricsOut != "" {
+			metrics = trace.NewMetrics(bus)
+		}
+		if o.audit {
+			if !o.strict {
+				auditCol = fault.NewCollector()
+			}
+			auditor = inst.Audit(bus, auditCol, audit.Options{})
+		}
+		inst.AttachTracer(bus)
+	}
+
+	rep := inst.Run(o.warmup, o.measure)
+	if o.backend != "be" {
+		rep.Write(os.Stdout)
+	}
+	if chrome != nil {
+		if err := writeTrace(traceFile, chrome); err != nil {
+			return fail(err)
+		}
+	}
+	if metrics != nil {
+		now := clock.Time(o.warmup*float64(clock.Nanosecond)) + clock.Time(o.measure*float64(clock.Nanosecond))
+		mrep := metrics.Report(int64(now), int64(clock.PeriodFromMHz(o.freq)))
+		if err := writeMetrics(metricsFile, o.metricsOut, mrep); err != nil {
+			return fail(err)
+		}
+	}
+	code := verdict(rep)
+	if auditor != nil {
+		fmt.Println()
+		auditor.WriteSummary(os.Stdout)
+		if auditor.Violations() > 0 {
+			if auditCol != nil {
+				for _, v := range auditCol.Violations() {
+					fmt.Fprintln(os.Stderr, "aelite-sim: audit:", v)
+				}
+			}
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	return code
 }
 
 // layoutFor picks the header layout the mesh diameter needs: the worst

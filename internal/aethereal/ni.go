@@ -8,6 +8,7 @@ import (
 	"repro/internal/phit"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // DefaultMaxPacketWords caps BE packet payload length; long packets
@@ -79,6 +80,8 @@ type NI struct {
 
 	sampledIn     phit.Phit
 	sampledCredit int
+
+	tr *trace.Emitter
 }
 
 // NewNI builds a BE NI. downstreamBuf is the attached router's input
@@ -138,8 +141,15 @@ func (n *NI) Offer(now clock.Time, conn phit.ConnID, meta phit.Meta) bool {
 	}
 	meta.Conn = conn
 	oc.queue.Push(now, meta)
+	if n.tr != nil {
+		n.tr.Emit(trace.Event{Time: now, Kind: trace.Inject, Conn: conn, Seq: meta.Seq, Slot: trace.NoSlot})
+	}
 	return true
 }
+
+// SetTracer installs the NI's lifecycle-event emitter; nil disables
+// emission (the default: an untraced NI pays no per-event cost).
+func (n *NI) SetTracer(e *trace.Emitter) { n.tr = e }
 
 // Name implements sim.Component.
 func (n *NI) Name() string { return n.name }
@@ -196,6 +206,10 @@ func (n *NI) receive(now clock.Time) {
 	} else if p.Kind == phit.Payload {
 		ic := n.curIn
 		ic.delivered++
+		if n.tr != nil {
+			n.tr.Emit(trace.Event{Time: now, Ref: p.Meta.Injected, Kind: trace.Eject,
+				Conn: ic.cfg.ID, Seq: p.Meta.Seq, Slot: trace.NoSlot})
+		}
 		ic.latency.Add(float64(now-p.Meta.Injected) / float64(clock.Nanosecond))
 		ic.lastNs = float64(now) / float64(clock.Nanosecond)
 		if ic.delivered == 1 {
@@ -252,6 +266,10 @@ func (n *NI) send(now clock.Time) {
 	oc.sent++
 	n.openWords++
 	n.linkCredit--
+	if n.tr != nil {
+		n.tr.Emit(trace.Event{Time: now, Ref: meta.Injected, Kind: trace.Send,
+			Conn: oc.cfg.ID, Seq: meta.Seq, Slot: trace.NoSlot})
+	}
 	eop := n.openWords >= n.maxPacket || !oc.queue.Valid(now)
 	n.out.Drive(phit.Phit{Valid: true, Kind: phit.Payload, EoP: eop, Data: phit.Word(meta.Seq), Meta: meta})
 	if eop {

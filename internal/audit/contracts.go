@@ -1,0 +1,134 @@
+package audit
+
+import (
+	"repro/internal/clock"
+	"repro/internal/fault"
+	"repro/internal/phit"
+	"repro/internal/trace"
+)
+
+// A Contract is one connection's analytical guarantee in backend-neutral
+// form: everything the auditor needs to judge the traced behaviour of a
+// connection without knowing how the backend derived the numbers. The
+// aelite path keeps using Attach (which snapshots a *core.Network
+// directly); backends without a core.Network — the routerless ring
+// overlay, and any future fabric with its own bound derivation — build
+// Contracts from their own analysis and attach through AttachContracts.
+type Contract struct {
+	Conn    phit.ConnID
+	SrcName string // source endpoint component name (for summaries)
+	DstName string // destination endpoint component name
+
+	// BoundNs is the backend's analytical worst-case end-to-end latency
+	// for a compliant word, in nanoseconds. Options.SlackNs is added on
+	// top by the auditor, exactly as in the aelite path.
+	BoundNs float64
+	// WaitBudgetNs is the source-side dwell budget at the raw bound: how
+	// long a compliant word may sit in the source queue before its Send.
+	// The auditor widens it by Options.SlackNs alongside the bound.
+	WaitBudgetNs float64
+	// GuaranteeMBps feeds the injection token bucket; zero disables rate
+	// regulation for this connection.
+	GuaranteeMBps float64
+	// SlotQuota is the connection's owned slot count per table
+	// revolution (the network-side injection-regulation check); zero
+	// disables the per-revolution quota for this connection.
+	SlotQuota int
+}
+
+// A ContractSet carries every contract of one built backend instance plus
+// the fabric-wide facts the checks need.
+type ContractSet struct {
+	// FreqMHz is the fabric clock; it sizes the flit cycle used by the
+	// slot-exclusivity check.
+	FreqMHz float64
+	// WordBytes converts bandwidth guarantees to words for the token
+	// bucket.
+	WordBytes int
+	// TableSize is the slots-per-revolution of the fabric's schedule; it
+	// sizes the per-revolution flit quota window. Zero disables the
+	// quota check (e.g. when rings of different sizes coexist and no
+	// single revolution is meaningful).
+	TableSize int
+	// CheckExclusive enables the per-resource slot-exclusivity check;
+	// backends with legitimate sub-flit-cycle event spacing between
+	// different connections (plesiochronous clocks) leave it off.
+	CheckExclusive bool
+	// RateMargin relaxes the token-bucket refill rate multiplicatively;
+	// zero selects the default margin (1 + 1e-6) that absorbs rational
+	// rate rounding.
+	RateMargin float64
+
+	Contracts []Contract
+
+	// AllocTables are the allocation-side slot-ownership tables, keyed
+	// by the component name that emits SlotStart events: table[slot] is
+	// the connection owning that slot at that component (phit.None for
+	// free slots). Nil tables disable the ownership check.
+	AllocTables map[string][]phit.ConnID
+}
+
+// AttachContracts builds an Auditor from explicit backend contracts and
+// subscribes it to the bus. It shares every check and reporting path with
+// the aelite Attach — only contract construction differs — so a
+// violation means the same thing regardless of which backend produced
+// the trace.
+func AttachContracts(set ContractSet, bus *trace.Bus, rep fault.Reporter, opts Options) *Auditor {
+	if opts.BucketWords <= 0 {
+		opts.BucketWords = 128
+	}
+	if opts.MaxReports <= 0 {
+		opts.MaxReports = 8
+	}
+	a := &Auditor{
+		rep:  rep,
+		bus:  bus,
+		opts: opts,
+
+		conns:       make(map[phit.ConnID]*connAudit),
+		allocTables: make(map[string][]phit.ConnID),
+		ownership:   make(map[trace.CompID][]phit.ConnID),
+		slotQuota:   make(map[phit.ConnID]int),
+		flitWin:     make(map[phit.ConnID]*flitWindow),
+		last:        make(map[activity]lastUse),
+
+		checkExclusive: set.CheckExclusive,
+		flitCyclePs:    clock.Time(phit.FlitWords) * clock.Time(clock.PeriodFromMHz(set.FreqMHz)),
+		byKind:         make(map[fault.Kind]int64),
+	}
+	rateMargin := set.RateMargin
+	if rateMargin == 0 {
+		rateMargin = 1.0 + 1e-6
+	}
+	for _, c := range set.Contracts {
+		if a.conns[c.Conn] != nil {
+			continue
+		}
+		ca := &connAudit{
+			id:            c.Conn,
+			srcName:       c.SrcName,
+			dstName:       c.DstName,
+			rawBoundNs:    c.BoundNs,
+			guaranteeMBps: c.GuaranteeMBps,
+			boundPs:       (c.BoundNs + a.opts.SlackNs) * 1e3,
+			waitBudgetPs:  (c.WaitBudgetNs + a.opts.SlackNs) * 1e3,
+			rate:          c.GuaranteeMBps * 1e6 / float64(set.WordBytes) / 1e12 * rateMargin,
+			depth:         float64(a.opts.BucketWords),
+			reported:      make(map[fault.Kind]int),
+		}
+		ca.tokens = ca.depth
+		a.conns[c.Conn] = ca
+		a.order = append(a.order, c.Conn)
+		if c.SlotQuota > 0 {
+			a.slotQuota[c.Conn] = c.SlotQuota
+		}
+	}
+	for name, table := range set.AllocTables {
+		a.allocTables[name] = append([]phit.ConnID(nil), table...)
+	}
+	if set.TableSize > 0 {
+		a.revolutionPs = a.flitCyclePs * clock.Time(set.TableSize)
+	}
+	bus.Attach(a)
+	return a
+}

@@ -1,0 +1,206 @@
+package backend
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/routerless"
+	"repro/internal/scenario"
+	"repro/internal/spec"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// recSink records the full event stream as deterministic text, so two
+// runs can be compared byte for byte.
+type recSink struct{ buf bytes.Buffer }
+
+func (s *recSink) Event(ev trace.Event) {
+	fmt.Fprintf(&s.buf, "%d %d %d %d %d %d %d %d\n",
+		ev.Time, ev.Ref, ev.Conn, ev.Seq, ev.Arg, ev.Comp, ev.Slot, ev.Kind)
+}
+
+// runnable is the slice of behaviour the equivalence check needs; both
+// the direct constructors' networks and seam Instances satisfy it.
+type runnable interface {
+	AttachTracer(bus *trace.Bus)
+	Run(warmupNs, measureNs float64) *core.Report
+}
+
+// observation is everything externally visible about one run: the
+// rendered report, the metrics JSON and the raw event stream.
+type observation struct {
+	report  []byte
+	metrics []byte
+	events  []byte
+}
+
+// observe runs n under a fresh bus with a recording sink and a metrics
+// aggregator attached, capturing all three observable surfaces.
+func observe(t *testing.T, n runnable, freqMHz float64) observation {
+	t.Helper()
+	bus := trace.NewBus()
+	rec := &recSink{}
+	bus.Attach(rec)
+	met := trace.NewMetrics(bus)
+	n.AttachTracer(bus)
+	rep := n.Run(2000, 8000)
+	var report bytes.Buffer
+	rep.Write(&report)
+	var mjson bytes.Buffer
+	if err := met.Report(0, int64(clock.PeriodFromMHz(freqMHz))).WriteJSON(&mjson); err != nil {
+		t.Fatal(err)
+	}
+	return observation{report: report.Bytes(), metrics: mjson.Bytes(), events: rec.buf.Bytes()}
+}
+
+// testWorkload regenerates the same scenario from scratch: a use case is
+// never shared across builds, so each side of an equivalence check gets
+// its own copy from the same seed.
+func testWorkload(t *testing.T, seed int64) (*topology.Mesh, *spec.UseCase, scenario.Config) {
+	t.Helper()
+	cfg := scenario.Default(scenario.Uniform, 3, 3, 8, seed)
+	s, err := scenario.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Mesh(), s.UseCase, cfg
+}
+
+// requireIdentical asserts two observations agree on every surface.
+func requireIdentical(t *testing.T, direct, seam observation) {
+	t.Helper()
+	if len(direct.events) == 0 {
+		t.Fatal("direct run emitted no events; the comparison would be vacuous")
+	}
+	if !bytes.Equal(direct.report, seam.report) {
+		t.Errorf("reports differ:\n-- direct --\n%s\n-- seam --\n%s", direct.report, seam.report)
+	}
+	if !bytes.Equal(direct.metrics, seam.metrics) {
+		t.Error("metrics JSON differs between direct and seam builds")
+	}
+	if !bytes.Equal(direct.events, seam.events) {
+		t.Error("event streams differ between direct and seam builds")
+	}
+}
+
+// TestAeliteSeamEquivalence is the refactor's no-observable-change
+// gate: a same-seed aelite run built through the backend seam must be
+// byte-identical to one built through core.PrepareTopology+core.Build
+// directly — reports, metrics JSON and event streams — in all three
+// clocking modes.
+func TestAeliteSeamEquivalence(t *testing.T) {
+	const seed = 77
+	for _, mode := range []core.Mode{core.Synchronous, core.Mesochronous, core.Asynchronous} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m, uc, scfg := testWorkload(t, seed)
+			cfg := core.Config{FreqMHz: scfg.FreqMHz, WordBytes: scfg.WordBytes,
+				TableSize: scfg.TableSize, Mode: mode}
+			core.PrepareTopology(m, cfg)
+			n, err := core.Build(m, uc, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct := observe(t, n, scfg.FreqMHz)
+
+			b, err := ByName("aelite")
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2, uc2, _ := testWorkload(t, seed)
+			inst, err := b.Build(m2, uc2, Params{FreqMHz: scfg.FreqMHz,
+				WordBytes: scfg.WordBytes, TableSize: scfg.TableSize, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, direct, observe(t, inst, scfg.FreqMHz))
+		})
+	}
+}
+
+// TestAetherealSeamEquivalence checks the GS+BE baseline the same way:
+// a zero-field Params build must match a zero-config core.BuildBE, with
+// only the frequency forwarded, so ApplyDefaults resolves identically
+// on both sides.
+func TestAetherealSeamEquivalence(t *testing.T) {
+	const seed = 78
+	m, uc, scfg := testWorkload(t, seed)
+	n, err := core.BuildBE(m, uc, core.BEConfig{FreqMHz: scfg.FreqMHz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := observe(t, n, scfg.FreqMHz)
+
+	b, err := ByName("aethereal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, uc2, _ := testWorkload(t, seed)
+	inst, err := b.Build(m2, uc2, Params{FreqMHz: scfg.FreqMHz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, direct, observe(t, inst, scfg.FreqMHz))
+}
+
+// TestRouterlessSeamEquivalence checks the ring overlay through the
+// seam against routerless.Build directly.
+func TestRouterlessSeamEquivalence(t *testing.T) {
+	const seed = 79
+	m, uc, scfg := testWorkload(t, seed)
+	n, err := routerless.Build(m, uc, routerless.Config{FreqMHz: scfg.FreqMHz, WordBytes: scfg.WordBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := observe(t, n, scfg.FreqMHz)
+
+	b, err := ByName("routerless")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, uc2, _ := testWorkload(t, seed)
+	inst, err := b.Build(m2, uc2, Params{FreqMHz: scfg.FreqMHz, WordBytes: scfg.WordBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, direct, observe(t, inst, scfg.FreqMHz))
+}
+
+// TestSingleClockBackendsRejectOtherModes pins the seam's mode
+// validation: the baseline and the ring overlay are single-clock, so a
+// mesochronous or asynchronous Params must fail the build, not silently
+// build a synchronous network.
+func TestSingleClockBackendsRejectOtherModes(t *testing.T) {
+	for _, name := range []string{"aethereal", "routerless"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, uc, scfg := testWorkload(t, 80)
+		if _, err := b.Build(m, uc, Params{FreqMHz: scfg.FreqMHz, Mode: core.Mesochronous}); err == nil {
+			t.Errorf("%s accepted a mesochronous build", name)
+		}
+	}
+}
+
+// TestByNameUnknownListsValid pins the usage-diagnostic contract: the
+// error carries every registered name so CLIs can surface it verbatim.
+func TestByNameUnknownListsValid(t *testing.T) {
+	_, err := ByName("warp-drive")
+	if err == nil {
+		t.Fatal("unknown backend resolved")
+	}
+	for _, want := range []string{"aelite", "aethereal", "routerless"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list %q", err, want)
+		}
+	}
+	names := Names()
+	if len(names) != 3 || names[0] != "aelite" || names[1] != "aethereal" || names[2] != "routerless" {
+		t.Errorf("Names() = %v", names)
+	}
+}

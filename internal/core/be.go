@@ -12,6 +12,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spec"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -81,6 +82,25 @@ func (n *BENetwork) NIOf(id topology.NodeID) *aethereal.NI { return n.nis[id] }
 
 // Generator returns a connection's traffic generator.
 func (n *BENetwork) Generator(c phit.ConnID) *traffic.Generator { return n.gens[c] }
+
+// AttachTracer installs bus as the BE network's event bus and hands every
+// NI its emitter (the BE NI emits the Inject/Send/Eject word lifecycle;
+// wormhole routers have no TDM slots to trace). Component names are
+// interned in mesh NI order, so the same build gets the same component
+// ids and a byte-identical same-seed event stream. Passing a nil bus
+// detaches everything.
+func (n *BENetwork) AttachTracer(bus *trace.Bus) {
+	n.eng.SetTracer(bus)
+	for _, id := range n.Mesh.AllNIs() {
+		if c := n.nis[id]; c != nil {
+			if bus == nil {
+				c.SetTracer(nil)
+			} else {
+				c.SetTracer(bus.Emitter(c.Name()))
+			}
+		}
+	}
+}
 
 // BuildBE assembles the best-effort baseline: same mesh, same IP mapping,
 // same XY paths as the aelite network, but wormhole BE routers and NIs.

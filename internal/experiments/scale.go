@@ -13,6 +13,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/phit"
 	"repro/internal/scenario"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -150,7 +151,7 @@ func scalePoint(ctx context.Context, cfg ScaleConfig, fam scenario.Family, mesh 
 	pt.Placed = len(plan.Placed)
 	pt.Failed = len(plan.Failed)
 	pt.RipUps = plan.RipUps
-	pt.SuccessRate = plan.SuccessRate()
+	pt.SuccessRate = stats.Finite(plan.SuccessRate())
 	if !mesh.Simulate || pt.Failed > 0 {
 		return pt, nil
 	}
@@ -188,7 +189,9 @@ func scalePoint(ctx context.Context, cfg ScaleConfig, fam scenario.Family, mesh 
 		}
 	}
 	if cnt > 0 {
-		pt.BoundTightness = sum / float64(cnt)
+		// Finite: a zero bound or empty span would put NaN/Inf into the
+		// JSON artifact, which encoding/json rejects outright.
+		pt.BoundTightness = stats.Finite(sum / float64(cnt))
 	}
 	if p := n.Replay(); p != nil {
 		// Engagement is momentary (a window-end timer deopts it), so the

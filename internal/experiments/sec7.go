@@ -13,6 +13,7 @@ import (
 	"repro/internal/route"
 	"repro/internal/slots"
 	"repro/internal/spec"
+	"repro/internal/stats"
 	"repro/internal/topology"
 )
 
@@ -337,11 +338,11 @@ func Compare(seed int64, fMHz float64, measureNs float64, jobs int) (*Comparison
 		}
 	}
 	if n > 0 {
-		cmp.BELowerMeanFraction = float64(lower) / float64(n)
-		cmp.MaxRatio = maxSum / float64(n)
+		cmp.BELowerMeanFraction = stats.Finite(float64(lower) / float64(n))
+		cmp.MaxRatio = stats.Finite(maxSum / float64(n))
 	}
 	if spreadN > 0 {
-		cmp.SpreadRatio = spreadSum / float64(spreadN)
+		cmp.SpreadRatio = stats.Finite(spreadSum / float64(spreadN))
 	}
 	return cmp, gs, be, nil
 }

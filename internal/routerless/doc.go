@@ -1,0 +1,22 @@
+// Package routerless models a routerless ring-overlay NoC in the style
+// of Indrusiak & Burns, "Real-Time Guarantees in Routerless
+// Networks-on-Chip": the tiles' network interfaces sit as stops on a set
+// of unidirectional rings (one per mesh row, one per mesh column, plus a
+// global snake ring), and flits ride rotating TDM slots around a ring
+// instead of being switched by routers.
+//
+// Injection is interleaved by slot ownership: every connection owns a
+// set of slot positions on exactly one ring, and its source stop may
+// inject only when an owned slot rotates past. Because a flit travels
+// strictly less than one revolution before its destination stop ejects
+// it, an owned slot always returns to its owner empty — the schedule is
+// contention-free by construction, exactly like aelite's slot tables,
+// and the same MaxGap argument yields a per-connection worst-case
+// latency bound (see BoundNs). The bounds are wired into internal/audit
+// through audit.AttachContracts, so the shared conformance auditor
+// judges this backend with the same checks it applies to aelite.
+//
+// The model deliberately mirrors the aelite flit format — three words
+// per slot, one of them header-equivalent overhead — so a slot's
+// bandwidth is directly comparable between the two fabrics.
+package routerless

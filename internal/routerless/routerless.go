@@ -1,0 +1,469 @@
+package routerless
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/area"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/phit"
+	"repro/internal/sim"
+	"repro/internal/slots"
+	"repro/internal/spec"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// SendCapacity is the per-connection source queue depth in words,
+// matching the aelite and aethereal NIs so all backends face identical
+// IP-side backpressure.
+const SendCapacity = 32
+
+// PayloadWords is the payload carried per slot flit. One of the three
+// flit words is header-equivalent overhead (destination stop + connection
+// id), mirroring aelite's slot format so per-slot bandwidth is directly
+// comparable.
+const PayloadWords = phit.FlitWords - 1
+
+// Latency model constants, in base-clock cycles (see BoundNs).
+const (
+	// stopInjectCycles covers acceptance into the source queue and the
+	// wait for the next flit-cycle boundary plus in-flit serialisation,
+	// mirroring the aelite NI's injection overhead.
+	stopInjectCycles = 5
+	// stopDeliveryCycles covers destination-side registration of a
+	// payload word after the flit arrives at the ejecting stop.
+	stopDeliveryCycles = 4
+)
+
+// Config parameterises overlay construction. ApplyDefaults fills zero
+// fields with the paper-wide defaults.
+type Config struct {
+	WordBytes int
+	FreqMHz   float64
+	// TrafficBurstFactor > 1 selects bursty generators at the same
+	// average rate; 0 or 1 selects CBR. The analytical bounds assume
+	// slot-regulated (CBR-compliant) load, as in aelite.
+	TrafficBurstFactor float64
+	// Transactional selects line-rate transaction generators. The
+	// word-level bounds do not cover transaction drains; audits of
+	// transactional runs should tolerate oversubscription.
+	Transactional bool
+}
+
+// ApplyDefaults fills zero fields: 32-bit words at 500 MHz.
+func (c *Config) ApplyDefaults() {
+	if c.WordBytes == 0 {
+		c.WordBytes = 4
+	}
+	if c.FreqMHz == 0 {
+		c.FreqMHz = 500
+	}
+}
+
+// BoundNs is the worst-case end-to-end latency, in nanoseconds, of a
+// compliant word on a ring of S stops: a word that just misses a slot
+// decision waits at most MaxGap+1 owned-slot arrivals (FlitWords cycles
+// each), then rides hops ring segments (one flit cycle per stop), plus
+// the fixed injection and delivery overheads. The same decomposition as
+// analysis.LatencyBoundNs, with ring hops in place of the mesh path.
+func BoundNs(slotSet []int, ringSize, hops int, fMHz float64) float64 {
+	gap := slots.MaxGap(slotSet, ringSize)
+	cycles := phit.FlitWords*(gap+1) + stopInjectCycles + phit.FlitWords*hops + stopDeliveryCycles
+	return float64(cycles) * 1e3 / fMHz
+}
+
+// waitBudgetNs is the source-stop dwell budget at the raw bound: the
+// bound minus the deterministic post-injection transit.
+func waitBudgetNs(boundNs float64, hops int, fMHz float64) float64 {
+	transit := float64(phit.FlitWords*hops+stopDeliveryCycles) * 1e3 / fMHz
+	return boundNs - transit
+}
+
+// slotBandwidthMBps is one slot's payload bandwidth on a ring of S stops.
+func slotBandwidthMBps(fMHz float64, wordBytes, ringSize int) float64 {
+	revolutionsPerSec := fMHz * 1e6 / float64(phit.FlitWords*ringSize)
+	return revolutionsPerSec * float64(PayloadWords) * float64(wordBytes) / 1e6
+}
+
+// pending is one queued or in-flight payload word.
+type pending struct {
+	seq      int64
+	injected clock.Time
+}
+
+// inFlight is one occupied slot: a flit of up to PayloadWords words
+// riding the ring towards dstPos.
+type inFlight struct {
+	conn   phit.ConnID
+	dstPos int
+	words  []pending
+}
+
+// entry is one wheel position: the slot id riding it and its cargo.
+type entry struct {
+	sid  int
+	flit *inFlight
+}
+
+// stop is one NI's seat on one ring.
+type stop struct {
+	name string
+	pos  int
+	ni   topology.NodeID
+	tr   *trace.Emitter
+}
+
+// A ring is one unidirectional slotted ring, simulated as a single
+// component: stop state has no cross-ring coupling, so modelling the
+// whole ring in one deterministic Update keeps the event order exact
+// without per-stop wires. It also implements traffic.Port for the
+// generators of the connections it carries.
+type ring struct {
+	name string
+	net  *Network
+	S    int
+
+	stops []*stop
+	pos   map[topology.NodeID]int // stop position of each NI on this ring
+	wheel []entry                 // wheel[p] = slot entry currently at stop p
+	alloc []phit.ConnID           // slot id -> owning connection (None = free)
+	conns map[phit.ConnID]*connInfo
+}
+
+// connInfo is everything the overlay derived for one connection.
+type connInfo struct {
+	spec    spec.Connection
+	ring    *ring
+	srcPos  int
+	dstPos  int
+	hops    int
+	slotSet []int
+
+	guaranteeMBps float64
+	boundNs       float64
+
+	// Source queue and destination-side measurements.
+	q         []pending
+	delivered int64
+	latNs     stats.Histogram
+	firstNs   float64
+	lastNs    float64
+}
+
+// A Network is a built, runnable routerless overlay instance.
+type Network struct {
+	Cfg  Config
+	Mesh *topology.Mesh
+	Spec *spec.UseCase
+
+	eng   *sim.Engine
+	base  *clock.Clock
+	rings []*ring
+	conns map[phit.ConnID]*connInfo
+	gens  map[phit.ConnID]*traffic.Generator
+}
+
+// Engine exposes the simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Rings returns the overlay's ring count.
+func (n *Network) Rings() int { return len(n.rings) }
+
+// Connections returns the ids of all connections, ascending.
+func (n *Network) Connections() []phit.ConnID {
+	out := make([]phit.ConnID, 0, len(n.conns))
+	for id := range n.conns {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Generator returns a connection's traffic generator.
+func (n *Network) Generator(c phit.ConnID) *traffic.Generator { return n.gens[c] }
+
+// Info returns the allocation-derived facts of a connection in the
+// shared core.ConnectionInfo shape (TotalShift, RecvCapacity and
+// AckRTSlots stay zero: rings have no pipeline shift and no
+// credit-managed receive queues).
+func (n *Network) Info(c phit.ConnID) (core.ConnectionInfo, error) {
+	ci, ok := n.conns[c]
+	if !ok {
+		return core.ConnectionInfo{}, fmt.Errorf("routerless: unknown connection %d", c)
+	}
+	return core.ConnectionInfo{
+		Conn:           c,
+		SrcNI:          ci.ring.stops[ci.srcPos].ni,
+		DstNI:          ci.ring.stops[ci.dstPos].ni,
+		Slots:          append([]int(nil), ci.slotSet...),
+		PathHops:       ci.hops,
+		GuaranteedMBps: ci.guaranteeMBps,
+		RequiredMBps:   ci.spec.BandwidthMBps,
+		BoundNs:        ci.boundNs,
+	}, nil
+}
+
+// Build assembles the ring overlay for the use case on the mesh: row and
+// column rings plus (on 2-D meshes) a global snake ring, then assigns
+// every connection to the shortest ring with free slot capacity. The use
+// case must be validated and its IPs mapped, exactly as for core.Build.
+func Build(m *topology.Mesh, uc *spec.UseCase, cfg Config) (*Network, error) {
+	cfg.ApplyDefaults()
+	if err := uc.Validate(); err != nil {
+		return nil, err
+	}
+	for _, ip := range uc.IPs {
+		if ip.NI == topology.Invalid {
+			return nil, fmt.Errorf("routerless: IP %s is not mapped to an NI", ip.Name)
+		}
+	}
+	n := &Network{
+		Cfg:   cfg,
+		Mesh:  m,
+		Spec:  uc,
+		eng:   sim.New(),
+		conns: make(map[phit.ConnID]*connInfo),
+		gens:  make(map[phit.ConnID]*traffic.Generator),
+	}
+	n.base = clock.NewMHz("clk", cfg.FreqMHz, 0)
+	n.buildRings()
+
+	// Assign connections in id order: same inputs, same overlay.
+	conns := append([]spec.Connection(nil), uc.Connections...)
+	sort.Slice(conns, func(i, j int) bool { return conns[i].ID < conns[j].ID })
+	for _, c := range conns {
+		srcIP, err := uc.IP(c.Src)
+		if err != nil {
+			return nil, err
+		}
+		dstIP, err := uc.IP(c.Dst)
+		if err != nil {
+			return nil, err
+		}
+		if srcIP.NI == dstIP.NI {
+			return nil, fmt.Errorf("routerless: connection %d endpoints share NI %d", c.ID, srcIP.NI)
+		}
+		ci, err := n.place(c, srcIP.NI, dstIP.NI)
+		if err != nil {
+			return nil, err
+		}
+		n.conns[c.ID] = ci
+		ci.ring.conns[c.ID] = ci
+	}
+
+	// Components: rings first (index order), then generators (conn order)
+	// — a fixed construction order keeps same-seed runs byte-identical.
+	for _, r := range n.rings {
+		n.eng.Add(r)
+	}
+	for _, c := range conns {
+		ci := n.conns[c.ID]
+		name := fmt.Sprintf("gen.c%d", c.ID)
+		start := clock.Time(len(n.gens)%16) * 3 * n.base.Period
+		var g *traffic.Generator
+		switch {
+		case cfg.Transactional:
+			g = traffic.NewTransactional(name, n.base, ci.ring, c.ID, c.BandwidthMBps,
+				cfg.WordBytes, int64(txWords(c.BandwidthMBps)), start)
+		case cfg.TrafficBurstFactor > 1:
+			g = traffic.NewBursty(name, n.base, ci.ring, c.ID, c.BandwidthMBps,
+				cfg.WordBytes, 64, cfg.TrafficBurstFactor, start)
+		default:
+			g = traffic.NewCBR(name, n.base, ci.ring, c.ID, c.BandwidthMBps,
+				cfg.WordBytes, start)
+		}
+		n.gens[c.ID] = g
+		n.eng.Add(g)
+	}
+	return n, nil
+}
+
+// txWords mirrors core.TxWordsForRate's shape without importing core
+// (higher-rate connections drain longer transactions).
+func txWords(rateMBps float64) int {
+	w := int(rateMBps / 10)
+	if w < 4 {
+		w = 4
+	}
+	if w > 64 {
+		w = 64
+	}
+	return w
+}
+
+// buildRings lays the overlay: one ring per mesh row, one per column,
+// and a boustrophedon snake ring over all NIs when the mesh is 2-D in
+// both axes. Stops follow router order, each router contributing its NIs
+// in index order.
+func (n *Network) buildRings() {
+	m := n.Mesh
+	addRing := func(name string, nis []topology.NodeID) {
+		r := &ring{
+			name:  name,
+			net:   n,
+			S:     len(nis),
+			conns: make(map[phit.ConnID]*connInfo),
+			pos:   make(map[topology.NodeID]int),
+		}
+		r.stops = make([]*stop, r.S)
+		r.wheel = make([]entry, r.S)
+		r.alloc = make([]phit.ConnID, r.S)
+		for p, id := range nis {
+			r.stops[p] = &stop{
+				name: fmt.Sprintf("%s.s%d", name, p),
+				pos:  p,
+				ni:   id,
+			}
+			r.pos[id] = p
+			r.wheel[p] = entry{sid: p}
+		}
+		n.rings = append(n.rings, r)
+	}
+	for y := 0; y < m.Rows; y++ {
+		var nis []topology.NodeID
+		for x := 0; x < m.Cols; x++ {
+			for k := 0; k < m.NIsPerRouter; k++ {
+				nis = append(nis, m.NIAt(x, y, k))
+			}
+		}
+		addRing(fmt.Sprintf("row%d", y), nis)
+	}
+	if m.Rows > 1 {
+		for x := 0; x < m.Cols; x++ {
+			var nis []topology.NodeID
+			for y := 0; y < m.Rows; y++ {
+				for k := 0; k < m.NIsPerRouter; k++ {
+					nis = append(nis, m.NIAt(x, y, k))
+				}
+			}
+			addRing(fmt.Sprintf("col%d", x), nis)
+		}
+	}
+	if m.Rows > 1 && m.Cols > 1 {
+		var nis []topology.NodeID
+		for y := 0; y < m.Rows; y++ {
+			for i := 0; i < m.Cols; i++ {
+				x := i
+				if y%2 == 1 {
+					x = m.Cols - 1 - i
+				}
+				for k := 0; k < m.NIsPerRouter; k++ {
+					nis = append(nis, m.NIAt(x, y, k))
+				}
+			}
+		}
+		addRing("snake", nis)
+	}
+}
+
+// place assigns a connection to the shortest candidate ring with free
+// slot capacity and picks its slot set.
+func (n *Network) place(c spec.Connection, src, dst topology.NodeID) (*connInfo, error) {
+	type candidate struct {
+		r          *ring
+		hops       int
+		idx        int
+		need       int
+		srcP, dstP int
+	}
+	var cands []candidate
+	for idx, r := range n.rings {
+		sp, okS := r.pos[src]
+		dp, okD := r.pos[dst]
+		if !okS || !okD {
+			continue
+		}
+		hops := ((dp-sp)%r.S + r.S) % r.S
+		if hops == 0 {
+			continue
+		}
+		per := slotBandwidthMBps(n.Cfg.FreqMHz, n.Cfg.WordBytes, r.S)
+		need := int(math.Ceil(c.BandwidthMBps / per))
+		if need < 1 {
+			need = 1
+		}
+		if need > r.S {
+			continue // rate exceeds this ring's capacity outright
+		}
+		cands = append(cands, candidate{r: r, hops: hops, idx: idx, need: need, srcP: sp, dstP: dp})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].hops != cands[j].hops {
+			return cands[i].hops < cands[j].hops
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	for _, cd := range cands {
+		set := cd.r.takeSlots(cd.need)
+		if set == nil {
+			continue
+		}
+		for _, s := range set {
+			cd.r.alloc[s] = c.ID
+		}
+		bound := BoundNs(set, cd.r.S, cd.hops, n.Cfg.FreqMHz)
+		return &connInfo{
+			spec:          c,
+			ring:          cd.r,
+			srcPos:        cd.srcP,
+			dstPos:        cd.dstP,
+			hops:          cd.hops,
+			slotSet:       set,
+			guaranteeMBps: float64(cd.need) * slotBandwidthMBps(n.Cfg.FreqMHz, n.Cfg.WordBytes, cd.r.S),
+			boundNs:       bound,
+		}, nil
+	}
+	return nil, fmt.Errorf("routerless: connection %d (%.1f Mbyte/s) fits no ring: every candidate is out of slot capacity", c.ID, c.BandwidthMBps)
+}
+
+// takeSlots picks k free slots spread as evenly as the current occupancy
+// allows (each even-spread target snaps to the nearest free slot,
+// scanning forward), or nil when fewer than k slots are free.
+func (r *ring) takeSlots(k int) []int {
+	free := 0
+	for _, c := range r.alloc {
+		if c == phit.None {
+			free++
+		}
+	}
+	if free < k {
+		return nil
+	}
+	used := make([]bool, r.S)
+	var set []int
+	for _, target := range analysis.EvenSlots(k, r.S) {
+		for off := 0; off < r.S; off++ {
+			s := (target + off) % r.S
+			if r.alloc[s] == phit.None && !used[s] {
+				used[s] = true
+				set = append(set, s)
+				break
+			}
+		}
+	}
+	sort.Ints(set)
+	return set
+}
+
+// AreaUm2 estimates the overlay's silicon cost from the paper's area
+// primitives: every stop carries one flit-wide ring register stage plus
+// ejection control, and every sourced connection a send FIFO. There are
+// no routers — that is the routerless trade: more link wiring, less
+// switching logic.
+func (n *Network) AreaUm2() float64 {
+	wordBits := n.Cfg.WordBytes * 8
+	var sum float64
+	for _, r := range n.rings {
+		sum += float64(r.S) * (area.LinkStageArea(wordBits, true) + area.ControlArea)
+	}
+	for range n.conns {
+		sum += area.FIFOArea(SendCapacity, wordBits, true)
+	}
+	return sum
+}

@@ -13,16 +13,21 @@ import (
 	"repro/internal/phit"
 	"repro/internal/scenario"
 	"repro/internal/slots"
+	"repro/internal/stats"
 )
 
 // A JobSpec is one submitted unit of work: a sweep campaign of Shards
 // independent scenario simulations (shard i runs the scenario at seed
-// Seed+i), or — Kind "scale" — one allocation-scale study over every
-// generator family at the given mesh size. Specs are canonicalised by
-// Normalize and identified by the SHA-256 Fingerprint of the canonical
-// form, so resubmitting the same work always lands on the same job.
+// Seed+i), Kind "scale" — one allocation-scale study over every
+// generator family at the given mesh size — or Kind "compare", the
+// N-backend comparison study running the submitted family (plus
+// "uniform" when it differs) through every registered backend. Specs
+// are canonicalised by Normalize and identified by the SHA-256
+// Fingerprint of the canonical form, so resubmitting the same work
+// always lands on the same job.
 type JobSpec struct {
-	// Kind selects the runner: "scenario" (default) or "scale".
+	// Kind selects the runner: "scenario" (default), "scale" or
+	// "compare".
 	Kind string `json:"kind,omitempty"`
 
 	Family string `json:"family,omitempty"` // scenario family (default "uniform")
@@ -32,11 +37,11 @@ type JobSpec struct {
 	Seed   int64  `json:"seed,omitempty"`   // base seed; shard i uses Seed+i (default 1)
 	Shards int    `json:"shards,omitempty"` // campaign width (default 1)
 
-	Mode      string  `json:"mode,omitempty"`      // clocking mode (default "synchronous")
-	Allocator string  `json:"allocator,omitempty"` // slot allocator (default "greedy")
-	FreqMHz   float64 `json:"freq_mhz,omitempty"`  // network frequency (default 500)
-	WarmupNs  float64 `json:"warmup_ns,omitempty"` // warm-up window (default 2000)
-	MeasureNs float64 `json:"measure_ns,omitempty"`// measurement window (default 10000)
+	Mode      string  `json:"mode,omitempty"`       // clocking mode (default "synchronous")
+	Allocator string  `json:"allocator,omitempty"`  // slot allocator (default "greedy")
+	FreqMHz   float64 `json:"freq_mhz,omitempty"`   // network frequency (default 500)
+	WarmupNs  float64 `json:"warmup_ns,omitempty"`  // warm-up window (default 2000)
+	MeasureNs float64 `json:"measure_ns,omitempty"` // measurement window (default 10000)
 
 	// DeadlineMs bounds the whole job's wall-clock runtime; 0 inherits
 	// the scheduler default. The deadline cancels between shards — a
@@ -94,9 +99,9 @@ func (s *JobSpec) Normalize() {
 // admission controller's "invalid-spec" door. Call after Normalize.
 func (s *JobSpec) Validate() error {
 	switch s.Kind {
-	case "scenario", "scale":
+	case "scenario", "scale", "compare":
 	default:
-		return fmt.Errorf("unknown kind %q (scenario | scale)", s.Kind)
+		return fmt.Errorf("unknown kind %q (scenario | scale | compare)", s.Kind)
 	}
 	if _, err := scenario.ParseFamily(s.Family); err != nil {
 		return err
@@ -135,10 +140,10 @@ func (s *JobSpec) Validate() error {
 }
 
 // shardCount is the number of shards the runner will execute: scenario
-// campaigns fan out Shards seeds, a scale study is one (internally
-// parallel) shard.
+// campaigns fan out Shards seeds; scale and compare studies are one
+// (internally parallel) shard.
 func (s *JobSpec) shardCount() int {
-	if s.Kind == "scale" {
+	if s.Kind == "scale" || s.Kind == "compare" {
 		return 1
 	}
 	return s.Shards
@@ -187,6 +192,10 @@ type ShardResult struct {
 	// Scale-shard outcome (Kind "scale"): the full study report with its
 	// one wall-clock field (AllocMs) zeroed for determinism.
 	Scale *experiments.ScaleReport `json:"scale,omitempty"`
+
+	// Compare-shard outcome (Kind "compare"): the N-backend comparison
+	// table. Every field is deterministic as produced.
+	Compare *experiments.CompareReport `json:"compare,omitempty"`
 }
 
 // runShard executes one shard of the spec. It is the worker's unit of
@@ -200,6 +209,9 @@ func runShard(ctx context.Context, spec JobSpec, shard int) (*ShardResult, error
 	}
 	if spec.Kind == "scale" {
 		return runScaleShard(ctx, spec)
+	}
+	if spec.Kind == "compare" {
+		return runCompareShard(ctx, spec)
 	}
 
 	fam, err := scenario.ParseFamily(spec.Family)
@@ -244,6 +256,10 @@ func runShard(ctx context.Context, spec JobSpec, shard int) (*ShardResult, error
 			res.WorstLatNs = c.LatMaxNs
 		}
 	}
+	// A degenerate window (nothing delivered, empty span) aggregates to
+	// NaN/Inf, and one such value fails the whole artifact marshal.
+	res.TotalMBps = stats.Finite(res.TotalMBps)
+	res.WorstLatNs = stats.Finite(res.WorstLatNs)
 	return res, nil
 }
 
@@ -269,6 +285,34 @@ func runScaleShard(ctx context.Context, spec JobSpec) (*ShardResult, error) {
 		rep.Points[i].AllocMs = 0
 	}
 	return &ShardResult{Shard: 0, Name: "scale", Scale: rep}, nil
+}
+
+// runCompareShard runs the spec as an N-backend comparison study: the
+// submitted family plus "uniform" (when it differs) through every
+// registered backend, reusing the experiments runner. The resulting
+// table is deterministic in the spec, so it satisfies the artifact
+// byte-identity contract as-is.
+func runCompareShard(ctx context.Context, spec JobSpec) (*ShardResult, error) {
+	fam, err := scenario.ParseFamily(spec.Family)
+	if err != nil {
+		return nil, err
+	}
+	families := []scenario.Family{fam}
+	if fam != scenario.Uniform {
+		families = append([]scenario.Family{scenario.Uniform}, families...)
+	}
+	cfg := experiments.CompareConfig{
+		Seed:     spec.Seed,
+		Families: families,
+		Cols:     spec.Cols, Rows: spec.Rows, Conns: spec.Conns,
+		WarmupNs:  spec.WarmupNs,
+		MeasureNs: spec.MeasureNs,
+	}
+	rep, err := experiments.CompareStudyCtx(ctx, cfg, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardResult{Shard: 0, Name: "compare", Compare: rep}, nil
 }
 
 // An Artifact is a completed job's canonical campaign output: the spec,

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -225,8 +226,12 @@ func ReplayJournal(path string) (*ResumeState, error) {
 		})
 	}
 
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	// A bufio.Reader line loop instead of a Scanner: a Scanner enforces a
+	// maximum token size, and one shard record past that limit (a large
+	// study table, say) would fail the whole replay with ErrTooLong —
+	// indistinguishable from real corruption. Records have no size
+	// contract, so replay must not impose one.
+	rd := bufio.NewReader(f)
 	line := 0
 	type parsed struct {
 		rec  Record
@@ -235,30 +240,41 @@ func ReplayJournal(path string) (*ResumeState, error) {
 	var recs []parsed
 	var pending string // last raw line, to classify tail truncation
 	pendingLine := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Text()
-		if strings.TrimSpace(raw) == "" {
-			continue
+	for {
+		raw, rerr := rd.ReadString('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, rerr
 		}
-		var rec Record
-		if err := json.Unmarshal([]byte(raw), &rec); err != nil {
-			// Defer the verdict: a garbled final line is a truncated tail
-			// (expected under kill -9), anywhere else it is a torn record.
-			if pending != "" {
-				flaw(KindBadRecord, pendingLine, "unparseable record dropped: %.60q", pending)
+		if raw != "" && raw != "\n" {
+			line++
+			raw = strings.TrimSuffix(raw, "\n")
+			if strings.TrimSpace(raw) == "" {
+				raw = ""
 			}
-			pending, pendingLine = raw, line
-			continue
+			if raw != "" {
+				var rec Record
+				if err := json.Unmarshal([]byte(raw), &rec); err != nil {
+					// Defer the verdict: a garbled final line is a truncated
+					// tail (expected under kill -9), anywhere else it is a
+					// torn record.
+					if pending != "" {
+						flaw(KindBadRecord, pendingLine, "unparseable record dropped: %.60q", pending)
+					}
+					pending, pendingLine = raw, line
+				} else {
+					if pending != "" {
+						flaw(KindBadRecord, pendingLine, "unparseable record dropped: %.60q", pending)
+						pending = ""
+					}
+					recs = append(recs, parsed{rec, line})
+				}
+			}
+		} else if raw == "\n" {
+			line++
 		}
-		if pending != "" {
-			flaw(KindBadRecord, pendingLine, "unparseable record dropped: %.60q", pending)
-			pending = ""
+		if rerr == io.EOF {
+			break
 		}
-		recs = append(recs, parsed{rec, line})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
 	}
 	if pending != "" {
 		flaw(KindTruncatedTail, pendingLine, "truncated tail dropped: %.60q", pending)

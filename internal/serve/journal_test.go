@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
@@ -288,6 +289,106 @@ func TestOpenJournalSealsTruncatedTailBeforeAppend(t *testing.T) {
 	}
 	if len(jj.Shards) != 1 || jj.Shards[1] == nil || jj.Shards[1].Name != "s1" {
 		t.Fatalf("shards = %+v: the record appended after reopen was glued onto the torn tail", jj.Shards)
+	}
+}
+
+// bigShardResult builds a shard result whose journal record is well past
+// bufio.Scanner's 64 KiB default token limit: a compare report with a
+// long synthetic family list. Records carry no size contract, so replay
+// must not impose one.
+func bigShardResult() *ShardResult {
+	return &ShardResult{Shard: 0, Name: "compare-" + strings.Repeat("x", 96*1024)}
+}
+
+func TestReplayLargeRecordNoSizeLimit(t *testing.T) {
+	// A single shard record past 64 KiB used to fail the whole replay
+	// with bufio.ErrTooLong — indistinguishable from corruption. Replay
+	// must read it whole and salvage it like any other record.
+	spec := testSpec(1)
+	fp := spec.Fingerprint()
+	id := JobID(fp)
+	big := bigShardResult()
+	lines := journalLines(t,
+		Record{T: RecSubmit, Job: id, FP: fp, Spec: &spec},
+		Record{T: RecShard, Job: id, FP: fp, Result: big},
+	)
+	if len(lines[1]) <= 64*1024 {
+		t.Fatalf("shard record is %d bytes; the regression needs one past the 64 KiB scanner limit", len(lines[1]))
+	}
+	st, err := ReplayJournal(writeJournal(t, lines...))
+	if err != nil {
+		t.Fatalf("large record misdiagnosed as corruption: %v", err)
+	}
+	jj, ok := st.Job(id)
+	if !ok || len(jj.Shards) != 1 || jj.Shards[0] == nil {
+		t.Fatalf("job %s not salvaged whole: %+v", id, jj)
+	}
+	if jj.Shards[0].Name != big.Name {
+		t.Fatal("large shard record came back altered")
+	}
+}
+
+func TestReplayLargeRecordKillResumeArtifactByteIdentical(t *testing.T) {
+	// kill -9 right after the >64 KiB shard record is durable: the next
+	// append is torn mid-line. Resuming through OpenJournal (which seals
+	// the tail) and finishing the job must render the artifact
+	// byte-for-byte equal to an uninterrupted run's.
+	spec := testSpec(1)
+	fp := spec.Fingerprint()
+	id := JobID(fp)
+	big := bigShardResult()
+
+	path := filepath.Join(t.TempDir(), "large.journal")
+	j1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Append(Record{T: RecSubmit, Job: id, FP: fp, Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Append(Record{T: RecShard, Job: id, FP: fp, Result: big}); err != nil {
+		t.Fatal(err)
+	}
+	j1.Close()
+	// The kill: a torn done record with no trailing newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":"done","job":`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Second life: reopen (seals the tail), journal the terminal record.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(Record{T: RecDone, Job: id, Status: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	st, err := ReplayJournal(path)
+	ks := kinds(err)
+	if len(ks) != 1 || ks[0] != KindBadRecord {
+		t.Fatalf("kinds = %v, want [%s] for the sealed torn line (err %v)", ks, KindBadRecord, err)
+	}
+	jj, ok := st.Job(id)
+	if !ok || !jj.Done || jj.Status != "done" {
+		t.Fatalf("salvaged job = %+v, want done", jj)
+	}
+	got, err := NewArtifact(jj.Spec, jj.FP, jj.Shards).MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewArtifact(spec, fp, map[int]*ShardResult{0: big}).MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed artifact differs from the uninterrupted one")
 	}
 }
 

@@ -543,3 +543,92 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Fatalf("list = %+v", list.Jobs)
 	}
 }
+
+// stalledSSEWriter plays a client that reads the first event and then
+// stops reading: the first write succeeds, later writes block the way a
+// full TCP send buffer would — until the deadline the handler set, then
+// fail with os.ErrDeadlineExceeded. It implements SetWriteDeadline so
+// http.NewResponseController reaches it.
+type stalledSSEWriter struct {
+	hdr         http.Header
+	buf         bytes.Buffer
+	writes      int
+	deadline    time.Time
+	deadlineSet bool
+}
+
+func (w *stalledSSEWriter) Header() http.Header { return w.hdr }
+func (w *stalledSSEWriter) WriteHeader(int)     {}
+func (w *stalledSSEWriter) Flush()              {}
+func (w *stalledSSEWriter) SetWriteDeadline(t time.Time) error {
+	w.deadline, w.deadlineSet = t, true
+	return nil
+}
+func (w *stalledSSEWriter) Write(b []byte) (int, error) {
+	w.writes++
+	if w.writes == 1 {
+		return w.buf.Write(b)
+	}
+	if w.deadline.IsZero() {
+		return 0, errors.New("write would block forever: handler set no deadline")
+	}
+	time.Sleep(time.Until(w.deadline))
+	return 0, os.ErrDeadlineExceeded
+}
+
+func TestSSEStalledClientResyncsToTerminal(t *testing.T) {
+	// A stalled SSE reader used to pin the streaming goroutine on a
+	// blocked write with no way to ever observe the job finish. The fix
+	// is two-sided: the handler tears down a stream whose write misses
+	// the deadline, and a reconnect with Last-Event-ID resumes the
+	// replay just past what the client saw — through the terminal event.
+	s := NewScheduler(SchedulerConfig{Workers: 1})
+	s.Start()
+	defer s.Stop()
+	j, err := s.Submit(quickSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	srv := NewServer(s)
+	srv.StreamWriteTimeout = 50 * time.Millisecond
+
+	// First life: one event delivered, then the client stalls.
+	w1 := &stalledSSEWriter{hdr: make(http.Header)}
+	done := make(chan struct{})
+	go func() {
+		srv.ServeHTTP(w1, httptest.NewRequest("GET", "/api/jobs/"+j.ID+"/events", nil))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled stream still pinned after 5s; the write deadline never fired")
+	}
+	if !w1.deadlineSet {
+		t.Fatal("handler never set a write deadline")
+	}
+	first := w1.buf.String()
+	if !strings.Contains(first, "id: 0\n") {
+		t.Fatalf("first stream carries no SSE id for resync:\n%s", first)
+	}
+	if strings.Contains(first, `"state":"done"`) {
+		t.Fatalf("test premise broken: the stalled stream already delivered the terminal event:\n%s", first)
+	}
+
+	// Second life: reconnect where the stream left off.
+	req := httptest.NewRequest("GET", "/api/jobs/"+j.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", "0")
+	w2 := httptest.NewRecorder()
+	srv.ServeHTTP(w2, req)
+	stream := w2.Body.String()
+	if strings.Contains(stream, "id: 0\n") {
+		t.Fatalf("resync replayed the event the client already saw:\n%s", stream)
+	}
+	if !strings.Contains(stream, "id: 1\n") {
+		t.Fatalf("resync does not resume just past Last-Event-ID:\n%s", stream)
+	}
+	if !strings.Contains(stream, `"state":"done"`) {
+		t.Fatalf("resynced stream never reached the terminal event:\n%s", stream)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 )
 
@@ -16,11 +17,18 @@ import (
 type Server struct {
 	sched *Scheduler
 	mux   *http.ServeMux
+
+	// StreamWriteTimeout bounds each SSE write. A client that stops
+	// reading (full TCP send buffer) would otherwise pin the streaming
+	// goroutine forever; at the deadline the stream is torn down instead,
+	// and the client resyncs on reconnect via Last-Event-ID. Zero
+	// disables the deadline.
+	StreamWriteTimeout time.Duration
 }
 
 // NewServer wires the API routes around a scheduler.
 func NewServer(s *Scheduler) *Server {
-	srv := &Server{sched: s, mux: http.NewServeMux()}
+	srv := &Server{sched: s, mux: http.NewServeMux(), StreamWriteTimeout: 10 * time.Second}
 	srv.mux.HandleFunc("GET /healthz", srv.health)
 	srv.mux.HandleFunc("POST /api/jobs", srv.submit)
 	srv.mux.HandleFunc("GET /api/jobs", srv.list)
@@ -126,7 +134,11 @@ func (s *Server) artifact(w http.ResponseWriter, r *http.Request) {
 // events streams the job's state transitions as server-sent events. The
 // event history is append-only and replayed from the start, so a client
 // connecting late sees the full lifecycle; the stream closes after the
-// terminal event.
+// terminal event. Every event carries its sequence number as the SSE
+// id, and a reconnecting client's Last-Event-ID resumes the replay just
+// past what it saw — so even a stream torn down mid-flight (stalled
+// reader hitting the write deadline, dropped connection) loses nothing:
+// the resynced stream runs gaplessly through the terminal event.
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.sched.Job(r.PathValue("id"))
 	if !ok {
@@ -143,6 +155,12 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 
 	next := 0
+	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+		if n, err := strconv.Atoi(lid); err == nil && n >= 0 {
+			next = n + 1
+		}
+	}
+	rc := http.NewResponseController(w)
 	tick := time.NewTicker(50 * time.Millisecond)
 	defer tick.Stop()
 	for {
@@ -152,7 +170,16 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return
 			}
-			if _, err := fmt.Fprintf(w, "event: state\ndata: %s\n\n", b); err != nil {
+			// A stalled client must not pin this goroutine: each write
+			// races a deadline, and a timed-out stream is torn down. The
+			// client reconnects with Last-Event-ID and still observes
+			// every event it missed, the terminal one included.
+			if s.StreamWriteTimeout > 0 {
+				if err := rc.SetWriteDeadline(time.Now().Add(s.StreamWriteTimeout)); err != nil && !errors.Is(err, http.ErrNotSupported) {
+					return
+				}
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: state\ndata: %s\n\n", ev.Seq, b); err != nil {
 				return
 			}
 			next = ev.Seq + 1

@@ -6,6 +6,18 @@ import (
 	"sort"
 )
 
+// Finite sanitises a value bound for a JSON artifact: NaN and the
+// infinities — the usual residue of dividing by a zero count or an empty
+// time span — encode as zero, which every consumer already treats as
+// "no data". encoding/json rejects them outright, so one leaked NaN
+// would otherwise fail the whole artifact write.
+func Finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
 // A Summary accumulates a stream of float64 samples.
 type Summary struct {
 	n          int64

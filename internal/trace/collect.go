@@ -230,11 +230,14 @@ func (m *Metrics) Report(windowPs, periodPs int64) *Report {
 			Conn: int32(id), Injected: cm.Injected, Sent: cm.Sent,
 			Delivered: cm.Delivered, Blocked: cm.Blocked, Credits: cm.Credits,
 		}
+		// stats.Finite throughout: a degenerate window (zero delivered
+		// flits, empty span) yields NaN/Inf aggregates, and one leaked NaN
+		// makes encoding/json reject the whole report.
 		if cm.Latency.N() > 0 {
-			cr.LatMinNs = cm.Latency.Min()
-			cr.LatMeanNs = cm.Latency.Mean()
-			cr.LatP99Ns = cm.Latency.Percentile(99)
-			cr.LatMaxNs = cm.Latency.Max()
+			cr.LatMinNs = stats.Finite(cm.Latency.Min())
+			cr.LatMeanNs = stats.Finite(cm.Latency.Mean())
+			cr.LatP99Ns = stats.Finite(cm.Latency.Percentile(99))
+			cr.LatMaxNs = stats.Finite(cm.Latency.Max())
 		}
 		cr.CRCDrops = cm.CRCDrops
 		cr.Retransmits = cm.Retransmits
@@ -243,10 +246,10 @@ func (m *Metrics) Report(windowPs, periodPs int64) *Report {
 		cr.Reroutes = cm.Reroutes
 		cr.Recovered = cm.Recovery.N()
 		if cm.Recovery.N() > 0 {
-			cr.RecMinNs = cm.Recovery.Min()
-			cr.RecMeanNs = cm.Recovery.Mean()
-			cr.RecP99Ns = cm.Recovery.Percentile(99)
-			cr.RecMaxNs = cm.Recovery.Max()
+			cr.RecMinNs = stats.Finite(cm.Recovery.Min())
+			cr.RecMeanNs = stats.Finite(cm.Recovery.Mean())
+			cr.RecP99Ns = stats.Finite(cm.Recovery.Percentile(99))
+			cr.RecMaxNs = stats.Finite(cm.Recovery.Max())
 		}
 		r.Conns = append(r.Conns, cr)
 	}
@@ -260,7 +263,7 @@ func (m *Metrics) Report(windowPs, periodPs int64) *Report {
 		}
 		util := 0.0
 		if totalCycles > 0 {
-			util = float64(cp.BusyCycles) / totalCycles
+			util = stats.Finite(float64(cp.BusyCycles) / totalCycles)
 			if util > 1 {
 				util = 1 // edge flits straddling the window boundary
 			}

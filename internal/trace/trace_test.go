@@ -246,6 +246,50 @@ func TestMetricsAggregation(t *testing.T) {
 	}
 }
 
+// TestMetricsReportDegenerateInputsStayJSON force-feeds the aggregates
+// the residue of degenerate runs — NaN from an empty span, infinities
+// from a zero divisor — and requires the report to still marshal and
+// round-trip as valid JSON. encoding/json rejects NaN/Inf outright, so
+// before sanitisation one degenerate connection failed the entire
+// report write.
+func TestMetricsReportDegenerateInputsStayJSON(t *testing.T) {
+	b := NewBus()
+	m := NewMetrics(b)
+	ni := b.Emitter("ni.00")
+	ni.Emit(Event{Time: 1000, Ref: 0, Kind: Eject, Conn: 1, Seq: 0, Slot: NoSlot})
+	cm := m.Conn(1)
+	cm.Latency.Add(math.NaN())
+	cm.Latency.Add(math.Inf(1))
+	cm.Recovery.Add(math.Inf(-1))
+
+	rep := m.Report(0, 1000)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("degenerate report failed to marshal: %v", err)
+	}
+	var round Report
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report JSON invalid: %v", err)
+	}
+	for _, c := range round.Conns {
+		for name, v := range map[string]float64{
+			"lat_min": c.LatMinNs, "lat_mean": c.LatMeanNs,
+			"lat_p99": c.LatP99Ns, "lat_max": c.LatMaxNs,
+			"rec_min": c.RecMinNs, "rec_mean": c.RecMeanNs,
+			"rec_p99": c.RecP99Ns, "rec_max": c.RecMaxNs,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("conn %d %s = %v survived sanitisation", c.Conn, name, v)
+			}
+		}
+	}
+	// The CSV writer must swallow the same inputs.
+	var csvBuf bytes.Buffer
+	if err := rep.WriteCSV(&csvBuf); err != nil {
+		t.Fatalf("degenerate report failed CSV render: %v", err)
+	}
+}
+
 // TestCSVHostileComponentName round-trips a report whose component name
 // contains every character CSV treats as structure. The row must parse
 // back to exactly the original name without shifting any column.
